@@ -1,0 +1,44 @@
+// Ablation: the paper's subtree elimination (output-port + convexity,
+// Section 6.1). Pruning never changes the optimum; this measures how much
+// of the 2^N tree it removes on real blocks (small enough to enumerate
+// fully without pruning).
+#include <iostream>
+
+#include "core/single_cut.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace isex;
+
+int main() {
+  const LatencyModel latency = LatencyModel::standard_018um();
+  std::cout << "=== Ablation: output/convexity subtree elimination (Nout=2) ===\n\n";
+  TextTable table({"block", "N", "considered (pruned)", "considered (full)", "reduction",
+                   "same optimum"});
+
+  for (Workload& w : all_workloads()) {
+    w.preprocess();
+    for (const Dfg& g : w.extract_dfgs()) {
+      const std::size_t n = g.candidates().size();
+      if (n < 4 || n > 22) continue;  // full enumeration must stay tractable
+      Constraints cons;
+      cons.max_inputs = 1 << 20;
+      cons.max_outputs = 2;
+      const SingleCutResult pruned = find_best_cut(g, latency, cons);
+      Constraints full_cons = cons;
+      full_cons.enable_pruning = false;
+      const SingleCutResult full = find_best_cut(g, latency, full_cons);
+      const double reduction = 1.0 - static_cast<double>(pruned.stats.cuts_considered) /
+                                         static_cast<double>(full.stats.cuts_considered);
+      table.add_row({g.name(), TextTable::num(static_cast<std::uint64_t>(n)),
+                     TextTable::num(pruned.stats.cuts_considered),
+                     TextTable::num(full.stats.cuts_considered),
+                     TextTable::num(reduction * 100, 1) + "%",
+                     pruned.merit == full.merit ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(The paper's Fig. 7 example removes 4 of 15 cuts; on real blocks the\n"
+               " elimination is far larger and is what keeps Fig. 8 polynomial.)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension bench: instruction selection under an area constraint (paper
+// Section 9 future work). Sweeps the silicon budget and reports how much of
+// the unconstrained speedup survives — the area/performance Pareto curve.
+#include <iostream>
+
+#include "core/area_select.hpp"
+#include "core/iterative_select.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace isex;
+
+int main() {
+  const LatencyModel latency = LatencyModel::standard_018um();
+  std::cout << "=== Extension: selection under an area budget (MAC equivalents) ===\n\n";
+
+  for (Workload& w : fig11_workloads()) {
+    w.preprocess();
+    const std::vector<Dfg> graphs = w.extract_dfgs();
+    const double base = w.base_cycles();
+
+    Constraints cons;
+    cons.max_inputs = 4;
+    cons.max_outputs = 2;
+    cons.branch_and_bound = true;
+    cons.prune_permanent_inputs = true;
+
+    const double unconstrained =
+        select_iterative(graphs, latency, cons, 16).total_merit;
+
+    std::cout << "--- " << w.name() << " (unconstrained speedup "
+              << TextTable::num(application_speedup(base, unconstrained), 3) << "x) ---\n";
+    TextTable table({"area budget", "instrs", "area used", "speedup", "of unconstrained"});
+    for (const double budget : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+      AreaSelectOptions opts;
+      opts.max_area_macs = budget;
+      opts.num_instructions = 16;
+      const SelectionResult r = select_area_constrained(graphs, latency, cons, opts);
+      double area = 0.0;
+      for (const SelectedCut& sc : r.cuts) area += sc.metrics.area_macs;
+      const double speedup = application_speedup(base, r.total_merit);
+      const double frac = unconstrained > 0 ? r.total_merit / unconstrained : 1.0;
+      table.add_row({TextTable::num(budget, 2), TextTable::num(static_cast<int>(r.cuts.size())),
+                     TextTable::num(area, 3), TextTable::num(speedup, 3) + "x",
+                     TextTable::num(frac * 100, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Section 8 runtime claim: "in all but extreme cases it took only some
+// seconds". Google-benchmark timings of single-cut identification vs. graph
+// size and output constraint, plus whole-application iterative selection.
+#include <benchmark/benchmark.h>
+
+#include "core/iterative_select.hpp"
+#include "core/single_cut.hpp"
+#include "dfg/random_dag.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace isex;
+
+const LatencyModel& latency() {
+  static const LatencyModel lat = LatencyModel::standard_018um();
+  return lat;
+}
+
+Dfg synthetic(int n) {
+  RandomDagConfig cfg;
+  cfg.num_ops = n;
+  cfg.num_inputs = 6;
+  cfg.avg_fanin = 1.9;
+  cfg.forbidden_fraction = 0.05;
+  cfg.seed = static_cast<std::uint64_t>(n) * 1337;
+  return random_dag(cfg);
+}
+
+void BM_SingleCut_Synthetic(benchmark::State& state) {
+  const Dfg g = synthetic(static_cast<int>(state.range(0)));
+  Constraints cons;
+  cons.max_inputs = 1 << 20;
+  cons.max_outputs = static_cast<int>(state.range(1));
+  std::uint64_t considered = 0;
+  for (auto _ : state) {
+    const SingleCutResult r = find_best_cut(g, latency(), cons);
+    considered = r.stats.cuts_considered;
+    benchmark::DoNotOptimize(r.merit);
+  }
+  state.counters["cuts_considered"] = static_cast<double>(considered);
+}
+BENCHMARK(BM_SingleCut_Synthetic)
+    ->ArgsProduct({{16, 32, 64, 100}, {1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleCut_AdpcmDecodeBody(benchmark::State& state) {
+  Workload w = make_adpcm_decode();
+  w.preprocess();
+  const std::vector<Dfg> graphs = w.extract_dfgs();
+  const Dfg* body = nullptr;
+  for (const Dfg& g : graphs) {
+    if (body == nullptr || g.candidates().size() > body->candidates().size()) body = &g;
+  }
+  Constraints cons;
+  cons.max_inputs = static_cast<int>(state.range(0));
+  cons.max_outputs = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_best_cut(*body, latency(), cons).merit);
+  }
+}
+BENCHMARK(BM_SingleCut_AdpcmDecodeBody)
+    ->Args({2, 1})
+    ->Args({4, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IterativeSelection_Fig11Benchmarks(benchmark::State& state) {
+  std::vector<std::vector<Dfg>> all;
+  for (Workload& w : fig11_workloads()) {
+    w.preprocess();
+    all.push_back(w.extract_dfgs());
+  }
+  Constraints cons;
+  cons.max_inputs = 4;
+  cons.max_outputs = 2;
+  cons.branch_and_bound = true;
+  cons.prune_permanent_inputs = true;
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& graphs : all) {
+      total += select_iterative(graphs, latency(), cons, 16).total_merit;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_IterativeSelection_Fig11Benchmarks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+#include "afu/afu_builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace isex {
+
+AfuSpec build_afu(const Module& module, const Function& fn, const Dfg& g, const BitVector& cut,
+                  const LatencyModel& latency, const std::string& name) {
+  ISEX_CHECK(cut.size() == g.num_nodes(), "build_afu: cut domain mismatch");
+  const CutMetrics metrics = compute_metrics(g, cut, latency);
+  ISEX_CHECK(metrics.convex, "build_afu: cut is not convex");
+  ISEX_CHECK(metrics.num_ops > 0, "build_afu: empty cut");
+
+  AfuSpec spec;
+  spec.op.name = name;
+  spec.op.latency_cycles = metrics.hw_cycles;
+
+  // Members in forward topological order (reverse of the search order).
+  const auto& order = g.search_order();
+  for (std::size_t k = order.size(); k-- > 0;) {
+    if (cut.test(order[k].index)) spec.member_instrs.push_back(g.node(order[k]).instr);
+  }
+
+  // Inputs: distinct external non-constant producers, ordered by node id
+  // for determinism.
+  std::vector<NodeId> input_nodes;
+  cut.for_each([&](std::size_t i) {
+    const DfgNode& node = g.node(NodeId{i});
+    for (std::size_t j = 0; j < node.preds.size(); ++j) {
+      if (!node.pred_is_data[j]) continue;
+      const NodeId p = node.preds[j];
+      if (cut.test(p.index)) continue;
+      if (g.node(p).kind == NodeKind::constant) continue;
+      if (std::find(input_nodes.begin(), input_nodes.end(), p) == input_nodes.end()) {
+        input_nodes.push_back(p);
+      }
+    }
+  });
+  std::sort(input_nodes.begin(), input_nodes.end());
+  spec.op.num_inputs = static_cast<int>(input_nodes.size());
+
+  // Operand-space mapping: value id -> slot index.
+  std::unordered_map<std::uint32_t, int> slot_of_value;
+  for (std::size_t i = 0; i < input_nodes.size(); ++i) {
+    const ValueId v = g.node(input_nodes[i]).value;
+    ISEX_CHECK(v.valid(), "AFU input node has no value");
+    slot_of_value[v.index] = static_cast<int>(i);
+    spec.input_values.push_back(v);
+  }
+
+  std::unordered_map<std::int64_t, int> konst_slot;
+  double area = 0.0;
+
+  const auto next_slot = [&]() {
+    return spec.op.num_inputs + static_cast<int>(spec.op.micros.size());
+  };
+  const auto konst_operand = [&](std::int64_t literal) {
+    const auto it = konst_slot.find(literal);
+    if (it != konst_slot.end()) return it->second;
+    const int slot = next_slot();
+    spec.op.micros.push_back({Opcode::konst, -1, -1, -1, literal});
+    konst_slot.emplace(literal, slot);
+    return slot;
+  };
+  const auto value_operand = [&](ValueId v) {
+    const ValueDef& def = fn.value(v);
+    if (def.kind == ValueKind::konst) return konst_operand(def.imm);
+    const auto it = slot_of_value.find(v.index);
+    ISEX_CHECK(it != slot_of_value.end(), "AFU operand not reachable: " + std::to_string(v.index));
+    return it->second;
+  };
+
+  for (const InstrId instr_id : spec.member_instrs) {
+    const Instruction& ins = fn.instr(instr_id);
+    CustomOp::Micro micro;
+    if (ins.op == Opcode::load) {
+      // ROM lookup: recover the table index as (address - segment base).
+      ISEX_CHECK(ins.imm > 0, "AFU load without ROM hint");
+      const auto seg_index = static_cast<std::size_t>(ins.imm - 1);
+      ISEX_CHECK(seg_index < module.segments().size(), "bad ROM hint");
+      const MemSegment& seg = module.segments()[seg_index];
+      const int addr = value_operand(ins.operands[0]);
+      const int base = konst_operand(static_cast<std::int64_t>(seg.base));
+      spec.op.micros.push_back({Opcode::sub, addr, base, -1, 0});
+      const int index_slot = next_slot() - 1;
+      micro = {Opcode::load, index_slot, -1, -1, static_cast<std::int64_t>(seg_index)};
+      area += latency.rom_area_per_word() * seg.size_words;
+    } else {
+      micro.op = ins.op;
+      ISEX_CHECK(ins.operands.size() <= 3, "unexpected operand count in AFU");
+      if (!ins.operands.empty()) micro.a = value_operand(ins.operands[0]);
+      if (ins.operands.size() > 1) micro.b = value_operand(ins.operands[1]);
+      if (ins.operands.size() > 2) micro.c = value_operand(ins.operands[2]);
+      area += latency.area_macs(ins.op);
+    }
+    const int result_slot = next_slot();
+    spec.op.micros.push_back(micro);
+    ISEX_CHECK(ins.result.valid(), "AFU member without result");
+    slot_of_value[ins.result.index] = result_slot;
+  }
+  spec.op.area_macs = area;
+
+  // Outputs: members with a data consumer outside the cut, by node id.
+  std::vector<NodeId> output_nodes;
+  cut.for_each([&](std::size_t i) {
+    const DfgNode& node = g.node(NodeId{i});
+    for (std::size_t j = 0; j < node.succs.size(); ++j) {
+      if (!node.succ_is_data[j]) continue;
+      if (!cut.test(node.succs[j].index)) {
+        output_nodes.push_back(NodeId{i});
+        break;
+      }
+    }
+  });
+  std::sort(output_nodes.begin(), output_nodes.end());
+  for (const NodeId n : output_nodes) {
+    const ValueId v = g.node(n).value;
+    spec.output_values.push_back(v);
+    spec.op.outputs.push_back(slot_of_value.at(v.index));
+  }
+  ISEX_CHECK(!spec.op.outputs.empty(), "AFU without outputs");
+  return spec;
+}
+
+}  // namespace isex

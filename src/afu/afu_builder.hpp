@@ -1,0 +1,30 @@
+// Building an Application-specific Functional Unit description (CustomOp)
+// from a selected cut: the executable semantics snapshot, the port lists,
+// the cycle latency and the silicon area estimate (paper Sections 2 and 8).
+#pragma once
+
+#include <string>
+
+#include "dfg/cut.hpp"
+#include "dfg/dfg.hpp"
+#include "ir/module.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct AfuSpec {
+  CustomOp op;
+  /// Values read from the register file, in CustomOp input order.
+  std::vector<ValueId> input_values;
+  /// Member result values exposed as outputs, in CustomOp output order.
+  std::vector<ValueId> output_values;
+  /// Member instructions, forward-topologically ordered.
+  std::vector<InstrId> member_instrs;
+};
+
+/// Snapshots the semantics of `cut` (a feasible cut of `g`, which was
+/// extracted from `fn`). ROM-hinted loads become internal ROM lookups.
+AfuSpec build_afu(const Module& module, const Function& fn, const Dfg& g, const BitVector& cut,
+                  const LatencyModel& latency, const std::string& name);
+
+}  // namespace isex

@@ -1,0 +1,33 @@
+// Rewriting selected cuts into `custom` instructions inside the IR — the
+// step a production toolchain performs after identification, and the basis
+// of this repo's end-to-end validation: the rewritten module must produce
+// bit-identical outputs and its measured cycle count must drop by exactly
+// the summed merit of the selection.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "dfg/dfg.hpp"
+#include "ir/module.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct RewriteReport {
+  int instructions_added = 0;
+  double total_area_macs = 0.0;
+  std::vector<int> custom_op_indices;
+};
+
+/// Applies `selection` (cuts over `blocks`, which were extracted from `fn`)
+/// to the function: registers one CustomOp per cut and replaces the member
+/// instructions with custom/extract sequences. Blocks are rescheduled along
+/// a quotient topological order, which the convexity guarantee makes valid.
+RewriteReport rewrite_selection(Module& module, Function& fn, std::span<const Dfg> blocks,
+                                const SelectionResult& selection, const LatencyModel& latency,
+                                const std::string& name_prefix = "isex");
+
+}  // namespace isex

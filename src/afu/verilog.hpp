@@ -1,0 +1,21 @@
+// Verilog-2001 emission of an AFU: one combinational module per CustomOp,
+// with 32-bit register-file-port inputs/outputs and internal ROM tables for
+// admitted read-only lookups. The paper's flow hands the chosen cuts to a
+// synthesis backend; this emitter is that hand-off.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace isex {
+
+/// Emits a self-contained combinational Verilog module for `op`.
+/// `module` provides the ROM segment contents.
+std::string emit_verilog(const Module& module, const CustomOp& op);
+
+/// Emits behavioural C (one function per op) — a second, human-checkable
+/// rendering of the same semantics used in documentation and examples.
+std::string emit_c(const Module& module, const CustomOp& op);
+
+}  // namespace isex

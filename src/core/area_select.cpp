@@ -1,0 +1,77 @@
+#include "core/area_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/iterative_select.hpp"
+
+namespace isex {
+
+SelectionResult select_area_constrained(std::span<const Dfg> blocks,
+                                        const LatencyModel& latency,
+                                        const Constraints& constraints,
+                                        const AreaSelectOptions& options) {
+  ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
+  ISEX_CHECK(options.num_instructions >= 1, "need at least one instruction slot");
+  ISEX_CHECK(options.area_grid_macs > 0, "area grid must be positive");
+
+  // Candidate pool: more slots than the final cap so the knapsack can trade
+  // one large candidate for several small ones.
+  SelectionResult pool =
+      select_iterative(blocks, latency, constraints, options.num_instructions * 2);
+
+  const auto grid = [&](double area) {
+    return static_cast<int>(std::ceil(area / options.area_grid_macs - 1e-12));
+  };
+  const int capacity = std::max(0, grid(options.max_area_macs));
+  const int max_count = options.num_instructions;
+  const std::size_t n = pool.cuts.size();
+
+  // dp[i][w][k] = best merit from the first i items with area weight <= w
+  // and <= k instructions. Full staged table for exact reconstruction.
+  const std::size_t ws = static_cast<std::size_t>(capacity) + 1;
+  const std::size_t ks = static_cast<std::size_t>(max_count) + 1;
+  std::vector<double> dp((n + 1) * ws * ks, 0.0);
+  const auto at = [&](std::size_t i, int w, int k) -> double& {
+    return dp[(i * ws + static_cast<std::size_t>(w)) * ks + static_cast<std::size_t>(k)];
+  };
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int w_i = grid(pool.cuts[i - 1].metrics.area_macs);
+    const double v_i = pool.cuts[i - 1].merit;
+    for (int w = 0; w <= capacity; ++w) {
+      for (int k = 0; k <= max_count; ++k) {
+        double best = at(i - 1, w, k);
+        if (w >= w_i && k >= 1) {
+          best = std::max(best, at(i - 1, w - w_i, k - 1) + v_i);
+        }
+        at(i, w, k) = best;
+      }
+    }
+  }
+
+  SelectionResult result;
+  result.identification_calls = pool.identification_calls;
+  result.cuts_considered = pool.cuts_considered;
+  result.budget_exhausted = pool.budget_exhausted;
+
+  int w = capacity;
+  int k = max_count;
+  std::vector<bool> selected(n, false);
+  for (std::size_t i = n; i >= 1; --i) {
+    if (at(i, w, k) > at(i - 1, w, k) + 1e-12) {
+      selected[i - 1] = true;
+      w -= grid(pool.cuts[i - 1].metrics.area_macs);
+      k -= 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!selected[i]) continue;
+    result.total_merit += pool.cuts[i].merit;
+    result.cuts.push_back(std::move(pool.cuts[i]));
+  }
+  return result;
+}
+
+}  // namespace isex

@@ -1,0 +1,32 @@
+// Instruction selection under an area constraint — the paper's Section 9
+// future-work item ("Future work will also address directly the problem of
+// instruction selection under area constraint").
+//
+// The candidate pool is produced by the Iterative scheme (Section 6.3) with
+// a generous instruction count; a 0/1 knapsack over (merit, AFU area) then
+// picks the subset that maximises total merit within the silicon budget and
+// the instruction-count cap. Candidates from the Iterative scheme are
+// pairwise disjoint and jointly schedulable, so any subset is a valid
+// selection.
+#pragma once
+
+#include <span>
+
+#include "core/selection.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct AreaSelectOptions {
+  double max_area_macs = 1.0;  // silicon budget in 32-bit MAC equivalents
+  int num_instructions = 16;   // opcode-space cap
+  /// Knapsack area resolution; smaller = finer DP grid.
+  double area_grid_macs = 0.002;
+};
+
+SelectionResult select_area_constrained(std::span<const Dfg> blocks,
+                                        const LatencyModel& latency,
+                                        const Constraints& constraints,
+                                        const AreaSelectOptions& options);
+
+}  // namespace isex

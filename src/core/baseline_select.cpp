@@ -1,0 +1,52 @@
+#include "core/baseline_select.hpp"
+
+#include <algorithm>
+
+#include "core/clubbing.hpp"
+#include "core/maxmiso.hpp"
+
+namespace isex {
+
+SelectionResult select_baseline(std::span<const Dfg> blocks, const LatencyModel& latency,
+                                const Constraints& constraints, int num_instructions,
+                                BaselineAlgorithm algorithm) {
+  ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  SelectionResult result;
+  std::vector<SelectedCut> candidates;
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const Dfg& g = blocks[b];
+    const std::vector<BitVector> found = algorithm == BaselineAlgorithm::clubbing
+                                             ? find_clubs(g, latency, constraints)
+                                             : find_max_misos(g);
+    ++result.identification_calls;
+    for (const BitVector& cut : found) {
+      SelectedCut sc;
+      sc.block_index = static_cast<int>(b);
+      sc.metrics = compute_metrics(g, cut, latency);
+      // MaxMISO identification ignores the port constraints; infeasible
+      // subgraphs are discarded here (they cannot be shrunk — paper Sec. 8).
+      if (sc.metrics.inputs > constraints.max_inputs ||
+          sc.metrics.outputs > constraints.max_outputs || !sc.metrics.convex) {
+        continue;
+      }
+      sc.merit = merit_of(sc.metrics, g.exec_freq());
+      if (sc.merit <= 0) continue;
+      sc.cut = cut;
+      candidates.push_back(std::move(sc));
+    }
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const SelectedCut& a, const SelectedCut& b) { return a.merit > b.merit; });
+  if (static_cast<int>(candidates.size()) > num_instructions) {
+    candidates.resize(static_cast<std::size_t>(num_instructions));
+  }
+  for (SelectedCut& sc : candidates) {
+    result.total_merit += sc.merit;
+    result.cuts.push_back(std::move(sc));
+  }
+  return result;
+}
+
+}  // namespace isex

@@ -1,0 +1,19 @@
+// Cross-block selection for the baseline identifiers: rank every candidate
+// subgraph by merit and greedily keep the best Ninstr feasible ones — the
+// scheme the paper applies when comparing against Clubbing and MaxMISO.
+#pragma once
+
+#include <span>
+
+#include "core/selection.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+enum class BaselineAlgorithm { clubbing, max_miso };
+
+SelectionResult select_baseline(std::span<const Dfg> blocks, const LatencyModel& latency,
+                                const Constraints& constraints, int num_instructions,
+                                BaselineAlgorithm algorithm);
+
+}  // namespace isex

@@ -1,0 +1,54 @@
+#include "core/clubbing.hpp"
+
+#include <algorithm>
+
+namespace isex {
+
+std::vector<BitVector> find_clubs(const Dfg& g, const LatencyModel& latency,
+                                  const Constraints& constraints) {
+  ISEX_CHECK(g.finalized(), "find_clubs: graph not finalized");
+  const std::size_t n = g.num_nodes();
+  std::vector<int> club_of(n, -1);
+  std::vector<BitVector> clubs;
+
+  // Forward topological order = reverse of the search order, candidates only.
+  std::vector<NodeId> forward;
+  const auto& order = g.search_order();
+  for (std::size_t k = order.size(); k-- > 0;) {
+    const DfgNode& node = g.node(order[k]);
+    if (node.kind == NodeKind::op && !node.forbidden) forward.push_back(order[k]);
+  }
+
+  for (const NodeId v : forward) {
+    const DfgNode& node = g.node(v);
+
+    // Candidate clubs: those of data predecessors, greedy first fit.
+    int merged = -1;
+    for (std::size_t j = 0; j < node.preds.size() && merged < 0; ++j) {
+      if (!node.pred_is_data[j]) continue;
+      const int c = club_of[node.preds[j].index];
+      if (c < 0) continue;
+      BitVector trial = clubs[static_cast<std::size_t>(c)];
+      trial.set(v.index);
+      if (is_feasible(g, trial, latency, constraints.max_inputs, constraints.max_outputs)) {
+        clubs[static_cast<std::size_t>(c)] = std::move(trial);
+        merged = c;
+      }
+    }
+    if (merged >= 0) {
+      club_of[v.index] = merged;
+      continue;
+    }
+
+    // Start a new club if the singleton is feasible.
+    BitVector single(n);
+    single.set(v.index);
+    if (is_feasible(g, single, latency, constraints.max_inputs, constraints.max_outputs)) {
+      club_of[v.index] = static_cast<int>(clubs.size());
+      clubs.push_back(std::move(single));
+    }
+  }
+  return clubs;
+}
+
+}  // namespace isex

@@ -1,0 +1,23 @@
+// Reimplementation of the "Clubbing" baseline (Baleani et al., CODES 2002;
+// paper Section 7): a greedy linear clustering that scans operations in
+// program (topological) order and merges each into a predecessor's club
+// whenever the merged club still satisfies the n-input / m-output limits,
+// convexity and deterministic functionality (no memory operations).
+#pragma once
+
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "dfg/cut.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+/// Returns the disjoint clubs found in `g` (each feasible under the
+/// constraints). Single-node clubs that violate the input constraint on
+/// their own are dropped.
+std::vector<BitVector> find_clubs(const Dfg& g, const LatencyModel& latency,
+                                  const Constraints& constraints);
+
+}  // namespace isex

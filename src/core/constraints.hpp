@@ -1,0 +1,60 @@
+// Microarchitectural constraints and search options (paper Section 5).
+#pragma once
+
+#include <cstdint>
+
+namespace isex {
+
+struct Constraints {
+  /// Nin: register-file read ports available to a special instruction.
+  int max_inputs = 4;
+  /// Nout: register-file write ports available to a special instruction.
+  int max_outputs = 2;
+
+  /// The paper's subtree elimination on output-port and convexity violations
+  /// (Section 6.1). Disabling explores the full 2^N tree — ablation only;
+  /// the returned optimum is identical.
+  bool enable_pruning = true;
+
+  /// Extension (not in the paper, result-preserving): prune when the inputs
+  /// contributed by permanently-external producers (V+ inputs, forbidden
+  /// nodes) already exceed Nin — adding upstream nodes can never remove them.
+  bool prune_permanent_inputs = false;
+
+  /// Extension (not in the paper, result-preserving): admissible
+  /// branch-and-bound on the merit (remaining software latency bounds any
+  /// extension's gain).
+  bool branch_and_bound = false;
+
+  /// Abort the search after this many considered cuts (0 = unlimited). When
+  /// exhausted the best cut found so far is returned and the stats carry
+  /// `budget_exhausted = true`.
+  std::uint64_t search_budget = 0;
+};
+
+struct EnumerationStats {
+  /// Search-tree nodes reached via a 1-branch — the paper's "cuts
+  /// considered" (Figs. 7 and 8).
+  std::uint64_t cuts_considered = 0;
+  std::uint64_t passed_checks = 0;
+  std::uint64_t failed_output = 0;
+  std::uint64_t failed_convex = 0;
+  std::uint64_t pruned_inputs = 0;
+  std::uint64_t pruned_bound = 0;
+  std::uint64_t best_updates = 0;
+  bool budget_exhausted = false;
+
+  EnumerationStats& operator+=(const EnumerationStats& o) {
+    cuts_considered += o.cuts_considered;
+    passed_checks += o.passed_checks;
+    failed_output += o.failed_output;
+    failed_convex += o.failed_convex;
+    pruned_inputs += o.pruned_inputs;
+    pruned_bound += o.pruned_bound;
+    best_updates += o.best_updates;
+    budget_exhausted |= o.budget_exhausted;
+    return *this;
+  }
+};
+
+}  // namespace isex

@@ -1,0 +1,83 @@
+#include "core/iterative_select.hpp"
+
+#include <optional>
+
+#include "dfg/collapse.hpp"
+
+namespace isex {
+
+namespace {
+
+struct BlockState {
+  Dfg current;                                   // graph with chosen cuts collapsed
+  std::vector<std::vector<std::size_t>> origin;  // current node -> original node ids
+  std::optional<SingleCutResult> cached;         // best cut on `current`
+};
+
+}  // namespace
+
+SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
+                                 const Constraints& constraints, int num_instructions) {
+  ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  SelectionResult result;
+
+  std::vector<BlockState> state;
+  state.reserve(blocks.size());
+  for (const Dfg& g : blocks) {
+    BlockState s;
+    s.current = g;
+    s.origin.resize(g.num_nodes());
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) s.origin[i] = {i};
+    state.push_back(std::move(s));
+  }
+
+  for (int round = 0; round < num_instructions; ++round) {
+    int best_block = -1;
+    double best_merit = 0.0;
+    for (std::size_t b = 0; b < state.size(); ++b) {
+      if (!state[b].cached) {
+        state[b].cached = find_best_cut(state[b].current, latency, constraints);
+        ++result.identification_calls;
+        result.cuts_considered += state[b].cached->stats.cuts_considered;
+        result.budget_exhausted |= state[b].cached->stats.budget_exhausted;
+      }
+      if (state[b].cached->merit > best_merit) {
+        best_merit = state[b].cached->merit;
+        best_block = static_cast<int>(b);
+      }
+    }
+    if (best_block < 0) break;  // no remaining cut has positive merit
+
+    BlockState& s = state[static_cast<std::size_t>(best_block)];
+    const SingleCutResult& found = *s.cached;
+
+    // Map the cut back to the original graph's node ids.
+    SelectedCut chosen;
+    chosen.block_index = best_block;
+    chosen.cut = BitVector(blocks[static_cast<std::size_t>(best_block)].num_nodes());
+    found.cut.for_each([&](std::size_t i) {
+      for (std::size_t orig : s.origin[i]) chosen.cut.set(orig);
+    });
+    chosen.merit = found.merit;
+    chosen.metrics = found.metrics;
+    result.total_merit += found.merit;
+    result.cuts.push_back(std::move(chosen));
+
+    // Collapse the accepted cut; later identification sees it as opaque.
+    const CollapseResult collapsed =
+        collapse(s.current, found.cut, "isex" + std::to_string(round));
+    std::vector<std::vector<std::size_t>> new_origin(collapsed.graph.num_nodes());
+    for (std::size_t i = 0; i < s.origin.size(); ++i) {
+      const NodeId to = collapsed.old_to_new[i];
+      ISEX_ASSERT(to.valid(), "collapse dropped a node");
+      auto& dst = new_origin[to.index];
+      dst.insert(dst.end(), s.origin[i].begin(), s.origin[i].end());
+    }
+    s.current = std::move(collapsed.graph);
+    s.origin = std::move(new_origin);
+    s.cached.reset();
+  }
+  return result;
+}
+
+}  // namespace isex

@@ -1,0 +1,19 @@
+// Iterative selection (paper Section 6.3): repeatedly run single-cut
+// identification over all blocks, accept the globally best cut, collapse it
+// into an opaque super-node of its block's graph, and repeat until Ninstr
+// cuts are chosen or no cut improves the application.
+#pragma once
+
+#include <span>
+
+#include "core/selection.hpp"
+#include "core/single_cut.hpp"
+
+namespace isex {
+
+/// `blocks` are the (finalized) G+ graphs of all basic blocks, frequency
+/// weighted. Returned cuts are expressed over each block's original node ids.
+SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
+                                 const Constraints& constraints, int num_instructions);
+
+}  // namespace isex

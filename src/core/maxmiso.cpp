@@ -1,0 +1,57 @@
+#include "core/maxmiso.hpp"
+
+#include <unordered_map>
+
+namespace isex {
+
+std::vector<BitVector> find_max_misos(const Dfg& g) {
+  ISEX_CHECK(g.finalized(), "find_max_misos: graph not finalized");
+  const std::size_t n = g.num_nodes();
+  // home[v] = root of the MISO v belongs to (undefined for non-candidates).
+  std::vector<NodeId> home(n);
+
+  // The search order is reverse topological: every consumer of a node is
+  // processed before the node, so consumer homes are known.
+  for (const NodeId v : g.search_order()) {
+    const DfgNode& node = g.node(v);
+    if (node.kind != NodeKind::op || node.forbidden) continue;
+
+    NodeId shared_home = v;  // default: v roots its own MISO
+    bool first = true;
+    bool must_root = false;
+    for (std::size_t j = 0; j < node.succs.size(); ++j) {
+      if (!node.succ_is_data[j]) continue;
+      const NodeId s = node.succs[j];
+      const DfgNode& sn = g.node(s);
+      if (sn.kind != NodeKind::op || sn.forbidden) {
+        must_root = true;  // consumed by a live-out marker or a memory op
+        break;
+      }
+      const NodeId h = home[s.index];
+      if (first) {
+        shared_home = h;
+        first = false;
+      } else if (h != shared_home) {
+        must_root = true;  // consumers split across different MISOs
+        break;
+      }
+    }
+    if (must_root || first) {
+      home[v.index] = v;  // sink candidates and split-fanout nodes root
+    } else {
+      home[v.index] = shared_home;
+    }
+  }
+
+  std::unordered_map<std::uint32_t, std::size_t> root_index;
+  std::vector<BitVector> misos;
+  for (const NodeId v : g.candidates()) {
+    const NodeId r = home[v.index];
+    auto [it, inserted] = root_index.try_emplace(r.index, misos.size());
+    if (inserted) misos.emplace_back(n);
+    misos[it->second].set(v.index);
+  }
+  return misos;
+}
+
+}  // namespace isex

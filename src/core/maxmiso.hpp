@@ -1,0 +1,21 @@
+// Reimplementation of the MaxMISO baseline (Alippi et al., DATE 1999; paper
+// Section 7): linear-time partition of the DFG into maximal single-output
+// subgraphs with unbounded inputs. A node joins the (unique) MISO of its
+// consumers when *all* of its value consumers live in that MISO; otherwise
+// it roots its own.
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "support/bitvector.hpp"
+
+namespace isex {
+
+/// Returns the MaxMISO partition of the candidate nodes of `g`. Each set has
+/// exactly one output by construction; inputs are unbounded (the caller
+/// filters against Nin at selection time — the paper's Section 8 discussion
+/// of why MaxMISO misses M1 under two input ports).
+std::vector<BitVector> find_max_misos(const Dfg& g);
+
+}  // namespace isex

@@ -1,0 +1,32 @@
+// Multiple-cut identification (paper Section 6.2, Fig. 9).
+//
+// The binary search tree becomes (M+1)-ary: at each level a node either
+// stays outside or joins one of M cuts. Legality is *quotient-graph
+// acyclicity*: collapsing every cut (and keeping plain nodes) must leave a
+// DAG — this subsumes per-cut convexity and also rejects mutually dependent
+// cut pairs (cut A feeding cut B and vice versa), which individual convexity
+// alone would not catch. Cut labels are symmetry-broken (label k can only be
+// opened after label k-1), which prunes the M! relabelings.
+#pragma once
+
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "dfg/cut.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct MultiCutResult {
+  std::vector<BitVector> cuts;  // up to M cuts (empty ones trimmed), by merit desc
+  double total_merit = 0.0;
+  EnumerationStats stats;
+};
+
+/// Finds up to `num_cuts` disjoint cuts jointly maximising the summed merit
+/// under `constraints` for each cut.
+MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints, int num_cuts);
+
+}  // namespace isex

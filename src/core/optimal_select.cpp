@@ -1,0 +1,132 @@
+#include "core/optimal_select.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace isex {
+
+namespace {
+
+struct BlockTable {
+  // best[m] = best total merit using exactly <= m cuts (best[0] = 0).
+  std::vector<double> best{0.0};
+  std::vector<MultiCutResult> solutions{MultiCutResult{}};
+  int exhausted_at = -1;  // m where no further gain appeared (-1: unknown)
+};
+
+/// Ensures best(b, m) is computed; returns false if the table is saturated
+/// (more cuts bring no improvement).
+bool ensure(BlockTable& table, const Dfg& g, const LatencyModel& lat, const Constraints& cons,
+            int m, SelectionResult& accounting) {
+  if (static_cast<int>(table.best.size()) > m) return true;
+  if (table.exhausted_at >= 0 && m > table.exhausted_at) return false;
+  ISEX_ASSERT(static_cast<int>(table.best.size()) == m, "table filled out of order");
+  MultiCutResult r = find_best_cuts(g, lat, cons, m);
+  ++accounting.identification_calls;
+  accounting.cuts_considered += r.stats.cuts_considered;
+  accounting.budget_exhausted |= r.stats.budget_exhausted;
+  if (r.total_merit <= table.best.back() + 1e-12 ||
+      static_cast<int>(r.cuts.size()) < m) {
+    table.exhausted_at = m - 1;
+    return false;
+  }
+  table.best.push_back(r.total_merit);
+  table.solutions.push_back(std::move(r));
+  return true;
+}
+
+SelectionResult assemble(std::span<const Dfg> blocks, const std::vector<BlockTable>& tables,
+                         const std::vector<int>& m_of_block, const LatencyModel& latency,
+                         SelectionResult accounting) {
+  SelectionResult result = std::move(accounting);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const int m = m_of_block[b];
+    if (m == 0) continue;
+    const MultiCutResult& sol = tables[b].solutions[static_cast<std::size_t>(m)];
+    double assigned = 0.0;
+    for (const BitVector& cut : sol.cuts) {
+      SelectedCut sc;
+      sc.block_index = static_cast<int>(b);
+      sc.cut = cut;
+      sc.metrics = compute_metrics(blocks[b], cut, latency);
+      sc.merit = merit_of(sc.metrics, blocks[b].exec_freq());
+      assigned += sc.merit;
+      result.cuts.push_back(std::move(sc));
+    }
+    // Cuts are disjoint, so per-cut merits sum to the joint optimum.
+    ISEX_ASSERT(std::abs(assigned - sol.total_merit) < 1e-6,
+                "joint and per-cut merits disagree");
+    result.total_merit += sol.total_merit;
+  }
+  return result;
+}
+
+}  // namespace
+
+SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
+                               const Constraints& constraints, int num_instructions,
+                               OptimalMode mode) {
+  ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  const int max_per_block = std::min(num_instructions, 8);
+
+  SelectionResult accounting;
+  std::vector<BlockTable> tables(blocks.size());
+  std::vector<int> m_of_block(blocks.size(), 0);
+
+  if (mode == OptimalMode::greedy_increments) {
+    for (int round = 0; round < num_instructions; ++round) {
+      int best_block = -1;
+      double best_gain = 0.0;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const int next = m_of_block[b] + 1;
+        if (next > max_per_block) continue;
+        if (!ensure(tables[b], blocks[b], latency, constraints, next, accounting)) continue;
+        const double gain = tables[b].best[static_cast<std::size_t>(next)] -
+                            tables[b].best[static_cast<std::size_t>(m_of_block[b])];
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_block = static_cast<int>(b);
+        }
+      }
+      if (best_block < 0) break;
+      ++m_of_block[static_cast<std::size_t>(best_block)];
+    }
+    return assemble(blocks, tables, m_of_block, latency, std::move(accounting));
+  }
+
+  // exact_dp: fill the tables completely up to max_per_block, then allocate
+  // the Ninstr budget by dynamic programming.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (int m = 1; m <= max_per_block; ++m) {
+      if (!ensure(tables[b], blocks[b], latency, constraints, m, accounting)) break;
+    }
+  }
+  const int budget = num_instructions;
+  std::vector<std::vector<double>> dp(blocks.size() + 1,
+                                      std::vector<double>(budget + 1, 0.0));
+  std::vector<std::vector<int>> take(blocks.size() + 1, std::vector<int>(budget + 1, 0));
+  for (std::size_t b = 1; b <= blocks.size(); ++b) {
+    const BlockTable& t = tables[b - 1];
+    for (int k = 0; k <= budget; ++k) {
+      dp[b][k] = dp[b - 1][k];
+      take[b][k] = 0;
+      const int limit = std::min<int>(k, static_cast<int>(t.best.size()) - 1);
+      for (int m = 1; m <= limit; ++m) {
+        const double v = dp[b - 1][k - m] + t.best[static_cast<std::size_t>(m)];
+        if (v > dp[b][k] + 1e-12) {
+          dp[b][k] = v;
+          take[b][k] = m;
+        }
+      }
+    }
+  }
+  int k = budget;
+  for (std::size_t b = blocks.size(); b > 0; --b) {
+    m_of_block[b - 1] = take[b][k];
+    k -= take[b][k];
+  }
+  return assemble(blocks, tables, m_of_block, latency, std::move(accounting));
+}
+
+}  // namespace isex

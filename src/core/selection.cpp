@@ -1,0 +1,21 @@
+#include "core/selection.hpp"
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+double application_speedup(double base_cycles, double saved_cycles) {
+  ISEX_CHECK(base_cycles > 0, "speedup needs positive base cycles");
+  ISEX_CHECK(saved_cycles < base_cycles, "cannot save more cycles than the base");
+  return base_cycles / (base_cycles - saved_cycles);
+}
+
+double block_static_cycles(const Dfg& g, const LatencyModel& latency) {
+  double cycles = 0;
+  for (NodeId n : g.op_nodes()) {
+    cycles += latency.sw_cycles(g.node(n).op);
+  }
+  return g.exec_freq() * (cycles + 1);  // +1: block terminator
+}
+
+}  // namespace isex

@@ -1,0 +1,42 @@
+// Shared result types for selecting special instructions across the basic
+// blocks of an application (paper Problem 2), plus speedup accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "dfg/cut.hpp"
+#include "dfg/dfg.hpp"
+
+namespace isex {
+
+struct SelectedCut {
+  int block_index = 0;   // index into the caller's DFG list
+  BitVector cut;         // over that block's (original) node ids
+  double merit = 0.0;    // freq-weighted estimated cycles saved
+  CutMetrics metrics;
+};
+
+struct SelectionResult {
+  std::vector<SelectedCut> cuts;
+  double total_merit = 0.0;
+  /// Number of identification-algorithm invocations performed (the paper
+  /// bounds the Optimal scheme by Ninstr + Nbb - 1).
+  std::uint64_t identification_calls = 0;
+  std::uint64_t cuts_considered = 0;  // summed over all invocations
+  /// True if any identification call ran out of its search budget; the
+  /// result is then a lower bound, not the scheme's true answer.
+  bool budget_exhausted = false;
+};
+
+/// Whole-application speedup estimate: base cycles over base minus cycles
+/// saved by the selected instructions (Section 8's figure of merit).
+double application_speedup(double base_cycles, double saved_cycles);
+
+/// Static single-issue cycle estimate of one block body (all instructions
+/// including memory and control), used when no measured profile cycles are
+/// available.
+double block_static_cycles(const Dfg& g, const LatencyModel& latency);
+
+}  // namespace isex

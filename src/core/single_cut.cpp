@@ -1,0 +1,271 @@
+#include "core/single_cut.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace isex {
+
+namespace {
+
+enum : std::int8_t { kUndecided = 0, kInCut = 1, kExcluded = 2 };
+
+class SingleCutSearch {
+ public:
+  SingleCutSearch(const Dfg& g, const LatencyModel& lat, const Constraints& cons)
+      : g_(g), lat_(lat), cons_(cons), order_(g.search_order()) {
+    const std::size_t n = g.num_nodes();
+    state_.assign(n, kUndecided);
+    reach_.assign(n, 0);
+    feeds_.assign(n, 0);
+    cp_.assign(n, 0.0);
+    cut_ = BitVector(n);
+    best_.cut = BitVector(n);
+
+    // Suffix sums of candidate software latency along the search order, for
+    // the optional branch-and-bound merit bound.
+    sw_suffix_.assign(order_.size() + 1, 0);
+    for (std::size_t k = order_.size(); k-- > 0;) {
+      const DfgNode& node = g_.node(order_[k]);
+      const bool candidate = node.kind == NodeKind::op && !node.forbidden;
+      sw_suffix_[k] =
+          sw_suffix_[k + 1] + (candidate ? node_sw_cycles(g_, order_[k], lat_) : 0);
+    }
+  }
+
+  SingleCutResult run() {
+    walk(0);
+    best_.stats = stats_;
+    if (best_.cut.any()) best_.metrics = compute_metrics(g_, best_.cut, lat_);
+    return best_;
+  }
+
+ private:
+  bool budget_hit() {
+    if (cons_.search_budget != 0 && stats_.cuts_considered >= cons_.search_budget) {
+      stats_.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reach flag of a node at decision time: true if it can reach any member
+  /// of the current cut.
+  bool compute_reach(NodeId n) const {
+    const DfgNode& node = g_.node(n);
+    for (NodeId s : node.succs) {
+      if (state_[s.index] == kInCut || reach_[s.index]) return true;
+    }
+    return false;
+  }
+
+  void walk(std::size_t k) {
+    if (stats_.budget_exhausted) return;
+
+    // Auto-exclude the run of non-candidate nodes (V+ outputs, memory ops):
+    // they only need their reach flags maintained.
+    std::size_t auto_end = k;
+    while (auto_end < order_.size()) {
+      const DfgNode& node = g_.node(order_[auto_end]);
+      if (node.kind == NodeKind::op && !node.forbidden) break;
+      ++auto_end;
+    }
+    for (std::size_t j = k; j < auto_end; ++j) {
+      const NodeId n = order_[j];
+      state_[n.index] = kExcluded;
+      reach_[n.index] = compute_reach(n) ? 1 : 0;
+    }
+    if (auto_end == order_.size()) {
+      undo_autos(k, auto_end);
+      return;
+    }
+
+    const NodeId u = order_[auto_end];
+
+    // ---- 1-branch: include u ------------------------------------------
+    if (!budget_hit()) {
+      ++stats_.cuts_considered;
+      const Frame f = include(u);
+      const bool out_ok = out_count_ <= cons_.max_outputs;
+      const bool convex_ok = convex_viol_ == 0;
+      if (out_ok && convex_ok) {
+        ++stats_.passed_checks;
+        if (in_perm_ + in_tent_ <= cons_.max_inputs) {
+          const double merit = current_merit();
+          if (merit > best_.merit) {
+            best_.merit = merit;
+            best_.cut = cut_;
+            ++stats_.best_updates;
+          }
+        }
+      } else if (!out_ok) {
+        ++stats_.failed_output;  // classification mirrors Fig. 6's check order
+      } else {
+        ++stats_.failed_convex;
+      }
+
+      bool descend = true;
+      if (cons_.enable_pruning && (!out_ok || !convex_ok)) descend = false;
+      if (descend && cons_.prune_permanent_inputs && in_perm_ > cons_.max_inputs) {
+        ++stats_.pruned_inputs;
+        descend = false;
+      }
+      if (descend && cons_.branch_and_bound) {
+        const double bound =
+            g_.exec_freq() *
+            (sw_sum_ + sw_suffix_[auto_end + 1] - std::max(1.0, std::ceil(crit_ - 1e-9)));
+        if (bound <= best_.merit) {
+          ++stats_.pruned_bound;
+          descend = false;
+        }
+      }
+      if (descend) walk(auto_end + 1);
+      undo_include(u, f);
+    }
+
+    // ---- 0-branch: exclude u ------------------------------------------
+    state_[u.index] = kExcluded;
+    reach_[u.index] = compute_reach(u) ? 1 : 0;
+    walk(auto_end + 1);
+    state_[u.index] = kUndecided;
+
+    undo_autos(k, auto_end);
+  }
+
+  void undo_autos(std::size_t from, std::size_t to) {
+    for (std::size_t j = to; j-- > from;) state_[order_[j].index] = kUndecided;
+  }
+
+  struct Frame {
+    double old_crit = 0.0;
+    bool convex_violation = false;
+    bool is_output = false;
+    int tent_removed = 0;  // u itself stopped being an external producer
+    // Preds whose feed count went 0 -> 1 are replayed in reverse on undo.
+  };
+
+  Frame include(const NodeId u) {
+    Frame f;
+    const DfgNode& node = g_.node(u);
+    state_[u.index] = kInCut;
+    cut_.set(u.index);
+    reach_[u.index] = 1;
+    sw_sum_ += node_sw_cycles(g_, u, lat_);
+
+    // Convexity: a path u -> excluded -> cut means the subtree is dead.
+    for (NodeId s : node.succs) {
+      if (state_[s.index] == kExcluded && reach_[s.index]) {
+        f.convex_violation = true;
+        break;
+      }
+    }
+    if (f.convex_violation) ++convex_viol_;
+
+    // Output count: all consumers are decided; any outside the cut makes u
+    // an output now and forever.
+    for (std::size_t j = 0; j < node.succs.size(); ++j) {
+      if (!node.succ_is_data[j]) continue;
+      if (state_[node.succs[j].index] != kInCut) {
+        f.is_output = true;
+        break;
+      }
+    }
+    if (f.is_output) ++out_count_;
+
+    // Inputs: new external producers of u; u itself may stop being one.
+    for (std::size_t j = 0; j < node.preds.size(); ++j) {
+      if (!node.pred_is_data[j]) continue;
+      const NodeId p = node.preds[j];
+      const DfgNode& pn = g_.node(p);
+      if (pn.kind == NodeKind::constant) continue;
+      if (++feeds_[p.index] == 1) {
+        if (pn.kind == NodeKind::input || pn.forbidden) {
+          ++in_perm_;  // can never be internalised
+        } else {
+          ++in_tent_;
+        }
+      }
+    }
+    if (feeds_[u.index] > 0) {
+      --in_tent_;
+      f.tent_removed = 1;
+    }
+
+    // Critical path: all in-cut consumers are decided, so cp(u) is final.
+    double longest = 0.0;
+    for (std::size_t j = 0; j < node.succs.size(); ++j) {
+      const NodeId s = node.succs[j];
+      if (node.succ_is_data[j] && state_[s.index] == kInCut) {
+        longest = std::max(longest, cp_[s.index]);
+      }
+    }
+    cp_[u.index] = longest + node_hw_delay(g_, u, lat_);
+    f.old_crit = crit_;
+    crit_ = std::max(crit_, cp_[u.index]);
+    return f;
+  }
+
+  void undo_include(const NodeId u, const Frame& f) {
+    const DfgNode& node = g_.node(u);
+    crit_ = f.old_crit;
+    if (f.tent_removed) ++in_tent_;
+    for (std::size_t j = node.preds.size(); j-- > 0;) {
+      if (!node.pred_is_data[j]) continue;
+      const NodeId p = node.preds[j];
+      const DfgNode& pn = g_.node(p);
+      if (pn.kind == NodeKind::constant) continue;
+      if (--feeds_[p.index] == 0) {
+        if (pn.kind == NodeKind::input || pn.forbidden) {
+          --in_perm_;
+        } else {
+          --in_tent_;
+        }
+      }
+    }
+    if (f.is_output) --out_count_;
+    if (f.convex_violation) --convex_viol_;
+    sw_sum_ -= node_sw_cycles(g_, u, lat_);
+    reach_[u.index] = 0;
+    cut_.reset(u.index);
+    state_[u.index] = kUndecided;
+  }
+
+  double current_merit() const {
+    const double hw = cut_.any() ? std::max(1.0, std::ceil(crit_ - 1e-9)) : 0.0;
+    return g_.exec_freq() * (sw_sum_ - hw);
+  }
+
+  const Dfg& g_;
+  const LatencyModel& lat_;
+  const Constraints cons_;
+  const std::vector<NodeId>& order_;
+
+  std::vector<std::int8_t> state_;
+  std::vector<std::uint8_t> reach_;
+  std::vector<int> feeds_;
+  std::vector<double> cp_;
+  std::vector<int> sw_suffix_;
+  BitVector cut_;
+
+  int out_count_ = 0;
+  int in_perm_ = 0;
+  int in_tent_ = 0;
+  int convex_viol_ = 0;
+  int sw_sum_ = 0;
+  double crit_ = 0.0;
+
+  EnumerationStats stats_;
+  SingleCutResult best_;
+};
+
+}  // namespace
+
+SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints) {
+  ISEX_CHECK(g.finalized(), "find_best_cut: graph not finalized");
+  ISEX_CHECK(constraints.max_inputs >= 1 && constraints.max_outputs >= 1,
+             "constraints must allow at least one input and output");
+  SingleCutSearch search(g, latency, constraints);
+  return search.run();
+}
+
+}  // namespace isex

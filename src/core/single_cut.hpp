@@ -1,0 +1,34 @@
+// Exact single-cut identification (paper Section 6.1, Fig. 6).
+//
+// Walks the implicit binary search tree over the reverse-topologically
+// ordered graph nodes. Along 1-branches the incremental state keeps, in
+// O(degree) per step:
+//   * OUT(S)      — monotone: a node's consumers are all decided before it,
+//                   so its output status is fixed at insertion time;
+//   * convexity   — a violating path (member → excluded → member) can never
+//                   be repaired by adding upstream nodes;
+//   * IN(S)       — *not* monotone (adding a producer internalises an
+//                   input), so it only gates best-solution updates;
+//   * the hardware critical path and software latency sum for M(S).
+// Output and convexity violations eliminate the whole subtree (Fig. 7).
+#pragma once
+
+#include "core/constraints.hpp"
+#include "dfg/cut.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct SingleCutResult {
+  BitVector cut;        // best cut (empty if no cut has positive merit)
+  double merit = 0.0;   // freq-weighted estimated cycles saved
+  CutMetrics metrics;   // reference metrics of the best cut
+  EnumerationStats stats;
+};
+
+/// Finds the cut maximising M(S) under `constraints` (paper Problem 1).
+SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints);
+
+}  // namespace isex

@@ -1,0 +1,72 @@
+#include "dfg/collapse.hpp"
+
+#include "dfg/cut.hpp"
+
+namespace isex {
+
+CollapseResult collapse(const Dfg& g, const BitVector& members, const std::string& label) {
+  ISEX_CHECK(members.size() == g.num_nodes(), "collapse: domain mismatch");
+  ISEX_CHECK(members.any(), "collapse: empty cut");
+  ISEX_CHECK(is_convex(g, members), "collapse: cut is not convex");
+
+  CollapseResult r;
+  r.graph.set_name(g.name());
+  r.graph.set_exec_freq(g.exec_freq());
+  r.old_to_new.assign(g.num_nodes(), NodeId{});
+
+  // Copy survivors (preserving order), then append the super node.
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (members.test(i)) continue;
+    const DfgNode& src = g.node(n);
+    NodeId nid;
+    switch (src.kind) {
+      case NodeKind::constant:
+        nid = r.graph.add_constant(src.imm);
+        break;
+      case NodeKind::input:
+        nid = r.graph.add_input(src.label);
+        break;
+      case NodeKind::output: {
+        // outputs get re-added after their producer exists; reserve by
+        // creating a placeholder input we fix below is messy — instead,
+        // create as op and fix kind.
+        nid = r.graph.add_op(src.op, src.label);
+        DfgNode& fixed = r.graph.node_mutable(nid);
+        fixed.kind = NodeKind::output;
+        fixed.forbidden = true;
+        break;
+      }
+      case NodeKind::op: {
+        nid = src.forbidden ? r.graph.add_forbidden_op(src.op, src.label)
+                            : r.graph.add_op(src.op, src.label);
+        DfgNode& fixed = r.graph.node_mutable(nid);
+        fixed.instr = src.instr;
+        fixed.value = src.value;
+        fixed.imm = src.imm;
+        fixed.rom_load = src.rom_load;
+        break;
+      }
+    }
+    r.old_to_new[i] = nid;
+  }
+
+  r.super = r.graph.add_forbidden_op(Opcode::custom, label);
+  members.for_each([&](std::size_t i) { r.old_to_new[i] = r.super; });
+
+  // Re-create edges, fusing and deduplicating through old_to_new.
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const DfgNode& src = g.node(NodeId{i});
+    for (std::size_t k = 0; k < src.succs.size(); ++k) {
+      const NodeId from = r.old_to_new[i];
+      const NodeId to = r.old_to_new[src.succs[k].index];
+      if (from == to) continue;  // internal edge of the cut
+      r.graph.add_edge(from, to, src.succ_is_data[k] == 0);
+    }
+  }
+
+  r.graph.finalize();
+  return r;
+}
+
+}  // namespace isex

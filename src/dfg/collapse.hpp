@@ -1,0 +1,24 @@
+// Collapsing a chosen cut into an opaque super-node — the mechanism behind
+// the paper's Iterative selection (Section 6.3): "previously identified cuts
+// are merged into single graph nodes, and are excluded from forthcoming
+// identification steps".
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace isex {
+
+struct CollapseResult {
+  Dfg graph;                        // new graph with the cut fused
+  std::vector<NodeId> old_to_new;   // old node id -> new node id (members map to `super`)
+  NodeId super;                     // the fused node in the new graph
+};
+
+/// `members` must be a convex set of candidate nodes of `g`; the result
+/// graph replaces them with a single forbidden node that keeps all external
+/// edges, so later convexity checks see paths through the fused instruction.
+CollapseResult collapse(const Dfg& g, const BitVector& members, const std::string& label);
+
+}  // namespace isex

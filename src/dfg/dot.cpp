@@ -1,0 +1,49 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+namespace isex {
+
+std::string to_dot(const Dfg& g, std::span<const BitVector> cuts) {
+  static const char* const kColors[] = {"lightblue", "lightsalmon", "palegreen",
+                                        "plum", "khaki", "lightcyan"};
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const DfgNode& n = g.node(NodeId{i});
+    os << "  n" << i << " [label=\"" << n.label << "\"";
+    switch (n.kind) {
+      case NodeKind::input:
+        os << ", shape=invtriangle";
+        break;
+      case NodeKind::output:
+        os << ", shape=triangle";
+        break;
+      case NodeKind::constant:
+        os << ", shape=plaintext";
+        break;
+      case NodeKind::op:
+        os << ", shape=" << (n.forbidden ? "box" : "ellipse");
+        break;
+    }
+    for (std::size_t c = 0; c < cuts.size(); ++c) {
+      if (i < cuts[c].size() && cuts[c].test(i)) {
+        os << ", style=filled, fillcolor=" << kColors[c % 6];
+        break;
+      }
+    }
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const DfgNode& n = g.node(NodeId{i});
+    for (std::size_t k = 0; k < n.succs.size(); ++k) {
+      os << "  n" << i << " -> n" << n.succs[k].index;
+      if (!n.succ_is_data[k]) os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace isex

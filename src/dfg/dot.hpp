@@ -1,0 +1,16 @@
+// Graphviz export of DFGs, with optional cut highlighting — handy for
+// reproducing pictures in the style of the paper's Fig. 3.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace isex {
+
+/// Renders the graph in dot syntax. Each bit vector in `cuts` is drawn as a
+/// coloured cluster (M1, M2, ... in the paper's figures).
+std::string to_dot(const Dfg& g, std::span<const BitVector> cuts = {});
+
+}  // namespace isex

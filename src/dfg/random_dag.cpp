@@ -1,0 +1,68 @@
+#include "dfg/random_dag.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace isex {
+
+Dfg random_dag(const RandomDagConfig& config) {
+  ISEX_CHECK(config.num_ops > 0, "random_dag: need at least one op");
+  Rng rng(config.seed);
+  Dfg g;
+  g.set_name("random<" + std::to_string(config.num_ops) + "," +
+             std::to_string(config.seed) + ">");
+
+  static const Opcode kPool[] = {Opcode::add,   Opcode::sub,   Opcode::mul,  Opcode::and_,
+                                 Opcode::or_,   Opcode::xor_,  Opcode::shl,  Opcode::shr_s,
+                                 Opcode::eq,    Opcode::lt_s,  Opcode::select};
+
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < config.num_inputs; ++i) {
+    inputs.push_back(g.add_input("in" + std::to_string(i)));
+  }
+  const NodeId c0 = g.add_constant(rng.uniform(-16, 16));
+
+  std::vector<NodeId> ops;
+  for (int i = 0; i < config.num_ops; ++i) {
+    const Opcode op = kPool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(std::size(kPool)) - 1))];
+    const NodeId n = rng.chance(config.forbidden_fraction)
+                         ? g.add_forbidden_op(op, "f" + std::to_string(i))
+                         : g.add_op(op);
+
+    // Wire 1..max predecessors from earlier ops / inputs / the constant.
+    const int want = std::max<int>(1, static_cast<int>(config.avg_fanin + rng.uniform(-1, 1)));
+    int wired = 0;
+    for (int attempt = 0; attempt < want * 3 && wired < want; ++attempt) {
+      NodeId src;
+      const auto pick = rng.uniform(0, static_cast<std::int64_t>(ops.size() + inputs.size()));
+      if (pick < static_cast<std::int64_t>(ops.size())) {
+        src = ops[static_cast<std::size_t>(pick)];
+      } else if (pick < static_cast<std::int64_t>(ops.size() + inputs.size())) {
+        src = inputs[static_cast<std::size_t>(pick) - ops.size()];
+      } else {
+        src = c0;
+      }
+      if (src == n) continue;
+      g.add_edge(src, n);
+      ++wired;
+    }
+    if (wired == 0) g.add_edge(inputs.empty() ? c0 : inputs[0], n);
+    ops.push_back(n);
+  }
+
+  // Live-outs: random subset plus every sink.
+  for (const NodeId n : ops) {
+    const bool is_sink = g.node(n).succs.empty();
+    if (is_sink || rng.chance(config.liveout_fraction)) {
+      g.add_output(n);
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+}  // namespace isex

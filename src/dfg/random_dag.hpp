@@ -1,0 +1,29 @@
+// Random DAG generator: property-test fuel for the enumeration algorithms
+// and the synthetic tail of the Fig. 8 search-space experiment (blocks
+// larger than the real kernels provide).
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/dfg.hpp"
+
+namespace isex {
+
+struct RandomDagConfig {
+  int num_ops = 12;
+  int num_inputs = 4;
+  /// Expected predecessors per op (clamped to available earlier nodes).
+  double avg_fanin = 1.8;
+  /// Fraction of op nodes marked forbidden (simulating memory operations).
+  double forbidden_fraction = 0.1;
+  /// Fraction of op nodes that are block live-outs.
+  double liveout_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized DFG. Every op node is reachable from at least one
+/// input or constant, and sinks always receive an output node so OUT(S) is
+/// never trivially zero.
+Dfg random_dag(const RandomDagConfig& config);
+
+}  // namespace isex

@@ -1,0 +1,169 @@
+#include "interp/interpreter.hpp"
+
+#include <vector>
+
+#include "ir/eval.hpp"
+
+namespace isex {
+
+Interpreter::Interpreter(const Module& module, Memory& memory, const LatencyModel& latency,
+                         Options options)
+    : module_(module), memory_(memory), latency_(latency), options_(options) {}
+
+std::vector<std::int32_t> Interpreter::eval_custom(const CustomOp& op,
+                                                   std::span<const std::int32_t> inputs) const {
+  ISEX_CHECK(static_cast<int>(inputs.size()) == op.num_inputs,
+             "custom op input arity mismatch: " + op.name);
+  std::vector<std::int32_t> slots(static_cast<std::size_t>(op.num_inputs) + op.micros.size(), 0);
+  for (int i = 0; i < op.num_inputs; ++i) slots[static_cast<std::size_t>(i)] = inputs[i];
+
+  auto slot = [&](int idx) -> std::int32_t {
+    ISEX_ASSERT(idx >= 0 && static_cast<std::size_t>(idx) < slots.size(),
+                "custom op operand index out of range");
+    return slots[static_cast<std::size_t>(idx)];
+  };
+
+  for (std::size_t m = 0; m < op.micros.size(); ++m) {
+    const CustomOp::Micro& mi = op.micros[m];
+    std::int32_t result = 0;
+    if (mi.op == Opcode::konst) {
+      result = static_cast<std::int32_t>(mi.imm);
+    } else if (mi.op == Opcode::load) {
+      // ROM lookup inside the AFU (Section 9 extension): imm names a
+      // read-only module segment, operand a is the index into it.
+      const auto& segs = module_.segments();
+      ISEX_CHECK(mi.imm >= 0 && static_cast<std::size_t>(mi.imm) < segs.size(),
+                 "AFU ROM segment index out of range");
+      const MemSegment& seg = segs[static_cast<std::size_t>(mi.imm)];
+      ISEX_CHECK(seg.read_only, "AFU ROM references a writable segment");
+      const std::uint32_t index = static_cast<std::uint32_t>(slot(mi.a));
+      ISEX_CHECK(index < seg.size_words, "AFU ROM index out of range");
+      result = index < seg.init.size() ? seg.init[index] : 0;
+    } else {
+      result = eval_op(mi.op, slot(mi.a), mi.b >= 0 ? slot(mi.b) : 0, mi.c >= 0 ? slot(mi.c) : 0);
+    }
+    slots[static_cast<std::size_t>(op.num_inputs) + m] = result;
+  }
+
+  std::vector<std::int32_t> outputs;
+  outputs.reserve(op.outputs.size());
+  for (int out : op.outputs) outputs.push_back(slot(out));
+  return outputs;
+}
+
+ExecResult Interpreter::run(const Function& fn, std::span<const std::int32_t> args,
+                            Profile* profile) {
+  ISEX_CHECK(static_cast<int>(args.size()) == fn.num_params(),
+             "argument count mismatch calling " + fn.name());
+
+  std::vector<std::int32_t> values(fn.num_values(), 0);
+  // Bundle results of custom instructions, keyed by the bundle value id.
+  std::vector<std::vector<std::int32_t>> bundles(fn.num_values());
+
+  auto value_of = [&](ValueId v) -> std::int32_t {
+    const ValueDef& def = fn.value(v);
+    switch (def.kind) {
+      case ValueKind::param:
+        return args[def.payload];
+      case ValueKind::konst:
+        return static_cast<std::int32_t>(def.imm);
+      case ValueKind::instr:
+        return values[v.index];
+    }
+    ISEX_ASSERT(false, "bad value kind");
+  };
+
+  ExecResult result;
+  BlockId block = fn.entry();
+  BlockId prev_block{};  // where we came from, for phi resolution
+
+  while (true) {
+    if (profile != nullptr) profile->bump(block);
+    const BasicBlock& bb = fn.block(block);
+
+    // Phase 1: evaluate all phis against the incoming edge atomically.
+    std::vector<std::pair<ValueId, std::int32_t>> phi_updates;
+    for (InstrId id : bb.instrs) {
+      const Instruction& ins = fn.instr(id);
+      if (ins.op != Opcode::phi) break;
+      ISEX_CHECK(prev_block.valid(), "phi reached without a predecessor edge");
+      bool found = false;
+      for (std::size_t k = 0; k < ins.targets.size(); ++k) {
+        if (ins.targets[k] == prev_block) {
+          phi_updates.emplace_back(ins.result, value_of(ins.operands[k]));
+          found = true;
+          break;
+        }
+      }
+      ISEX_CHECK(found, "phi has no incoming entry for the taken edge");
+    }
+    for (const auto& [v, x] : phi_updates) values[v.index] = x;
+
+    // Phase 2: straight-line execution.
+    bool advanced = false;
+    for (InstrId id : bb.instrs) {
+      const Instruction& ins = fn.instr(id);
+      if (ins.op == Opcode::phi) continue;
+
+      ISEX_CHECK(result.instructions < options_.max_steps, "interpreter step budget exhausted");
+      ++result.instructions;
+
+      switch (ins.op) {
+        case Opcode::load:
+          values[ins.result.index] = memory_.load(static_cast<std::uint32_t>(value_of(ins.operands[0])));
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::load));
+          break;
+        case Opcode::store:
+          memory_.store(static_cast<std::uint32_t>(value_of(ins.operands[0])),
+                        value_of(ins.operands[1]));
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::store));
+          break;
+        case Opcode::custom: {
+          const CustomOp& cop = module_.custom_op(static_cast<int>(ins.imm));
+          std::vector<std::int32_t> inputs;
+          inputs.reserve(ins.operands.size());
+          for (ValueId v : ins.operands) inputs.push_back(value_of(v));
+          bundles[ins.result.index] = eval_custom(cop, inputs);
+          result.cycles += static_cast<std::uint64_t>(cop.latency_cycles);
+          break;
+        }
+        case Opcode::extract: {
+          const ValueId bundle = ins.operands[0];
+          const auto& outs = bundles[bundle.index];
+          ISEX_CHECK(static_cast<std::size_t>(ins.imm) < outs.size(),
+                     "extract before custom execution");
+          values[ins.result.index] = outs[static_cast<std::size_t>(ins.imm)];
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::extract));
+          break;
+        }
+        case Opcode::br:
+          prev_block = block;
+          block = ins.targets[0];
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::br));
+          advanced = true;
+          break;
+        case Opcode::br_if:
+          prev_block = block;
+          block = value_of(ins.operands[0]) != 0 ? ins.targets[0] : ins.targets[1];
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::br_if));
+          advanced = true;
+          break;
+        case Opcode::ret:
+          result.return_value = value_of(ins.operands[0]);
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(Opcode::ret));
+          return result;
+        default:
+          values[ins.result.index] =
+              eval_op(ins.op, value_of(ins.operands[0]),
+                      ins.operands.size() > 1 ? value_of(ins.operands[1]) : 0,
+                      ins.operands.size() > 2 ? value_of(ins.operands[2]) : 0);
+          result.cycles += static_cast<std::uint64_t>(latency_.sw_cycles(ins.op));
+          break;
+      }
+      if (advanced) break;
+    }
+    ISEX_ASSERT(advanced, "block fell through without a terminator");
+  }
+}
+
+}  // namespace isex

@@ -1,0 +1,55 @@
+// Reference interpreter for the isex IR.
+//
+// Executes a function over a Memory image, optionally collecting a per-block
+// execution Profile and a single-issue cycle estimate from a LatencyModel.
+// Custom (AFU) instructions are executed from their recorded CustomOp
+// micro-programs, so rewritten modules can be validated bit-for-bit against
+// the originals and the cycle savings measured directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "interp/memory.hpp"
+#include "interp/profile.hpp"
+#include "ir/module.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct ExecResult {
+  std::int32_t return_value = 0;
+  std::uint64_t instructions = 0;  // dynamic instruction count (phis excluded)
+  std::uint64_t cycles = 0;        // single-issue cycle estimate
+};
+
+struct InterpOptions {
+  std::uint64_t max_steps = 200'000'000;  // dynamic instruction budget
+};
+
+class Interpreter {
+ public:
+  using Options = InterpOptions;
+
+  Interpreter(const Module& module, Memory& memory,
+              const LatencyModel& latency = LatencyModel::standard_018um(),
+              Options options = {});
+
+  /// Runs `fn` with the given arguments. If `profile` is non-null, block
+  /// execution counts are accumulated into it.
+  ExecResult run(const Function& fn, std::span<const std::int32_t> args,
+                 Profile* profile = nullptr);
+
+  /// Evaluates one custom op micro-program (exposed for AFU unit tests).
+  std::vector<std::int32_t> eval_custom(const CustomOp& op,
+                                        std::span<const std::int32_t> inputs) const;
+
+ private:
+  const Module& module_;
+  Memory& memory_;
+  LatencyModel latency_;
+  Options options_;
+};
+
+}  // namespace isex

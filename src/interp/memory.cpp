@@ -1,0 +1,58 @@
+#include "interp/memory.hpp"
+
+#include <algorithm>
+
+namespace isex {
+
+Memory::Memory(const Module& module, std::uint32_t extra_words) {
+  scratch_base_ = module.memory_words();
+  words_.assign(static_cast<std::size_t>(scratch_base_) + extra_words, 0);
+  for (const MemSegment& seg : module.segments()) {
+    std::copy(seg.init.begin(), seg.init.end(),
+              words_.begin() + static_cast<std::ptrdiff_t>(seg.base));
+    if (seg.read_only) read_only_ranges_.emplace_back(seg.base, seg.base + seg.size_words);
+  }
+}
+
+void Memory::check(std::uint32_t addr) const {
+  ISEX_CHECK(addr < words_.size(),
+             "memory access out of bounds: addr " + std::to_string(addr) + " of " +
+                 std::to_string(words_.size()));
+}
+
+std::int32_t Memory::load(std::uint32_t addr) const {
+  check(addr);
+  return words_[addr];
+}
+
+void Memory::store(std::uint32_t addr, std::int32_t value) {
+  check(addr);
+  ISEX_CHECK(!in_read_only(addr), "store to read-only segment at addr " + std::to_string(addr));
+  words_[addr] = value;
+}
+
+bool Memory::in_read_only(std::uint32_t addr) const {
+  for (const auto& [base, end] : read_only_ranges_) {
+    if (addr >= base && addr < end) return true;
+  }
+  return false;
+}
+
+void Memory::write_words(std::uint32_t base, std::span<const std::int32_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    check(base + static_cast<std::uint32_t>(i));
+    words_[base + i] = data[i];
+  }
+}
+
+std::vector<std::int32_t> Memory::read_words(std::uint32_t base, std::uint32_t count) const {
+  std::vector<std::int32_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    check(base + i);
+    out.push_back(words_[base + i]);
+  }
+  return out;
+}
+
+}  // namespace isex

@@ -1,0 +1,42 @@
+// Word-addressed data memory backing IR execution. Laid out from a Module's
+// segments; all accesses bounds-checked, stores to read-only segments trap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace isex {
+
+class Memory {
+ public:
+  /// Memory sized for the module's segments plus `extra_words` of scratch
+  /// space placed after them; segment initialisers are copied in.
+  explicit Memory(const Module& module, std::uint32_t extra_words = 0);
+
+  std::uint32_t size_words() const { return static_cast<std::uint32_t>(words_.size()); }
+
+  std::int32_t load(std::uint32_t addr) const;
+  void store(std::uint32_t addr, std::int32_t value);
+
+  bool in_read_only(std::uint32_t addr) const;
+
+  /// Bulk helpers for staging workload inputs and reading results.
+  void write_words(std::uint32_t base, std::span<const std::int32_t> data);
+  std::vector<std::int32_t> read_words(std::uint32_t base, std::uint32_t count) const;
+
+  /// Base address of the scratch area after all module segments.
+  std::uint32_t scratch_base() const { return scratch_base_; }
+
+ private:
+  void check(std::uint32_t addr) const;
+
+  std::vector<std::int32_t> words_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> read_only_ranges_;  // [base, end)
+  std::uint32_t scratch_base_ = 0;
+};
+
+}  // namespace isex

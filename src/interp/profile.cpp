@@ -1,0 +1,12 @@
+#include "interp/profile.hpp"
+
+#include <algorithm>
+
+namespace isex {
+
+void Profile::merge(const Profile& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+}  // namespace isex

@@ -1,0 +1,40 @@
+// Execution profile of one function run: how often each basic block
+// executed. Drives the frequency weighting of cut merits (paper Section 7)
+// and the whole-application speedup accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace isex {
+
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(std::size_t num_blocks) : counts_(num_blocks, 0) {}
+
+  void bump(BlockId b) {
+    if (b.index >= counts_.size()) counts_.resize(b.index + 1, 0);
+    ++counts_[b.index];
+  }
+
+  std::uint64_t count(BlockId b) const {
+    return b.index < counts_.size() ? counts_[b.index] : 0;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  /// Accumulates another run of the same function.
+  void merge(const Profile& other);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace isex

@@ -1,0 +1,59 @@
+#include "ir/builder.hpp"
+
+namespace isex {
+
+IrBuilder::IrBuilder(Module& module, std::string fn_name, int num_params)
+    : module_(module), fn_(module.add_function(std::move(fn_name), num_params)) {
+  insert_ = fn_.add_block("entry");
+}
+
+BlockId IrBuilder::new_block(std::string name) { return fn_.add_block(std::move(name)); }
+
+ValueId IrBuilder::emit(Opcode op, std::vector<ValueId> operands, std::vector<BlockId> targets,
+                        std::int64_t imm) {
+  const InstrId id = fn_.append_instr(insert_, op, std::move(operands), std::move(targets), imm);
+  return fn_.instr(id).result;
+}
+
+void IrBuilder::br(BlockId dest) { emit(Opcode::br, {}, {dest}); }
+
+void IrBuilder::br_if(ValueId cond, BlockId if_true, BlockId if_false) {
+  emit(Opcode::br_if, {cond}, {if_true, if_false});
+}
+
+void IrBuilder::ret(ValueId value) { emit(Opcode::ret, {value}); }
+
+ValueId IrBuilder::phi() {
+  // Phis must precede all non-phi instructions in their block.
+  const BasicBlock& bb = fn_.block(insert_);
+  std::size_t pos = 0;
+  while (pos < bb.instrs.size() && fn_.instr(bb.instrs[pos]).op == Opcode::phi) ++pos;
+  ISEX_CHECK(pos == bb.instrs.size(),
+             "phi created after non-phi instructions in block " + bb.name);
+  const InstrId id = fn_.append_instr(insert_, Opcode::phi, {});
+  return fn_.instr(id).result;
+}
+
+void IrBuilder::add_incoming(ValueId phi_value, BlockId from, ValueId value) {
+  const InstrId def = fn_.def_instr(phi_value);
+  ISEX_CHECK(def.valid(), "add_incoming on a non-phi value");
+  Instruction& ins = fn_.instr(def);
+  ISEX_CHECK(ins.op == Opcode::phi, "add_incoming on a non-phi instruction");
+  ins.operands.push_back(value);
+  ins.targets.push_back(from);
+}
+
+std::vector<ValueId> IrBuilder::custom(int custom_op_index, std::vector<ValueId> inputs) {
+  const CustomOp& op = module_.custom_op(custom_op_index);
+  ISEX_CHECK(static_cast<int>(inputs.size()) == op.num_inputs,
+             "custom op input arity mismatch for " + op.name);
+  const ValueId bundle = emit(Opcode::custom, std::move(inputs), {}, custom_op_index);
+  std::vector<ValueId> results;
+  results.reserve(op.outputs.size());
+  for (int i = 0; i < op.num_outputs(); ++i) {
+    results.push_back(emit(Opcode::extract, {bundle}, {}, i));
+  }
+  return results;
+}
+
+}  // namespace isex

@@ -1,0 +1,100 @@
+// Fluent construction of IR functions. Used by the hand-translated workload
+// kernels and by tests; produces IR that the verifier accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace isex {
+
+class IrBuilder {
+ public:
+  /// Creates a new function inside `module` and positions the builder at a
+  /// fresh entry block.
+  IrBuilder(Module& module, std::string fn_name, int num_params);
+
+  Function& function() { return fn_; }
+  const Function& function() const { return fn_; }
+  Module& module() { return module_; }
+
+  BlockId new_block(std::string name);
+  void set_insert(BlockId block) { insert_ = block; }
+  BlockId insert_block() const { return insert_; }
+
+  // --- values -----------------------------------------------------------
+  ValueId param(int i) const { return fn_.param(i); }
+  ValueId konst(std::int64_t v) { return fn_.make_konst(v); }
+
+  // --- arithmetic / logic -------------------------------------------------
+  ValueId add(ValueId a, ValueId b) { return emit(Opcode::add, {a, b}); }
+  ValueId sub(ValueId a, ValueId b) { return emit(Opcode::sub, {a, b}); }
+  ValueId mul(ValueId a, ValueId b) { return emit(Opcode::mul, {a, b}); }
+  ValueId div_s(ValueId a, ValueId b) { return emit(Opcode::div_s, {a, b}); }
+  ValueId div_u(ValueId a, ValueId b) { return emit(Opcode::div_u, {a, b}); }
+  ValueId rem_s(ValueId a, ValueId b) { return emit(Opcode::rem_s, {a, b}); }
+  ValueId rem_u(ValueId a, ValueId b) { return emit(Opcode::rem_u, {a, b}); }
+  ValueId and_(ValueId a, ValueId b) { return emit(Opcode::and_, {a, b}); }
+  ValueId or_(ValueId a, ValueId b) { return emit(Opcode::or_, {a, b}); }
+  ValueId xor_(ValueId a, ValueId b) { return emit(Opcode::xor_, {a, b}); }
+  ValueId not_(ValueId a) { return emit(Opcode::not_, {a}); }
+  ValueId shl(ValueId a, ValueId b) { return emit(Opcode::shl, {a, b}); }
+  ValueId shr_u(ValueId a, ValueId b) { return emit(Opcode::shr_u, {a, b}); }
+  ValueId shr_s(ValueId a, ValueId b) { return emit(Opcode::shr_s, {a, b}); }
+
+  // --- comparisons (gt/ge canonicalised by operand swap) -----------------
+  ValueId eq(ValueId a, ValueId b) { return emit(Opcode::eq, {a, b}); }
+  ValueId ne(ValueId a, ValueId b) { return emit(Opcode::ne, {a, b}); }
+  ValueId lt_s(ValueId a, ValueId b) { return emit(Opcode::lt_s, {a, b}); }
+  ValueId le_s(ValueId a, ValueId b) { return emit(Opcode::le_s, {a, b}); }
+  ValueId gt_s(ValueId a, ValueId b) { return lt_s(b, a); }
+  ValueId ge_s(ValueId a, ValueId b) { return le_s(b, a); }
+  ValueId lt_u(ValueId a, ValueId b) { return emit(Opcode::lt_u, {a, b}); }
+  ValueId le_u(ValueId a, ValueId b) { return emit(Opcode::le_u, {a, b}); }
+  ValueId gt_u(ValueId a, ValueId b) { return lt_u(b, a); }
+  ValueId ge_u(ValueId a, ValueId b) { return le_u(b, a); }
+
+  ValueId select(ValueId cond, ValueId if_true, ValueId if_false) {
+    return emit(Opcode::select, {cond, if_true, if_false});
+  }
+  ValueId sext8(ValueId a) { return emit(Opcode::sext8, {a}); }
+  ValueId sext16(ValueId a) { return emit(Opcode::sext16, {a}); }
+  ValueId zext8(ValueId a) { return emit(Opcode::zext8, {a}); }
+  ValueId zext16(ValueId a) { return emit(Opcode::zext16, {a}); }
+
+  // --- memory -------------------------------------------------------------
+  ValueId load(ValueId addr) { return emit(Opcode::load, {addr}); }
+  /// Load carrying a ROM hint: the frontend knows the access targets the
+  /// given read-only segment (enables the Section 9 AFU-ROM extension).
+  ValueId load_rom(ValueId addr, int segment_index) {
+    return emit(Opcode::load, {addr}, {}, segment_index + 1);
+  }
+  void store(ValueId addr, ValueId value) { emit(Opcode::store, {addr, value}); }
+
+  // --- control flow ---------------------------------------------------------
+  void br(BlockId dest);
+  void br_if(ValueId cond, BlockId if_true, BlockId if_false);
+  void ret(ValueId value);
+
+  /// Creates a phi with no incoming edges; fill with add_incoming once the
+  /// predecessors exist. Returns the phi's value.
+  ValueId phi();
+  void add_incoming(ValueId phi_value, BlockId from, ValueId value);
+
+  /// Emits an application-specific instruction (bundle) plus one extract per
+  /// output; returns the extracted result values in CustomOp output order.
+  std::vector<ValueId> custom(int custom_op_index, std::vector<ValueId> inputs);
+
+ private:
+  ValueId emit(Opcode op, std::vector<ValueId> operands, std::vector<BlockId> targets = {},
+               std::int64_t imm = 0);
+
+  Module& module_;
+  Function& fn_;
+  BlockId insert_;
+};
+
+}  // namespace isex

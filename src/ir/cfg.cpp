@@ -1,0 +1,100 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+
+namespace isex {
+
+std::vector<BlockId> successor_blocks(const Function& fn, BlockId b) {
+  const Instruction& term = fn.instr(fn.terminator(b));
+  return term.targets;
+}
+
+Cfg::Cfg(const Function& fn) : fn_(fn) {
+  const std::size_t n = fn.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+  rpo_index_.assign(n, -1);
+  idom_.assign(n, BlockId{});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockId b{static_cast<std::uint32_t>(i)};
+    succs_[i] = successor_blocks(fn, b);
+    for (BlockId s : succs_[i]) {
+      ISEX_ASSERT(s.index < n, "branch to non-existent block");
+    }
+  }
+
+  // Iterative DFS post-order from the entry, then reverse.
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  std::vector<BlockId> post;
+  stack.emplace_back(fn.entry(), 0);
+  visited[fn.entry().index] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < succs_[b.index].size()) {
+      const BlockId s = succs_[b.index][next++];
+      if (!visited[s.index]) {
+        visited[s.index] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i].index] = static_cast<int>(i);
+
+  // Predecessors, counting only edges from reachable blocks (passes leave
+  // unreachable side blocks behind until the next CFG cleanup).
+  for (BlockId b : rpo_) {
+    for (BlockId s : succs_[b.index]) preds_[s.index].push_back(b);
+  }
+
+  // Cooper–Harvey–Kennedy iterative dominators.
+  auto intersect = [&](BlockId x, BlockId y) {
+    while (x != y) {
+      while (rpo_index_[x.index] > rpo_index_[y.index]) x = idom_[x.index];
+      while (rpo_index_[y.index] > rpo_index_[x.index]) y = idom_[y.index];
+    }
+    return x;
+  };
+
+  idom_[fn.entry().index] = fn.entry();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo_) {
+      if (b == fn.entry()) continue;
+      BlockId new_idom{};
+      for (BlockId p : preds_[b.index]) {
+        if (rpo_index_[p.index] < 0 || !idom_[p.index].valid()) continue;
+        new_idom = new_idom.valid() ? intersect(new_idom, p) : p;
+      }
+      if (new_idom.valid() && idom_[b.index] != new_idom) {
+        idom_[b.index] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+BlockId Cfg::immediate_dominator(BlockId b) const {
+  ISEX_CHECK(is_reachable(b), "idom of unreachable block");
+  if (b == fn_.entry()) return BlockId{};
+  return idom_.at(b.index);
+}
+
+bool Cfg::dominates(BlockId a, BlockId b) const {
+  ISEX_CHECK(is_reachable(a) && is_reachable(b), "dominance query on unreachable block");
+  BlockId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    if (cur == fn_.entry()) return false;
+    cur = idom_.at(cur.index);
+    ISEX_ASSERT(cur.valid(), "broken dominator chain");
+  }
+}
+
+}  // namespace isex

@@ -1,0 +1,41 @@
+// Control-flow-graph queries over a Function: successor/predecessor lists,
+// reverse post-order, and dominators (iterative Cooper–Harvey–Kennedy).
+// Built once from a function snapshot; rebuild after structural changes.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+class Cfg {
+ public:
+  explicit Cfg(const Function& fn);
+
+  const std::vector<BlockId>& successors(BlockId b) const { return succs_.at(b.index); }
+  const std::vector<BlockId>& predecessors(BlockId b) const { return preds_.at(b.index); }
+
+  /// Blocks in reverse post-order from the entry; unreachable blocks are
+  /// absent.
+  const std::vector<BlockId>& reverse_post_order() const { return rpo_; }
+  bool is_reachable(BlockId b) const { return rpo_index_.at(b.index) >= 0; }
+
+  /// Immediate dominator; the entry block's is invalid.
+  BlockId immediate_dominator(BlockId b) const;
+  /// True when a dominates b (reflexive). Both blocks must be reachable.
+  bool dominates(BlockId a, BlockId b) const;
+
+ private:
+  const Function& fn_;
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<BlockId> rpo_;
+  std::vector<int> rpo_index_;  // -1 = unreachable
+  std::vector<BlockId> idom_;
+};
+
+/// Successor blocks read directly off the terminator (no Cfg needed).
+std::vector<BlockId> successor_blocks(const Function& fn, BlockId b);
+
+}  // namespace isex

@@ -1,0 +1,22 @@
+// Scalar evaluation of pure opcodes, shared by the interpreter, the constant
+// folder and CustomOp (AFU) execution so all three agree bit-for-bit.
+//
+// Semantics: 32-bit two's-complement, wrapping add/sub/mul, shift amounts
+// masked to 5 bits, comparisons yield 0/1. Division by zero and
+// INT_MIN / -1 raise isex::Error (the interpreter treats them as traps).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+
+namespace isex {
+
+/// Evaluates a pure (non-memory, non-control) opcode over up to three
+/// operands. Unused operands are ignored.
+std::int32_t eval_op(Opcode op, std::int32_t a, std::int32_t b = 0, std::int32_t c = 0);
+
+/// True when `op` can be evaluated by eval_op.
+bool is_pure_evaluable(Opcode op);
+
+}  // namespace isex

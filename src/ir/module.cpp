@@ -1,0 +1,56 @@
+#include "ir/module.hpp"
+
+namespace isex {
+
+Function& Module::add_function(std::string fn_name, int num_params) {
+  ISEX_CHECK(find_function(fn_name) == nullptr, "duplicate function name: " + fn_name);
+  functions_.emplace_back(std::move(fn_name), num_params);
+  return functions_.back();
+}
+
+Function* Module::find_function(const std::string& fn_name) {
+  for (Function& f : functions_) {
+    if (f.name() == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+const Function* Module::find_function(const std::string& fn_name) const {
+  return const_cast<Module*>(this)->find_function(fn_name);
+}
+
+std::uint32_t Module::add_segment(std::string seg_name, std::uint32_t size_words,
+                                  std::vector<std::int32_t> init, bool read_only) {
+  ISEX_CHECK(size_words > 0, "empty memory segment");
+  ISEX_CHECK(init.size() <= size_words, "segment initializer larger than segment");
+  ISEX_CHECK(find_segment(seg_name) == nullptr, "duplicate segment name: " + seg_name);
+  MemSegment seg;
+  seg.name = std::move(seg_name);
+  seg.base = next_base_;
+  seg.size_words = size_words;
+  seg.init = std::move(init);
+  seg.read_only = read_only;
+  next_base_ += size_words;
+  segments_.push_back(std::move(seg));
+  return segments_.back().base;
+}
+
+const MemSegment* Module::find_segment(const std::string& seg_name) const {
+  for (const MemSegment& s : segments_) {
+    if (s.name == seg_name) return &s;
+  }
+  return nullptr;
+}
+
+int Module::add_custom_op(CustomOp op) {
+  custom_ops_.push_back(std::move(op));
+  return static_cast<int>(custom_ops_.size()) - 1;
+}
+
+const CustomOp& Module::custom_op(int index) const {
+  ISEX_ASSERT(index >= 0 && static_cast<std::size_t>(index) < custom_ops_.size(),
+              "custom op index out of range");
+  return custom_ops_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace isex

@@ -1,0 +1,81 @@
+// Module-level IR: functions, global memory segments and the semantics of
+// selected custom instructions (AFUs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+/// A named region of the word-addressed global memory. Segments receive
+/// consecutive base addresses in registration order.
+struct MemSegment {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size_words = 0;
+  std::vector<std::int32_t> init;  // shorter than size_words → zero-filled tail
+  bool read_only = false;
+};
+
+/// Executable semantics of one application-specific instruction, recorded
+/// when a cut is collapsed. The micro-program is a straight-line DAG over a
+/// combined operand space: indices [0, num_inputs) name the instruction's
+/// register-file inputs, index num_inputs + i names the result of micro i.
+struct CustomOp {
+  struct Micro {
+    Opcode op = Opcode::add;
+    int a = -1;  // operand-space indices; -1 = unused
+    int b = -1;
+    int c = -1;
+    std::int64_t imm = 0;  // konst literal, or ROM segment index for `load`
+  };
+
+  std::string name;
+  int num_inputs = 0;
+  std::vector<Micro> micros;  // topologically ordered
+  std::vector<int> outputs;   // operand-space indices of produced values
+  int latency_cycles = 1;     // ceil of hardware critical path
+  double area_macs = 0.0;     // area estimate in 32-bit MAC equivalents
+
+  int num_outputs() const { return static_cast<int>(outputs.size()); }
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- functions ------------------------------------------------------
+  Function& add_function(std::string fn_name, int num_params);
+  Function* find_function(const std::string& fn_name);
+  const Function* find_function(const std::string& fn_name) const;
+  std::vector<Function>& functions() { return functions_; }
+  const std::vector<Function>& functions() const { return functions_; }
+
+  // --- memory segments -------------------------------------------------
+  /// Registers a segment and returns its base word address.
+  std::uint32_t add_segment(std::string seg_name, std::uint32_t size_words,
+                            std::vector<std::int32_t> init = {}, bool read_only = false);
+  const std::vector<MemSegment>& segments() const { return segments_; }
+  const MemSegment* find_segment(const std::string& seg_name) const;
+  /// One past the highest allocated word address.
+  std::uint32_t memory_words() const { return next_base_; }
+
+  // --- custom instructions ----------------------------------------------
+  int add_custom_op(CustomOp op);
+  const CustomOp& custom_op(int index) const;
+  std::size_t num_custom_ops() const { return custom_ops_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<Function> functions_;
+  std::vector<MemSegment> segments_;
+  std::vector<CustomOp> custom_ops_;
+  std::uint32_t next_base_ = 0;
+};
+
+}  // namespace isex

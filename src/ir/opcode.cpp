@@ -1,0 +1,62 @@
+#include "ir/opcode.hpp"
+
+#include <array>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, opcode_count> kInfo = {{
+    // name      operands result terminator memory commutative
+    {"konst", 0, true, false, false, false},
+    {"add", 2, true, false, false, true},
+    {"sub", 2, true, false, false, false},
+    {"mul", 2, true, false, false, true},
+    {"div_s", 2, true, false, false, false},
+    {"div_u", 2, true, false, false, false},
+    {"rem_s", 2, true, false, false, false},
+    {"rem_u", 2, true, false, false, false},
+    {"and", 2, true, false, false, true},
+    {"or", 2, true, false, false, true},
+    {"xor", 2, true, false, false, true},
+    {"not", 1, true, false, false, false},
+    {"shl", 2, true, false, false, false},
+    {"shr_u", 2, true, false, false, false},
+    {"shr_s", 2, true, false, false, false},
+    {"eq", 2, true, false, false, true},
+    {"ne", 2, true, false, false, true},
+    {"lt_s", 2, true, false, false, false},
+    {"le_s", 2, true, false, false, false},
+    {"lt_u", 2, true, false, false, false},
+    {"le_u", 2, true, false, false, false},
+    {"select", 3, true, false, false, false},
+    {"sext8", 1, true, false, false, false},
+    {"sext16", 1, true, false, false, false},
+    {"zext8", 1, true, false, false, false},
+    {"zext16", 1, true, false, false, false},
+    {"load", 1, true, false, true, false},
+    {"store", 2, false, false, true, false},
+    {"phi", -1, true, false, false, false},
+    {"custom", -1, true, false, false, false},
+    {"extract", 1, true, false, false, false},
+    {"br", 0, false, true, false, false},
+    {"br_if", 1, false, true, false, false},
+    {"ret", 1, false, true, false, false},
+}};
+
+}  // namespace
+
+const OpcodeInfo& info(Opcode op) {
+  const auto i = static_cast<std::size_t>(op);
+  ISEX_ASSERT(i < kInfo.size(), "opcode out of range");
+  return kInfo[i];
+}
+
+const char* name_of(Opcode op) { return info(op).name; }
+
+std::ostream& operator<<(std::ostream& os, Opcode op) { return os << name_of(op); }
+
+}  // namespace isex

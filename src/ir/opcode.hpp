@@ -1,0 +1,72 @@
+// Operation set of the isex intermediate representation.
+//
+// The IR is deliberately small: a single 32-bit integer type, explicit
+// widening/narrowing operators, compare operators producing 0/1, an
+// if-conversion `select`, word-addressed memory operations, and the
+// `custom`/`extract` pair that represents a selected instruction-set
+// extension after rewriting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace isex {
+
+enum class Opcode : std::uint8_t {
+  // Pure arithmetic / logic (candidates for AFU inclusion).
+  konst,   // only valid inside CustomOp micro-programs; IR constants are values
+  add,
+  sub,
+  mul,
+  div_s,
+  div_u,
+  rem_s,
+  rem_u,
+  and_,
+  or_,
+  xor_,
+  not_,
+  shl,    // shift amount masked to 5 bits
+  shr_u,
+  shr_s,
+  eq,
+  ne,
+  lt_s,
+  le_s,
+  lt_u,
+  le_u,
+  select,  // select(cond, a, b) == cond != 0 ? a : b
+  sext8,   // sign-extend low 8 bits
+  sext16,
+  zext8,   // zero-extend low 8 bits (i.e. x & 0xff)
+  zext16,
+  // Memory (present in DFGs, forbidden inside cuts: the AFU has no port).
+  load,   // load(word_address)
+  store,  // store(word_address, value)
+  // Special.
+  phi,      // block-entry merge; operands parallel to `targets` incoming blocks
+  custom,   // application-specific instruction; imm = CustomOp index; result = bundle
+  extract,  // extract(bundle); imm = output position
+  // Terminators.
+  br,     // unconditional, targets = {dest}
+  br_if,  // operands = {cond}, targets = {if_true, if_false}
+  ret,    // operands = {value}
+};
+
+struct OpcodeInfo {
+  const char* name;
+  int operand_count;  // -1 = variadic
+  bool has_result;
+  bool is_terminator;
+  bool is_memory;
+  bool is_commutative;
+};
+
+const OpcodeInfo& info(Opcode op);
+const char* name_of(Opcode op);
+std::ostream& operator<<(std::ostream& os, Opcode op);
+
+/// Number of distinct opcodes (for table sizing).
+constexpr int opcode_count = static_cast<int>(Opcode::ret) + 1;
+
+}  // namespace isex

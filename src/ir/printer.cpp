@@ -1,0 +1,75 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace isex {
+
+std::string value_name(const Function& fn, ValueId v) {
+  if (!v.valid()) return "<none>";
+  const ValueDef& def = fn.value(v);
+  switch (def.kind) {
+    case ValueKind::param:
+      return "arg" + std::to_string(def.payload);
+    case ValueKind::konst:
+      return std::to_string(def.imm);
+    case ValueKind::instr:
+      return "v" + std::to_string(v.index);
+  }
+  return "<bad>";
+}
+
+void print_function(std::ostream& os, const Module& module, const Function& fn) {
+  os << "func " << fn.name() << "(";
+  for (int i = 0; i < fn.num_params(); ++i) {
+    if (i) os << ", ";
+    os << "arg" << i;
+  }
+  os << ") {\n";
+  for (std::size_t bi = 0; bi < fn.num_blocks(); ++bi) {
+    const BlockId b{static_cast<std::uint32_t>(bi)};
+    const BasicBlock& bb = fn.block(b);
+    os << bb.name << ":  ; bb" << bi << "\n";
+    for (InstrId id : bb.instrs) {
+      const Instruction& ins = fn.instr(id);
+      os << "  ";
+      if (ins.result.valid()) os << value_name(fn, ins.result) << " = ";
+      os << name_of(ins.op);
+      if (ins.op == Opcode::custom) {
+        os << "." << module.custom_op(static_cast<int>(ins.imm)).name;
+      }
+      bool first = true;
+      for (std::size_t k = 0; k < ins.operands.size(); ++k) {
+        os << (first ? " " : ", ") << value_name(fn, ins.operands[k]);
+        if (ins.op == Opcode::phi) os << " [" << fn.block(ins.targets[k]).name << "]";
+        first = false;
+      }
+      for (std::size_t k = (ins.op == Opcode::phi ? ins.targets.size() : 0);
+           k < ins.targets.size(); ++k) {
+        os << (first ? " " : ", ") << fn.block(ins.targets[k]).name;
+        first = false;
+      }
+      if (ins.op == Opcode::extract) os << ", #" << ins.imm;
+      os << "\n";
+    }
+  }
+  os << "}\n";
+}
+
+void print_module(std::ostream& os, const Module& module) {
+  os << "module " << module.name() << "\n";
+  for (const MemSegment& seg : module.segments()) {
+    os << "  segment " << seg.name << " @" << seg.base << " x" << seg.size_words
+       << (seg.read_only ? " ro" : "") << "\n";
+  }
+  for (const Function& fn : module.functions()) {
+    print_function(os, module, fn);
+  }
+}
+
+std::string function_to_string(const Module& module, const Function& fn) {
+  std::ostringstream os;
+  print_function(os, module, fn);
+  return os.str();
+}
+
+}  // namespace isex

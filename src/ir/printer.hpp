@@ -1,0 +1,20 @@
+// Human-readable dumps of IR functions and modules, for debugging, examples
+// and golden tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace isex {
+
+/// "v12" / "42" (constants print as literals) / "arg0".
+std::string value_name(const Function& fn, ValueId v);
+
+void print_function(std::ostream& os, const Module& module, const Function& fn);
+void print_module(std::ostream& os, const Module& module);
+
+std::string function_to_string(const Module& module, const Function& fn);
+
+}  // namespace isex

@@ -1,0 +1,19 @@
+// Structural and SSA validity checks for IR functions. Passes and builders
+// run the verifier in tests and at pipeline boundaries; a violation raises
+// isex::Error with a description of the offending instruction.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace isex {
+
+/// Verifies one function (against `module` for custom-op references).
+/// Checks: block/terminator structure, operand arities, operand validity,
+/// def-dominates-use, phi shape (leading, incoming blocks == predecessors),
+/// extract/custom pairing and memory-address sanity.
+void verify_function(const Module& module, const Function& fn);
+
+/// Verifies every function in the module.
+void verify_module(const Module& module);
+
+}  // namespace isex

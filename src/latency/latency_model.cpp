@@ -1,0 +1,68 @@
+#include "latency/latency_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+const OpCost& LatencyModel::cost(Opcode op) const {
+  return costs_[static_cast<std::size_t>(op)];
+}
+
+void LatencyModel::set_cost(Opcode op, OpCost cost) {
+  costs_[static_cast<std::size_t>(op)] = cost;
+}
+
+LatencyModel LatencyModel::standard_018um() {
+  LatencyModel m;
+  auto set = [&m](Opcode op, int sw, double hw, double area) {
+    m.set_cost(op, OpCost{sw, hw, area});
+  };
+  // Constants are hardwired: free in both domains.
+  set(Opcode::konst, 0, 0.00, 0.000);
+  // Adders / subtractors: ~1.5 ns carry-lookahead vs ~5.5 ns MAC.
+  set(Opcode::add, 1, 0.27, 0.030);
+  set(Opcode::sub, 1, 0.27, 0.030);
+  // 32x32 multiplier dominates the MAC delay.
+  set(Opcode::mul, 2, 0.80, 0.400);
+  // Iterative dividers: slow and large in both domains.
+  set(Opcode::div_s, 20, 6.00, 0.800);
+  set(Opcode::div_u, 20, 6.00, 0.800);
+  set(Opcode::rem_s, 20, 6.00, 0.800);
+  set(Opcode::rem_u, 20, 6.00, 0.800);
+  // Bitwise logic: one gate level.
+  set(Opcode::and_, 1, 0.03, 0.005);
+  set(Opcode::or_, 1, 0.03, 0.005);
+  set(Opcode::xor_, 1, 0.03, 0.006);
+  set(Opcode::not_, 1, 0.02, 0.002);
+  // Barrel shifters.
+  set(Opcode::shl, 1, 0.18, 0.060);
+  set(Opcode::shr_u, 1, 0.18, 0.060);
+  set(Opcode::shr_s, 1, 0.18, 0.060);
+  // Comparators are adder-like.
+  set(Opcode::eq, 1, 0.20, 0.020);
+  set(Opcode::ne, 1, 0.20, 0.020);
+  set(Opcode::lt_s, 1, 0.25, 0.030);
+  set(Opcode::le_s, 1, 0.25, 0.030);
+  set(Opcode::lt_u, 1, 0.25, 0.030);
+  set(Opcode::le_u, 1, 0.25, 0.030);
+  // 2:1 mux (the paper's SEL node).
+  set(Opcode::select, 1, 0.06, 0.008);
+  // Width changes are wiring in hardware.
+  set(Opcode::sext8, 1, 0.01, 0.000);
+  set(Opcode::sext16, 1, 0.01, 0.000);
+  set(Opcode::zext8, 1, 0.01, 0.000);
+  set(Opcode::zext16, 1, 0.01, 0.000);
+  // Memory: never inside an AFU (hw figures only used by the ROM extension).
+  set(Opcode::load, 2, 0.35, 0.000);
+  set(Opcode::store, 1, 0.35, 0.000);
+  // Control / pseudo ops.
+  set(Opcode::phi, 0, 0.00, 0.000);
+  set(Opcode::custom, 1, 0.00, 0.000);   // actual cycles come from CustomOp
+  set(Opcode::extract, 0, 0.00, 0.000);  // folded into write-back
+  set(Opcode::br, 1, 0.00, 0.000);
+  set(Opcode::br_if, 1, 0.00, 0.000);
+  set(Opcode::ret, 1, 0.00, 0.000);
+  return m;
+}
+
+}  // namespace isex

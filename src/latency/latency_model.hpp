@@ -1,0 +1,48 @@
+// Latency and area model (paper Section 7).
+//
+// Software cost: cycles spent in the execution stage of a single-issue
+// embedded processor. Hardware cost: combinational delay of a synthesized
+// operator on a 0.18 µm CMOS process, normalised to the delay of a 32-bit
+// multiply-accumulate (the paper's normalisation). Area: 32-bit MAC
+// equivalents. Only *relative* hardware delays influence the algorithms;
+// the table is value-configurable for sensitivity studies.
+#pragma once
+
+#include <array>
+
+#include "ir/opcode.hpp"
+
+namespace isex {
+
+struct OpCost {
+  int sw_cycles = 1;      // single-issue execution cycles
+  double hw_delay = 0.0;  // fraction of one 32-bit MAC delay
+  double area_macs = 0.0; // silicon area in MAC equivalents
+};
+
+class LatencyModel {
+ public:
+  /// The default table used throughout the reproduction (values chosen to
+  /// reflect relative synthesized delays on a 0.18 µm process; see DESIGN.md).
+  static LatencyModel standard_018um();
+
+  int sw_cycles(Opcode op) const { return cost(op).sw_cycles; }
+  double hw_delay(Opcode op) const { return cost(op).hw_delay; }
+  double area_macs(Opcode op) const { return cost(op).area_macs; }
+
+  const OpCost& cost(Opcode op) const;
+  void set_cost(Opcode op, OpCost cost);
+
+  /// Hardware delay of a ROM lookup (used by the Section 9 "local memory"
+  /// extension when read-only table loads are admitted into an AFU).
+  double rom_hw_delay() const { return rom_hw_delay_; }
+  /// Incremental AFU area of a ROM table, per word.
+  double rom_area_per_word() const { return rom_area_per_word_; }
+
+ private:
+  std::array<OpCost, opcode_count> costs_{};
+  double rom_hw_delay_ = 0.35;
+  double rom_area_per_word_ = 0.0005;
+};
+
+}  // namespace isex

@@ -1,0 +1,111 @@
+#include "passes/constant_fold.hpp"
+
+#include <optional>
+
+#include "ir/eval.hpp"
+
+namespace isex {
+
+namespace {
+
+std::optional<std::int32_t> konst_of(const Function& fn, ValueId v) {
+  if (fn.is_konst(v)) return static_cast<std::int32_t>(fn.konst_value(v));
+  return std::nullopt;
+}
+
+/// Identity simplifications returning the replacement value, if any.
+std::optional<ValueId> simplify(const Function& fn, const Instruction& ins) {
+  if (ins.operands.size() != 2) return std::nullopt;
+  const ValueId a = ins.operands[0];
+  const ValueId b = ins.operands[1];
+  const auto ka = konst_of(fn, a);
+  const auto kb = konst_of(fn, b);
+  switch (ins.op) {
+    case Opcode::add:
+      if (kb == 0) return a;
+      if (ka == 0) return b;
+      break;
+    case Opcode::sub:
+      if (kb == 0) return a;
+      break;
+    case Opcode::mul:
+      if (kb == 1) return a;
+      if (ka == 1) return b;
+      break;
+    case Opcode::and_:
+      if (kb == -1) return a;
+      if (ka == -1) return b;
+      break;
+    case Opcode::or_:
+    case Opcode::xor_:
+      if (kb == 0) return a;
+      if (ka == 0) return b;
+      break;
+    case Opcode::shl:
+    case Opcode::shr_u:
+    case Opcode::shr_s:
+      if (kb == 0) return a;
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool run_constant_fold(Function& fn) {
+  bool changed_any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < fn.num_instrs(); ++i) {
+      Instruction& ins = fn.instr(InstrId{static_cast<std::uint32_t>(i)});
+      if (ins.dead || !ins.result.valid()) continue;
+
+      // select with a constant condition.
+      if (ins.op == Opcode::select) {
+        if (const auto c = konst_of(fn, ins.operands[0])) {
+          fn.replace_all_uses(ins.result, *c != 0 ? ins.operands[1] : ins.operands[2]);
+          ins.dead = true;
+          changed = changed_any = true;
+          continue;
+        }
+      }
+
+      if (is_pure_evaluable(ins.op)) {
+        // Full constant evaluation.
+        bool all_konst = true;
+        std::int32_t vals[3] = {0, 0, 0};
+        for (std::size_t k = 0; k < ins.operands.size() && all_konst; ++k) {
+          if (const auto c = konst_of(fn, ins.operands[k])) {
+            vals[k] = *c;
+          } else {
+            all_konst = false;
+          }
+        }
+        if (all_konst) {
+          std::int32_t folded = 0;
+          try {
+            folded = eval_op(ins.op, vals[0], vals[1], vals[2]);
+          } catch (const Error&) {
+            continue;  // e.g. constant division by zero: leave for runtime
+          }
+          fn.replace_all_uses(ins.result, fn.make_konst(folded));
+          ins.dead = true;
+          changed = changed_any = true;
+          continue;
+        }
+        if (const auto repl = simplify(fn, ins)) {
+          fn.replace_all_uses(ins.result, *repl);
+          ins.dead = true;
+          changed = changed_any = true;
+        }
+      }
+    }
+  }
+  if (changed_any) fn.purge_dead();
+  return changed_any;
+}
+
+}  // namespace isex

@@ -1,0 +1,14 @@
+// Constant folding and algebraic identities: evaluates pure instructions
+// with all-constant operands and applies neutral-element simplifications
+// (x+0, x*1, x&-1, x|0, x^0, shifts by 0, select with constant condition).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+/// Returns true if anything was simplified. Leaves dead instructions for a
+/// subsequent DCE run.
+bool run_constant_fold(Function& fn);
+
+}  // namespace isex

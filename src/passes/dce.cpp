@@ -1,0 +1,35 @@
+#include "passes/dce.hpp"
+
+#include <vector>
+
+namespace isex {
+
+bool run_dce(Function& fn) {
+  // Use counts over instruction results.
+  std::vector<std::uint32_t> uses(fn.num_values(), 0);
+  for (std::size_t i = 0; i < fn.num_instrs(); ++i) {
+    const Instruction& ins = fn.instr(InstrId{static_cast<std::uint32_t>(i)});
+    if (ins.dead) continue;
+    for (ValueId v : ins.operands) ++uses[v.index];
+  }
+
+  bool removed_any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < fn.num_instrs(); ++i) {
+      Instruction& ins = fn.instr(InstrId{static_cast<std::uint32_t>(i)});
+      if (ins.dead) continue;
+      const OpcodeInfo& oi = info(ins.op);
+      if (oi.is_terminator || ins.op == Opcode::store) continue;  // side effects
+      if (!ins.result.valid() || uses[ins.result.index] != 0) continue;
+      ins.dead = true;
+      for (ValueId v : ins.operands) --uses[v.index];
+      removed_any = changed = true;
+    }
+  }
+  if (removed_any) fn.purge_dead();
+  return removed_any;
+}
+
+}  // namespace isex

@@ -1,0 +1,13 @@
+// Dead-code elimination: removes instructions whose results are unused and
+// that have no side effects (stores and terminators are roots; loads are
+// treated as pure). Runs to a fixed point internally.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+/// Returns true if anything was removed.
+bool run_dce(Function& fn);
+
+}  // namespace isex

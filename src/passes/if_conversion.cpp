@@ -1,0 +1,168 @@
+#include "passes/if_conversion.hpp"
+
+#include <algorithm>
+
+#include "ir/cfg.hpp"
+
+namespace isex {
+
+namespace {
+
+/// True if every instruction of `b` except the terminator may be executed
+/// unconditionally.
+bool speculatable(const Function& fn, BlockId b, const IfConversionOptions& opts) {
+  const BasicBlock& bb = fn.block(b);
+  if (bb.instrs.size() > opts.max_speculated_instrs) return false;
+  for (std::size_t k = 0; k + 1 < bb.instrs.size(); ++k) {
+    const Instruction& ins = fn.instr(bb.instrs[k]);
+    switch (ins.op) {
+      case Opcode::store:
+      case Opcode::phi:
+      case Opcode::custom:
+      case Opcode::extract:
+      case Opcode::div_s:  // may trap on speculated zero divisor
+      case Opcode::div_u:
+      case Opcode::rem_s:
+      case Opcode::rem_u:
+        return false;
+      case Opcode::load:
+        if (!opts.speculate_loads) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+/// True if `b` contains only its terminator, which is `br`.
+bool is_forwarding(const Function& fn, BlockId b) {
+  const BasicBlock& bb = fn.block(b);
+  return fn.instr(bb.instrs.back()).op == Opcode::br;
+}
+
+/// Moves all non-terminator instructions of `src` to the end of `dst`
+/// (before dst's terminator position — caller must have removed it).
+void move_body(Function& fn, BlockId src, BlockId dst) {
+  BasicBlock& from = fn.block(src);
+  BasicBlock& to = fn.block(dst);
+  for (std::size_t k = 0; k + 1 < from.instrs.size(); ++k) {
+    const InstrId id = from.instrs[k];
+    fn.instr(id).parent = dst;
+    to.instrs.push_back(id);
+  }
+  from.instrs.erase(from.instrs.begin(),
+                    from.instrs.end() - 1);  // keep the terminator
+}
+
+bool convert_one(Function& fn, const IfConversionOptions& opts) {
+  const Cfg cfg(fn);
+  for (BlockId a : cfg.reverse_post_order()) {
+    const Instruction& term = fn.instr(fn.terminator(a));
+    if (term.op != Opcode::br_if) continue;
+    const ValueId cond = term.operands[0];
+    const BlockId t = term.targets[0];
+    const BlockId e = term.targets[1];
+    if (t == e) continue;
+
+    const auto single_pred = [&](BlockId b) {
+      return cfg.predecessors(b).size() == 1 && cfg.predecessors(b)[0] == a;
+    };
+
+    BlockId join{};
+    bool diamond = false;
+    bool triangle_then = false;  // true: A->T->J with E==J; false (triangle): A->E->J with T==J
+    if (single_pred(t) && single_pred(e) && is_forwarding(fn, t) && is_forwarding(fn, e) &&
+        successor_blocks(fn, t)[0] == successor_blocks(fn, e)[0]) {
+      join = successor_blocks(fn, t)[0];
+      if (join == a) continue;
+      diamond = true;
+      if (!speculatable(fn, t, opts) || !speculatable(fn, e, opts)) continue;
+    } else if (single_pred(t) && is_forwarding(fn, t) && successor_blocks(fn, t)[0] == e) {
+      join = e;
+      triangle_then = true;
+      if (join == a || !speculatable(fn, t, opts)) continue;
+    } else if (single_pred(e) && is_forwarding(fn, e) && successor_blocks(fn, e)[0] == t) {
+      join = t;
+      triangle_then = false;
+      if (join == a || !speculatable(fn, e, opts)) continue;
+    } else {
+      continue;
+    }
+    if (diamond && cfg.predecessors(join).size() != 2) continue;
+
+    // Drop A's br_if; move side-block bodies into A.
+    BasicBlock& ab = fn.block(a);
+    fn.instr(ab.instrs.back()).dead = true;
+    ab.instrs.pop_back();
+    if (diamond) {
+      move_body(fn, t, a);
+      move_body(fn, e, a);
+    } else {
+      move_body(fn, triangle_then ? t : e, a);
+    }
+
+    // Rewrite join phis into selects at the end of A. Collect the phi
+    // descriptions first: appending instructions may reallocate the arena,
+    // so no Instruction reference may be held across append_instr.
+    const BlockId via_t = diamond ? t : (triangle_then ? t : a);
+    const BlockId via_e = diamond ? e : (triangle_then ? a : e);
+    struct PhiPlan {
+      InstrId id;
+      ValueId from_t, from_e;
+      std::vector<ValueId> rest_ops;
+      std::vector<BlockId> rest_blocks;
+    };
+    std::vector<PhiPlan> plans;
+    for (InstrId id : fn.block(join).instrs) {
+      const Instruction& phi = fn.instr(id);
+      if (phi.op != Opcode::phi) break;
+      PhiPlan plan;
+      plan.id = id;
+      for (std::size_t k = 0; k < phi.targets.size(); ++k) {
+        if (phi.targets[k] == via_t) {
+          plan.from_t = phi.operands[k];
+        } else if (phi.targets[k] == via_e) {
+          plan.from_e = phi.operands[k];
+        } else {
+          plan.rest_ops.push_back(phi.operands[k]);
+          plan.rest_blocks.push_back(phi.targets[k]);
+        }
+      }
+      ISEX_ASSERT(plan.from_t.valid() && plan.from_e.valid(),
+                  "if-conversion: phi missing incoming edge");
+      plans.push_back(std::move(plan));
+    }
+    for (PhiPlan& plan : plans) {
+      const InstrId sel = fn.append_instr(a, Opcode::select, {cond, plan.from_t, plan.from_e});
+      const ValueId merged = fn.instr(sel).result;
+      Instruction& phi = fn.instr(plan.id);
+      if (plan.rest_ops.empty()) {
+        fn.replace_all_uses(phi.result, merged);
+        phi.dead = true;
+      } else {
+        // Join keeps other predecessors: A contributes the merged value.
+        plan.rest_ops.push_back(merged);
+        plan.rest_blocks.push_back(a);
+        phi.operands = std::move(plan.rest_ops);
+        phi.targets = std::move(plan.rest_blocks);
+      }
+    }
+    fn.purge_dead();
+
+    // A now falls through directly to the join.
+    fn.append_instr(a, Opcode::br, {}, {join});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool run_if_conversion(Function& fn, const IfConversionOptions& options) {
+  bool any = false;
+  while (convert_one(fn, options)) any = true;
+  return any;
+}
+
+}  // namespace isex

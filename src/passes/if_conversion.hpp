@@ -1,0 +1,28 @@
+// If-conversion (paper Section 7: "preprocessed with a classic if-conversion
+// pass"). Rewrites acyclic conditionals into straight-line code with
+// `select` instructions — the SEL nodes of the paper's Fig. 3 — so that
+// whole conditional computations become visible to the DFG-level
+// identification algorithms.
+//
+// Two shapes are handled, iterated to a fixed point:
+//   diamond:  A -> {T, E} -> J   (T, E single-pred, branch-only to J)
+//   triangle: A -> {T, J},  T -> J
+// Side blocks must contain only speculatable instructions: pure ops, and
+// optionally loads (off by default, since speculated loads can fault).
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+struct IfConversionOptions {
+  bool speculate_loads = false;
+  /// Side blocks with more instructions than this are left alone (guards
+  /// against speculating huge cold paths).
+  std::size_t max_speculated_instrs = 64;
+};
+
+/// Returns true if at least one conditional was converted.
+bool run_if_conversion(Function& fn, const IfConversionOptions& options = {});
+
+}  // namespace isex

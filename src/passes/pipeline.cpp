@@ -1,0 +1,27 @@
+#include "passes/pipeline.hpp"
+
+#include "passes/constant_fold.hpp"
+#include "passes/dce.hpp"
+#include "passes/simplify_cfg.hpp"
+
+namespace isex {
+
+bool run_standard_pipeline(Function& fn, const IfConversionOptions& ifc) {
+  bool changed_any = false;
+  while (true) {
+    bool changed = false;
+    changed |= run_if_conversion(fn, ifc);
+    changed |= run_simplify_cfg(fn);
+    changed |= run_constant_fold(fn);
+    changed |= run_dce(fn);
+    if (!changed) break;
+    changed_any = true;
+  }
+  return changed_any;
+}
+
+void run_standard_pipeline(Module& module, const IfConversionOptions& ifc) {
+  for (Function& fn : module.functions()) run_standard_pipeline(fn, ifc);
+}
+
+}  // namespace isex

@@ -1,0 +1,18 @@
+// The standard preprocessing pipeline applied to every workload before DFG
+// extraction, mirroring the paper's MachSUIF preprocessing: if-conversion,
+// CFG simplification, constant folding and dead-code elimination, iterated
+// to a fixed point.
+#pragma once
+
+#include "ir/module.hpp"
+#include "passes/if_conversion.hpp"
+
+namespace isex {
+
+/// Runs the pipeline on one function; returns true if anything changed.
+bool run_standard_pipeline(Function& fn, const IfConversionOptions& ifc = {});
+
+/// Runs the pipeline on every function of the module.
+void run_standard_pipeline(Module& module, const IfConversionOptions& ifc = {});
+
+}  // namespace isex

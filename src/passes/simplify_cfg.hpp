@@ -1,0 +1,14 @@
+// CFG cleanup: removes unreachable blocks (renumbering the survivors),
+// folds single-incoming phis, and merges straight-line block chains. After
+// if-conversion this collapses a loop body into the single large basic
+// block whose DFG the identification algorithms consume.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace isex {
+
+/// Returns true if the CFG changed.
+bool run_simplify_cfg(Function& fn);
+
+}  // namespace isex

@@ -1,0 +1,16 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace isex {
+
+void assertion_failure(const char* condition, const std::string& message,
+                       const char* file, int line) {
+  std::ostringstream os;
+  os << "isex assertion failed: " << condition;
+  if (!message.empty()) os << " — " << message;
+  os << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace isex

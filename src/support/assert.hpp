@@ -1,0 +1,34 @@
+// Error handling primitives for the isex library.
+//
+// Internal invariants and API preconditions both raise isex::Error (an
+// exception rather than abort) so that tests can assert on violations and
+// library users get a recoverable, descriptive failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace isex {
+
+/// Exception thrown on any isex invariant or precondition violation.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Implementation detail of ISEX_ASSERT / ISEX_CHECK. Always throws Error.
+[[noreturn]] void assertion_failure(const char* condition, const std::string& message,
+                                    const char* file, int line);
+
+}  // namespace isex
+
+/// Internal invariant check; active in all build types (the algorithms here
+/// are search-heavy and a silently corrupted state is worse than the cost of
+/// a predictable branch).
+#define ISEX_ASSERT(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) ::isex::assertion_failure(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)
+
+/// Precondition check on public API arguments.
+#define ISEX_CHECK(cond, msg) ISEX_ASSERT(cond, msg)

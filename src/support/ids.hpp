@@ -1,0 +1,37 @@
+// Strong index types. Values, instructions, basic blocks and DFG nodes are
+// all stored in arenas and referenced by index; wrapping the index in a
+// tagged type prevents cross-domain mix-ups at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace isex {
+
+template <class Tag>
+struct Id {
+  static constexpr std::uint32_t invalid_index = 0xffffffffu;
+
+  std::uint32_t index = invalid_index;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t i) : index(i) {}
+  constexpr explicit Id(std::size_t i) : index(static_cast<std::uint32_t>(i)) {}
+
+  constexpr bool valid() const { return index != invalid_index; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+using ValueId = Id<struct ValueIdTag>;
+using InstrId = Id<struct InstrIdTag>;
+using BlockId = Id<struct BlockIdTag>;
+using NodeId = Id<struct NodeIdTag>;  // dataflow-graph node
+
+template <class Tag>
+struct IdHash {
+  std::size_t operator()(Id<Tag> id) const { return std::hash<std::uint32_t>{}(id.index); }
+};
+
+}  // namespace isex

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator (xorshift64*) used by tests,
+// benchmark workload generators and the random-DAG generator. Deliberately
+// not std::mt19937 so streams are stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x2545F4914F6CDD1DULL) : state_(seed ? seed : 1) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    ISEX_CHECK(lo <= hi, "Rng::uniform empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return (next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace isex

@@ -1,0 +1,46 @@
+#include "support/statistics.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+double mean(std::span<const double> xs) {
+  ISEX_CHECK(!xs.empty(), "mean of empty span");
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(std::span<const double> xs) {
+  ISEX_CHECK(!xs.empty(), "geometric mean of empty span");
+  double s = 0;
+  for (double x : xs) {
+    ISEX_CHECK(x > 0, "geometric mean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double log_log_slope(std::span<const double> xs, std::span<const double> ys) {
+  ISEX_CHECK(xs.size() == ys.size(), "log_log_slope size mismatch");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace isex

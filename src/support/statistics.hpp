@@ -1,0 +1,19 @@
+// Small statistics helpers for the benchmark harness: geometric means for
+// speedup aggregation and a log-log least-squares slope used to report the
+// empirical complexity exponent of the search (paper Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace isex {
+
+double mean(std::span<const double> xs);
+double geometric_mean(std::span<const double> xs);
+
+/// Least-squares slope of log(y) over log(x); pairs with non-positive values
+/// are skipped. Returns 0 when fewer than two usable points exist.
+/// For y ~ c * x^k this estimates k.
+double log_log_slope(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace isex

@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ISEX_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  ISEX_CHECK(cells.size() <= headers_.size(), "row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::num(int v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) rule += std::string(widths[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace isex

@@ -1,0 +1,30 @@
+// Minimal aligned text-table writer used by the bench binaries to print the
+// rows/series the paper's figures report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace isex {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; cells beyond the header count are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isex

@@ -1,0 +1,268 @@
+// IMA/DVI ADPCM decoder and encoder, hand-translated from the MediaBench
+// `adpcm.c` sources operation-for-operation (paper Section 7; the decoder's
+// inner loop is the paper's Fig. 3 motivational block). One 4-bit code per
+// memory word — the byte (un)packing of the original is I/O plumbing that
+// never appears in the paper's DFG.
+#include <array>
+
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr std::array<std::int32_t, 16> kIndexTable = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+constexpr std::array<std::int32_t, 89> kStepSizeTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,   21,
+    23,    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,   66,
+    73,    80,    88,    97,    107,   118,   130,   143,   157,   173,   190,  209,
+    230,   253,   279,   307,   337,   371,   408,   449,   494,   544,   598,  658,
+    724,   796,   876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878, 2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894, 6484,
+    7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+constexpr int kNumSamples = 96;
+
+std::int32_t clamp16(std::int32_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return v;
+}
+
+std::int32_t clamp_index(std::int32_t idx) {
+  if (idx < 0) return 0;
+  if (idx > 88) return 88;
+  return idx;
+}
+
+/// Bit-exact native reference of the IR decoder below.
+std::vector<std::int32_t> reference_decode(const std::vector<std::int32_t>& codes,
+                                           std::int32_t valpred, std::int32_t index) {
+  std::vector<std::int32_t> out;
+  out.reserve(codes.size());
+  std::int32_t step = kStepSizeTable[static_cast<std::size_t>(index)];
+  for (std::int32_t code : codes) {
+    const std::int32_t delta = code & 0xf;
+    index = clamp_index(index + kIndexTable[static_cast<std::size_t>(delta)]);
+    const std::int32_t sign = delta & 8;
+    const std::int32_t mag = delta & 7;
+    std::int32_t vpdiff = step >> 3;
+    if (mag & 4) vpdiff += step;
+    if (mag & 2) vpdiff += step >> 1;
+    if (mag & 1) vpdiff += step >> 2;
+    valpred = clamp16(sign != 0 ? valpred - vpdiff : valpred + vpdiff);
+    step = kStepSizeTable[static_cast<std::size_t>(index)];
+    out.push_back(valpred);
+  }
+  return out;
+}
+
+/// Bit-exact native reference of the IR encoder below.
+std::vector<std::int32_t> reference_encode(const std::vector<std::int32_t>& samples,
+                                           std::int32_t valpred, std::int32_t index) {
+  std::vector<std::int32_t> out;
+  out.reserve(samples.size());
+  std::int32_t step = kStepSizeTable[static_cast<std::size_t>(index)];
+  for (std::int32_t val : samples) {
+    std::int32_t diff = val - valpred;
+    const std::int32_t sign = diff < 0 ? 8 : 0;
+    if (sign != 0) diff = -diff;
+
+    std::int32_t delta = 0;
+    std::int32_t tmpstep = step;
+    if (diff >= tmpstep) {
+      delta = 4;
+      diff -= tmpstep;
+    }
+    tmpstep >>= 1;
+    if (diff >= tmpstep) {
+      delta |= 2;
+      diff -= tmpstep;
+    }
+    tmpstep >>= 1;
+    if (diff >= tmpstep) delta |= 1;
+
+    std::int32_t vpdiff = step >> 3;
+    if (delta & 4) vpdiff += step;
+    if (delta & 2) vpdiff += step >> 1;
+    if (delta & 1) vpdiff += step >> 2;
+    valpred = clamp16(sign != 0 ? valpred - vpdiff : valpred + vpdiff);
+
+    delta |= sign;
+    index = clamp_index(index + kIndexTable[static_cast<std::size_t>(delta)]);
+    step = kStepSizeTable[static_cast<std::size_t>(index)];
+    out.push_back(delta);
+  }
+  return out;
+}
+
+struct AdpcmTables {
+  std::uint32_t index_base;
+  int index_seg;
+  std::uint32_t step_base;
+  int step_seg;
+};
+
+AdpcmTables add_tables(Module& m) {
+  AdpcmTables t;
+  t.index_seg = static_cast<int>(m.segments().size());
+  t.index_base = m.add_segment("indexTable", kIndexTable.size(),
+                               {kIndexTable.begin(), kIndexTable.end()}, /*read_only=*/true);
+  t.step_seg = static_cast<int>(m.segments().size());
+  t.step_base = m.add_segment("stepsizeTable", kStepSizeTable.size(),
+                              {kStepSizeTable.begin(), kStepSizeTable.end()},
+                              /*read_only=*/true);
+  return t;
+}
+
+/// Emits the shared vpdiff accumulation + sign application + saturation —
+/// the computation the paper identifies as M1/M2 (Fig. 3).
+ValueId emit_vpdiff_and_saturate(IrBuilder& b, ValueId delta_bits, ValueId sign, ValueId step,
+                                 ValueId valpred) {
+  ValueId vpdiff = b.shr_s(step, b.konst(3));
+  vpdiff = emit_cond_update(
+      b, b.and_(delta_bits, b.konst(4)), vpdiff, [&] { return b.add(vpdiff, step); }, "vp4");
+  const ValueId vp2 = vpdiff;
+  vpdiff = emit_cond_update(
+      b, b.and_(delta_bits, b.konst(2)), vp2,
+      [&] { return b.add(vp2, b.shr_s(step, b.konst(1))); }, "vp2");
+  const ValueId vp1 = vpdiff;
+  vpdiff = emit_cond_update(
+      b, b.and_(delta_bits, b.konst(1)), vp1,
+      [&] { return b.add(vp1, b.shr_s(step, b.konst(2))); }, "vp1");
+
+  const ValueId vp = vpdiff;
+  ValueId pred = emit_cond_value(
+      b, sign, [&] { return b.sub(valpred, vp); }, [&] { return b.add(valpred, vp); }, "sign");
+
+  const ValueId hi = pred;
+  pred = emit_cond_update(
+      b, b.gt_s(hi, b.konst(32767)), hi, [&] { return b.konst(32767); }, "sat_hi");
+  const ValueId lo = pred;
+  pred = emit_cond_update(
+      b, b.lt_s(lo, b.konst(-32768)), lo, [&] { return b.konst(-32768); }, "sat_lo");
+  return pred;
+}
+
+/// index' = clamp(index + indexTable[delta], 0, 88)
+ValueId emit_index_update(IrBuilder& b, const AdpcmTables& t, ValueId index, ValueId delta) {
+  const ValueId adj =
+      b.load_rom(b.add(b.konst(t.index_base), delta), t.index_seg);
+  ValueId idx = b.add(index, adj);
+  const ValueId lo = idx;
+  idx = emit_cond_update(b, b.lt_s(lo, b.konst(0)), lo, [&] { return b.konst(0); }, "idx_lo");
+  const ValueId hi = idx;
+  idx = emit_cond_update(b, b.gt_s(hi, b.konst(88)), hi, [&] { return b.konst(88); }, "idx_hi");
+  return idx;
+}
+
+}  // namespace
+
+Workload make_adpcm_decode() {
+  auto module = std::make_unique<Module>("adpcmdecode");
+  const AdpcmTables t = add_tables(*module);
+  const std::vector<std::int32_t> codes = random_samples(kNumSamples, 0, 15, 0xADC0DE);
+  const std::uint32_t in_base =
+      module->add_segment("in", kNumSamples, std::vector<std::int32_t>(codes));
+  const std::uint32_t out_base = module->add_segment("out", kNumSamples);
+
+  // adpcm_decode(n, valpred0, index0)
+  IrBuilder b(*module, "adpcm_decode", 3);
+  const ValueId n = b.param(0);
+  const ValueId step0 =
+      b.load_rom(b.add(b.konst(t.step_base), b.param(2)), t.step_seg);
+
+  CountedLoop loop = begin_counted_loop(b, n);
+  const ValueId valpred = loop_var(b, loop, b.param(1));
+  const ValueId index = loop_var(b, loop, b.param(2));
+  const ValueId step = loop_var(b, loop, step0);
+  enter_loop_body(b, loop);
+
+  const ValueId code = b.load(b.add(b.konst(in_base), loop.index));
+  const ValueId delta = b.and_(code, b.konst(15));
+  const ValueId index_next = emit_index_update(b, t, index, delta);
+  const ValueId sign = b.and_(delta, b.konst(8));
+  const ValueId mag = b.and_(delta, b.konst(7));
+  const ValueId valpred_next = emit_vpdiff_and_saturate(b, mag, sign, step, valpred);
+  const ValueId step_next =
+      b.load_rom(b.add(b.konst(t.step_base), index_next), t.step_seg);
+  b.store(b.add(b.konst(out_base), loop.index), valpred_next);
+
+  const std::pair<ValueId, ValueId> latch[] = {
+      {valpred, valpred_next}, {index, index_next}, {step, step_next}};
+  end_counted_loop(b, loop, latch);
+  b.ret(valpred);
+
+  return Workload("adpcmdecode", std::move(module), "adpcm_decode",
+                  {kNumSamples, 0, 0}, segment_reader("out", kNumSamples),
+                  reference_decode(codes, 0, 0));
+}
+
+Workload make_adpcm_encode() {
+  auto module = std::make_unique<Module>("adpcmencode");
+  const AdpcmTables t = add_tables(*module);
+  const std::vector<std::int32_t> samples =
+      random_samples(kNumSamples, -20000, 20000, 0xE7C0DE);
+  const std::uint32_t in_base =
+      module->add_segment("in", kNumSamples, std::vector<std::int32_t>(samples));
+  const std::uint32_t out_base = module->add_segment("out", kNumSamples);
+
+  // adpcm_encode(n, valpred0, index0)
+  IrBuilder b(*module, "adpcm_encode", 3);
+  const ValueId n = b.param(0);
+  const ValueId step0 =
+      b.load_rom(b.add(b.konst(t.step_base), b.param(2)), t.step_seg);
+
+  CountedLoop loop = begin_counted_loop(b, n);
+  const ValueId valpred = loop_var(b, loop, b.param(1));
+  const ValueId index = loop_var(b, loop, b.param(2));
+  const ValueId step = loop_var(b, loop, step0);
+  enter_loop_body(b, loop);
+
+  const ValueId val = b.load(b.add(b.konst(in_base), loop.index));
+  const ValueId diff0 = b.sub(val, valpred);
+  const ValueId is_neg = b.lt_s(diff0, b.konst(0));
+  const ValueId sign = b.select(is_neg, b.konst(8), b.konst(0));
+  const ValueId diff_abs = emit_cond_value(
+      b, is_neg, [&] { return b.sub(b.konst(0), diff0); }, [&] { return diff0; }, "absd");
+
+  // Successive-approximation quantisation: three compare/subtract stages.
+  const ValueId ge4 = b.ge_s(diff_abs, step);
+  const ValueId delta4 = b.select(ge4, b.konst(4), b.konst(0));
+  const ValueId diff1 = emit_cond_update(
+      b, ge4, diff_abs, [&] { return b.sub(diff_abs, step); }, "q4");
+  const ValueId half = b.shr_s(step, b.konst(1));
+  const ValueId ge2 = b.ge_s(diff1, half);
+  const ValueId delta2 = b.select(ge2, b.konst(2), b.konst(0));
+  const ValueId diff2 = emit_cond_update(
+      b, ge2, diff1, [&] { return b.sub(diff1, half); }, "q2");
+  const ValueId quarter = b.shr_s(step, b.konst(2));
+  const ValueId ge1 = b.ge_s(diff2, quarter);
+  const ValueId delta1 = b.select(ge1, b.konst(1), b.konst(0));
+  const ValueId delta_mag = b.or_(b.or_(delta4, delta2), delta1);
+
+  const ValueId valpred_next =
+      emit_vpdiff_and_saturate(b, delta_mag, sign, step, valpred);
+  const ValueId delta_full = b.or_(delta_mag, sign);
+  const ValueId index_next = emit_index_update(b, t, index, delta_full);
+  const ValueId step_next =
+      b.load_rom(b.add(b.konst(t.step_base), index_next), t.step_seg);
+  b.store(b.add(b.konst(out_base), loop.index), delta_full);
+
+  const std::pair<ValueId, ValueId> latch[] = {
+      {valpred, valpred_next}, {index, index_next}, {step, step_next}};
+  end_counted_loop(b, loop, latch);
+  b.ret(valpred);
+
+  return Workload("adpcmencode", std::move(module), "adpcm_encode",
+                  {kNumSamples, 0, 0}, segment_reader("out", kNumSamples),
+                  reference_encode(samples, 0, 0));
+}
+
+}  // namespace isex

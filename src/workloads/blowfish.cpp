@@ -1,0 +1,109 @@
+// Blowfish-style Feistel round (as in the pegwit/blowfish ciphers of
+// embedded benchmark suites): F(x) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d]
+// over four 64-entry S-boxes, two rounds per iteration. The S-box lookups
+// carry ROM hints, making this the stress case for the Section 9
+// local-memory extension.
+#include <array>
+
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kSboxWords = 64;  // reduced S-boxes keep the ROM area model readable
+constexpr int kNumBlocks = 32;
+
+std::array<std::vector<std::int32_t>, 4> make_sboxes() {
+  std::array<std::vector<std::int32_t>, 4> s;
+  for (std::size_t i = 0; i < 4; ++i) {
+    s[i] = random_samples(kSboxWords, INT32_MIN, INT32_MAX, 0xB10F15 + i);
+  }
+  return s;
+}
+
+std::int32_t feistel(const std::array<std::vector<std::int32_t>, 4>& s, std::int32_t x) {
+  const auto idx = [](std::int32_t v, int shift) {
+    return static_cast<std::size_t>((v >> shift) & (kSboxWords - 1));
+  };
+  const std::uint32_t t0 = static_cast<std::uint32_t>(s[0][idx(x, 24)]) +
+                           static_cast<std::uint32_t>(s[1][idx(x, 16)]);
+  const std::uint32_t t1 = t0 ^ static_cast<std::uint32_t>(s[2][idx(x, 8)]);
+  return static_cast<std::int32_t>(t1 + static_cast<std::uint32_t>(s[3][idx(x, 0)]));
+}
+
+std::vector<std::int32_t> reference(const std::array<std::vector<std::int32_t>, 4>& s,
+                                    const std::vector<std::int32_t>& data) {
+  std::vector<std::int32_t> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    std::int32_t l = data[i];
+    std::int32_t r = data[i + 1];
+    for (int round = 0; round < 2; ++round) {
+      const std::int32_t t = r ^ feistel(s, l);
+      r = l;
+      l = t;
+    }
+    out.push_back(l);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_blowfish() {
+  auto module = std::make_unique<Module>("blowfish");
+  const auto sboxes = make_sboxes();
+  std::array<int, 4> seg_index;
+  std::array<std::uint32_t, 4> seg_base;
+  for (int i = 0; i < 4; ++i) {
+    seg_index[static_cast<std::size_t>(i)] = static_cast<int>(module->segments().size());
+    seg_base[static_cast<std::size_t>(i)] =
+        module->add_segment("sbox" + std::to_string(i), kSboxWords,
+                            std::vector<std::int32_t>(sboxes[static_cast<std::size_t>(i)]),
+                            /*read_only=*/true);
+  }
+  const std::vector<std::int32_t> data =
+      random_samples(kNumBlocks * 2, INT32_MIN, INT32_MAX, 0xB10F);
+  const std::uint32_t in_base = module->add_segment(
+      "in", static_cast<std::uint32_t>(kNumBlocks * 2), std::vector<std::int32_t>(data));
+  const std::uint32_t out_base =
+      module->add_segment("out", static_cast<std::uint32_t>(kNumBlocks * 2));
+
+  IrBuilder b(*module, "blowfish_rounds", 1);
+  const auto sbox = [&](ValueId x, int box, int shift) {
+    const ValueId idx =
+        b.and_(b.shr_s(x, b.konst(shift)), b.konst(kSboxWords - 1));
+    return b.load_rom(
+        b.add(b.konst(seg_base[static_cast<std::size_t>(box)]), idx),
+        seg_index[static_cast<std::size_t>(box)]);
+  };
+  const auto feistel_ir = [&](ValueId x) {
+    const ValueId t0 = b.add(sbox(x, 0, 24), sbox(x, 1, 16));
+    const ValueId t1 = b.xor_(t0, sbox(x, 2, 8));
+    return b.add(t1, sbox(x, 3, 0));
+  };
+
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+  const ValueId two_i = b.shl(loop.index, b.konst(1));
+  ValueId l = b.load(b.add(b.konst(in_base), two_i));
+  ValueId r = b.load(b.add(b.konst(in_base + 1), two_i));
+  for (int round = 0; round < 2; ++round) {
+    const ValueId t = b.xor_(r, feistel_ir(l));
+    r = l;
+    l = t;
+  }
+  b.store(b.add(b.konst(out_base), two_i), l);
+  b.store(b.add(b.konst(out_base + 1), two_i), r);
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("blowfish", std::move(module), "blowfish_rounds", {kNumBlocks},
+                  segment_reader("out", static_cast<std::uint32_t>(kNumBlocks * 2)),
+                  reference(sboxes, data));
+}
+
+}  // namespace isex

@@ -1,0 +1,61 @@
+// Bitwise CRC-32 (IEEE 802.3 polynomial), eight unrolled shift/xor stages
+// per input byte — the long combinational ladders that make custom
+// instructions shine.
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kNumBytes = 64;
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& bytes) {
+  std::vector<std::int32_t> out;
+  out.reserve(bytes.size());
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::int32_t byte : bytes) {
+    crc ^= static_cast<std::uint32_t>(byte);
+    for (int k = 0; k < 8; ++k) {
+      const std::uint32_t mask = 0u - (crc & 1u);
+      crc = (crc >> 1) ^ (kPoly & mask);
+    }
+    out.push_back(static_cast<std::int32_t>(crc));
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_crc32() {
+  auto module = std::make_unique<Module>("crc32");
+  const std::vector<std::int32_t> bytes = random_samples(kNumBytes, 0, 255, 0xC3C32);
+  const std::uint32_t in_base =
+      module->add_segment("in", kNumBytes, std::vector<std::int32_t>(bytes));
+  const std::uint32_t out_base = module->add_segment("out", kNumBytes);
+
+  IrBuilder b(*module, "crc32", 1);
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  const ValueId crc = loop_var(b, loop, b.konst(-1));  // 0xFFFFFFFF
+  enter_loop_body(b, loop);
+
+  const ValueId byte = b.load(b.add(b.konst(in_base), loop.index));
+  ValueId c = b.xor_(crc, byte);
+  for (int k = 0; k < 8; ++k) {
+    const ValueId mask = b.sub(b.konst(0), b.and_(c, b.konst(1)));
+    c = b.xor_(b.shr_u(c, b.konst(1)),
+               b.and_(b.konst(static_cast<std::int64_t>(static_cast<std::int32_t>(kPoly))),
+                      mask));
+  }
+  b.store(b.add(b.konst(out_base), loop.index), c);
+
+  const std::pair<ValueId, ValueId> latch[] = {{crc, c}};
+  end_counted_loop(b, loop, latch);
+  b.ret(crc);
+
+  return Workload("crc32", std::move(module), "crc32", {kNumBytes},
+                  segment_reader("out", kNumBytes), reference(bytes));
+}
+
+}  // namespace isex

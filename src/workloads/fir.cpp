@@ -1,0 +1,55 @@
+// 8-tap FIR filter with constant coefficients: a multiply-accumulate tree
+// behind a row of loads — the classic DSP candidate for a fused MAC-tree
+// instruction.
+#include <array>
+
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr std::array<std::int32_t, 8> kCoef = {3, -5, 12, 31, 31, 12, -5, 3};
+constexpr int kNumOut = 56;
+constexpr int kNumIn = kNumOut + 8;
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& x) {
+  std::vector<std::int32_t> out;
+  out.reserve(kNumOut);
+  for (int i = 0; i < kNumOut; ++i) {
+    std::int32_t acc = 0;
+    for (int k = 0; k < 8; ++k) acc += kCoef[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(i + k)];
+    out.push_back(acc >> 6);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_fir() {
+  auto module = std::make_unique<Module>("fir");
+  const std::vector<std::int32_t> x = random_samples(kNumIn, -1024, 1023, 0xF1F1);
+  const std::uint32_t in_base =
+      module->add_segment("in", kNumIn, std::vector<std::int32_t>(x));
+  const std::uint32_t out_base = module->add_segment("out", kNumOut);
+
+  IrBuilder b(*module, "fir8", 1);
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+
+  ValueId acc = b.konst(0);
+  for (int k = 0; k < 8; ++k) {
+    const ValueId xv = b.load(b.add(b.konst(in_base + static_cast<std::uint32_t>(k)), loop.index));
+    acc = b.add(acc, b.mul(xv, b.konst(kCoef[static_cast<std::size_t>(k)])));
+  }
+  b.store(b.add(b.konst(out_base), loop.index), b.shr_s(acc, b.konst(6)));
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("fir", std::move(module), "fir8", {kNumOut},
+                  segment_reader("out", kNumOut), reference(x));
+}
+
+}  // namespace isex

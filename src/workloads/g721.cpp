@@ -1,0 +1,123 @@
+// G.721 ADPCM `fmult`-style kernel, following the MediaBench g721.c code:
+// floating-point-like mantissa/exponent multiply used by the predictor,
+// including the `quan` table scan for the exponent. Select-heavy with
+// data-dependent shifts — prime material for instruction-set extension.
+#include <array>
+
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr std::array<std::int32_t, 15> kPower2 = {
+    1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80, 0x100, 0x200, 0x400, 0x800, 0x1000, 0x2000, 0x4000,
+};
+
+constexpr int kNumPairs = 48;
+
+// Shift helpers with the IR's masked-amount semantics.
+std::int32_t shl32(std::int32_t x, std::int32_t s) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(x) << (s & 31));
+}
+std::int32_t shr32u(std::int32_t x, std::int32_t s) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(x) >> (s & 31));
+}
+std::int32_t shr32s(std::int32_t x, std::int32_t s) { return x >> (s & 31); }
+
+std::int32_t ref_quan(std::int32_t val) {
+  std::int32_t i = 0;
+  while (i < 15 && val >= kPower2[static_cast<std::size_t>(i)]) ++i;
+  return i;
+}
+
+std::int32_t ref_fmult(std::int32_t an, std::int32_t srn) {
+  const std::int32_t anmag = an > 0 ? an : (-an) & 0x1FFF;
+  const std::int32_t anexp = ref_quan(anmag) - 6;
+  const std::int32_t anmant =
+      anmag == 0 ? 32 : (anexp >= 0 ? shr32s(anmag, anexp) : shl32(anmag, -anexp));
+  const std::int32_t wanexp = anexp + ((srn >> 6) & 15) - 13;
+  const std::int32_t wanmant = (anmant * (srn & 63) + 0x30) >> 4;
+  const std::int32_t retval =
+      wanexp >= 0 ? shl32(wanmant, wanexp) & 0x7FFF : shr32u(wanmant, -wanexp);
+  return ((an ^ srn) < 0) ? -retval : retval;
+}
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& an,
+                                    const std::vector<std::int32_t>& srn) {
+  std::vector<std::int32_t> out;
+  out.reserve(an.size());
+  for (std::size_t i = 0; i < an.size(); ++i) out.push_back(ref_fmult(an[i], srn[i]));
+  return out;
+}
+
+}  // namespace
+
+Workload make_g721_quan() {
+  auto module = std::make_unique<Module>("g721");
+  const int power2_seg = static_cast<int>(module->segments().size());
+  const std::uint32_t power2_base =
+      module->add_segment("power2", kPower2.size(), {kPower2.begin(), kPower2.end()},
+                          /*read_only=*/true);
+  const std::vector<std::int32_t> an = random_samples(kNumPairs, -8191, 8191, 0x6721A);
+  const std::vector<std::int32_t> srn = random_samples(kNumPairs, -32768, 32767, 0x6721B);
+  const std::uint32_t an_base =
+      module->add_segment("an", kNumPairs, std::vector<std::int32_t>(an));
+  const std::uint32_t srn_base =
+      module->add_segment("srn", kNumPairs, std::vector<std::int32_t>(srn));
+  const std::uint32_t out_base = module->add_segment("out", kNumPairs);
+
+  IrBuilder b(*module, "g721_fmult", 1);
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+
+  const ValueId an_v = b.load(b.add(b.konst(an_base), loop.index));
+  const ValueId srn_v = b.load(b.add(b.konst(srn_base), loop.index));
+
+  const ValueId neg_an = b.sub(b.konst(0), an_v);
+  const ValueId anmag =
+      b.select(b.gt_s(an_v, b.konst(0)), an_v, b.and_(neg_an, b.konst(0x1FFF)));
+
+  // quan(anmag, power2, 15): first i with anmag < power2[i] (15 if none).
+  const BlockId pre_q = b.insert_block();
+  const BlockId qhead = b.new_block("quan.head");
+  const BlockId qbody = b.new_block("quan.body");
+  const BlockId qcont = b.new_block("quan.cont");
+  const BlockId qexit = b.new_block("quan.exit");
+  b.br(qhead);
+  b.set_insert(qhead);
+  const ValueId qi = b.phi();
+  b.add_incoming(qi, pre_q, b.konst(0));
+  b.br_if(b.lt_s(qi, b.konst(15)), qbody, qexit);
+  b.set_insert(qbody);
+  const ValueId threshold = b.load_rom(b.add(b.konst(power2_base), qi), power2_seg);
+  b.br_if(b.lt_s(anmag, threshold), qexit, qcont);
+  b.set_insert(qcont);
+  b.add_incoming(qi, qcont, b.add(qi, b.konst(1)));
+  b.br(qhead);
+  b.set_insert(qexit);
+
+  const ValueId anexp = b.sub(qi, b.konst(6));
+  const ValueId shifted = b.select(b.ge_s(anexp, b.konst(0)), b.shr_s(anmag, anexp),
+                                   b.shl(anmag, b.sub(b.konst(0), anexp)));
+  const ValueId anmant = b.select(b.eq(anmag, b.konst(0)), b.konst(32), shifted);
+  const ValueId wanexp = b.sub(
+      b.add(anexp, b.and_(b.shr_s(srn_v, b.konst(6)), b.konst(15))), b.konst(13));
+  const ValueId wanmant = b.shr_s(
+      b.add(b.mul(anmant, b.and_(srn_v, b.konst(63))), b.konst(0x30)), b.konst(4));
+  const ValueId pos = b.and_(b.shl(wanmant, wanexp), b.konst(0x7FFF));
+  const ValueId neg = b.shr_u(wanmant, b.sub(b.konst(0), wanexp));
+  const ValueId retval = b.select(b.ge_s(wanexp, b.konst(0)), pos, neg);
+  const ValueId signed_ret = b.select(b.lt_s(b.xor_(an_v, srn_v), b.konst(0)),
+                                      b.sub(b.konst(0), retval), retval);
+  b.store(b.add(b.konst(out_base), loop.index), signed_ret);
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("g721", std::move(module), "g721_fmult", {kNumPairs},
+                  segment_reader("out", kNumPairs), reference(an, srn));
+}
+
+}  // namespace isex

@@ -1,0 +1,66 @@
+// GSM 06.10 saturated-arithmetic section: GSM_ADD and GSM_MULT_R as in the
+// MediaBench gsm/add.c primitives, combined per sample.
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kNumSamples = 72;
+
+std::int32_t sat16(std::int64_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<std::int32_t>(v);
+}
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& a,
+                                    const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int32_t sum = sat16(static_cast<std::int64_t>(a[i]) + b[i]);
+    const std::int32_t prod = sat16((static_cast<std::int64_t>(a[i]) * b[i] + 16384) >> 15);
+    out.push_back(sat16(static_cast<std::int64_t>(sum) - prod));
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_gsm_add() {
+  auto module = std::make_unique<Module>("gsm");
+  const std::vector<std::int32_t> a = random_samples(kNumSamples, -32768, 32767, 0x65A1);
+  const std::vector<std::int32_t> bv = random_samples(kNumSamples, -32768, 32767, 0x65A2);
+  const std::uint32_t a_base =
+      module->add_segment("a", kNumSamples, std::vector<std::int32_t>(a));
+  const std::uint32_t b_base =
+      module->add_segment("b", kNumSamples, std::vector<std::int32_t>(bv));
+  const std::uint32_t out_base = module->add_segment("out", kNumSamples);
+
+  IrBuilder b(*module, "gsm_add", 1);
+
+  // sat16 on a value known to fit in 18 bits (all sums/diffs here do).
+  const auto sat = [&](ValueId v) {
+    const ValueId hi = b.select(b.gt_s(v, b.konst(32767)), b.konst(32767), v);
+    return b.select(b.lt_s(hi, b.konst(-32768)), b.konst(-32768), hi);
+  };
+
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+  const ValueId av = b.load(b.add(b.konst(a_base), loop.index));
+  const ValueId bw = b.load(b.add(b.konst(b_base), loop.index));
+  const ValueId sum = sat(b.add(av, bw));
+  const ValueId prod =
+      sat(b.shr_s(b.add(b.mul(av, bw), b.konst(16384)), b.konst(15)));
+  const ValueId res = sat(b.sub(sum, prod));
+  b.store(b.add(b.konst(out_base), loop.index), res);
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("gsm", std::move(module), "gsm_add", {kNumSamples},
+                  segment_reader("out", kNumSamples), reference(a, bv));
+}
+
+}  // namespace isex

@@ -1,0 +1,135 @@
+// One-dimensional 8-point IDCT row pass in the style of the MPEG reference
+// decoder (jrevdct): fixed-point butterflies with constant multipliers —
+// long add/sub/shift chains with multiple live-out values per row.
+#include <array>
+
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kRows = 12;
+// Fixed-point cosine constants (<< 11), as in the classic implementation.
+constexpr std::int32_t kC1 = 2841, kC2 = 2676, kC3 = 2408, kC5 = 1609, kC6 = 1108,
+                       kC7 = 565;
+
+void idct_row(const std::int32_t* in, std::int32_t* out) {
+  std::int32_t x0 = (in[0] << 11) + 128;
+  std::int32_t x1 = in[4] << 11;
+  std::int32_t x2 = in[6], x3 = in[2], x4 = in[1], x5 = in[7], x6 = in[5], x7 = in[3];
+
+  std::int32_t x8 = kC7 * (x4 + x5);
+  x4 = x8 + (kC1 - kC7) * x4;
+  x5 = x8 - (kC1 + kC7) * x5;
+  x8 = kC3 * (x6 + x7);
+  x6 = x8 - (kC3 - kC5) * x6;
+  x7 = x8 - (kC3 + kC5) * x7;
+
+  x8 = x0 + x1;
+  x0 -= x1;
+  x1 = kC6 * (x3 + x2);
+  x2 = x1 - (kC2 + kC6) * x2;
+  x3 = x1 + (kC2 - kC6) * x3;
+  x1 = x4 + x6;
+  x4 -= x6;
+  x6 = x5 + x7;
+  x5 -= x7;
+
+  x7 = x8 + x3;
+  x8 -= x3;
+  x3 = x0 + x2;
+  x0 -= x2;
+  x2 = (181 * (x4 + x5) + 128) >> 8;
+  x4 = (181 * (x4 - x5) + 128) >> 8;
+
+  out[0] = (x7 + x1) >> 8;
+  out[1] = (x3 + x2) >> 8;
+  out[2] = (x0 + x4) >> 8;
+  out[3] = (x8 + x6) >> 8;
+  out[4] = (x8 - x6) >> 8;
+  out[5] = (x0 - x4) >> 8;
+  out[6] = (x3 - x2) >> 8;
+  out[7] = (x7 - x1) >> 8;
+}
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& coeffs) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(kRows) * 8, 0);
+  for (int r = 0; r < kRows; ++r) {
+    idct_row(&coeffs[static_cast<std::size_t>(r) * 8], &out[static_cast<std::size_t>(r) * 8]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_idct_row() {
+  auto module = std::make_unique<Module>("idct");
+  const std::vector<std::int32_t> coeffs =
+      random_samples(static_cast<std::size_t>(kRows) * 8, -256, 255, 0x1DC7);
+  const std::uint32_t in_base = module->add_segment(
+      "in", static_cast<std::uint32_t>(kRows * 8), std::vector<std::int32_t>(coeffs));
+  const std::uint32_t out_base =
+      module->add_segment("out", static_cast<std::uint32_t>(kRows * 8));
+
+  IrBuilder b(*module, "idct_row", 1);
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+
+  const ValueId row = b.shl(loop.index, b.konst(3));
+  const auto in = [&](int k) {
+    return b.load(b.add(b.konst(in_base + static_cast<std::uint32_t>(k)), row));
+  };
+  const auto cmul = [&](std::int32_t c, ValueId v) { return b.mul(b.konst(c), v); };
+
+  ValueId x0 = b.add(b.shl(in(0), b.konst(11)), b.konst(128));
+  ValueId x1 = b.shl(in(4), b.konst(11));
+  ValueId x2 = in(6), x3 = in(2), x4 = in(1), x5 = in(7), x6 = in(5), x7 = in(3);
+
+  ValueId x8 = cmul(kC7, b.add(x4, x5));
+  x4 = b.add(x8, cmul(kC1 - kC7, x4));
+  x5 = b.sub(x8, cmul(kC1 + kC7, x5));
+  x8 = cmul(kC3, b.add(x6, x7));
+  x6 = b.sub(x8, cmul(kC3 - kC5, x6));
+  x7 = b.sub(x8, cmul(kC3 + kC5, x7));
+
+  x8 = b.add(x0, x1);
+  x0 = b.sub(x0, x1);
+  x1 = cmul(kC6, b.add(x3, x2));
+  x2 = b.sub(x1, cmul(kC2 + kC6, x2));
+  x3 = b.add(x1, cmul(kC2 - kC6, x3));
+  x1 = b.add(x4, x6);
+  x4 = b.sub(x4, x6);
+  x6 = b.add(x5, x7);
+  x5 = b.sub(x5, x7);
+
+  x7 = b.add(x8, x3);
+  x8 = b.sub(x8, x3);
+  x3 = b.add(x0, x2);
+  x0 = b.sub(x0, x2);
+  x2 = b.shr_s(b.add(cmul(181, b.add(x4, x5)), b.konst(128)), b.konst(8));
+  x4 = b.shr_s(b.add(cmul(181, b.sub(x4, x5)), b.konst(128)), b.konst(8));
+
+  const auto out = [&](int k, ValueId v) {
+    b.store(b.add(b.konst(out_base + static_cast<std::uint32_t>(k)), row),
+            b.shr_s(v, b.konst(8)));
+  };
+  out(0, b.add(x7, x1));
+  out(1, b.add(x3, x2));
+  out(2, b.add(x0, x4));
+  out(3, b.add(x8, x6));
+  out(4, b.sub(x8, x6));
+  out(5, b.sub(x0, x4));
+  out(6, b.sub(x3, x2));
+  out(7, b.sub(x7, x1));
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("idct", std::move(module), "idct_row", {kRows},
+                  segment_reader("out", static_cast<std::uint32_t>(kRows * 8)),
+                  reference(coeffs));
+}
+
+}  // namespace isex

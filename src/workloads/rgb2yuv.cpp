@@ -1,0 +1,77 @@
+// RGB -> YUV colour conversion (BT.601 integer approximation): three
+// constant-multiply trees sharing the same three inputs — the disconnected,
+// SIMD-like multi-output shape the paper's Section 4 motivates.
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kNumPixels = 48;
+
+std::int32_t clamp255(std::int32_t v) { return v < 0 ? 0 : (v > 255 ? 255 : v); }
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& rgb) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(kNumPixels) * 3, 0);
+  for (int i = 0; i < kNumPixels; ++i) {
+    const std::int32_t r = rgb[static_cast<std::size_t>(3 * i)];
+    const std::int32_t g = rgb[static_cast<std::size_t>(3 * i + 1)];
+    const std::int32_t b = rgb[static_cast<std::size_t>(3 * i + 2)];
+    out[static_cast<std::size_t>(3 * i)] = clamp255(((66 * r + 129 * g + 25 * b + 128) >> 8) + 16);
+    out[static_cast<std::size_t>(3 * i + 1)] =
+        clamp255(((-38 * r - 74 * g + 112 * b + 128) >> 8) + 128);
+    out[static_cast<std::size_t>(3 * i + 2)] =
+        clamp255(((112 * r - 94 * g - 18 * b + 128) >> 8) + 128);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_rgb2yuv() {
+  auto module = std::make_unique<Module>("rgb2yuv");
+  const std::vector<std::int32_t> rgb =
+      random_samples(static_cast<std::size_t>(kNumPixels) * 3, 0, 255, 0x46B);
+  const std::uint32_t in_base = module->add_segment(
+      "in", static_cast<std::uint32_t>(kNumPixels * 3), std::vector<std::int32_t>(rgb));
+  const std::uint32_t out_base =
+      module->add_segment("out", static_cast<std::uint32_t>(kNumPixels * 3));
+
+  IrBuilder b(*module, "rgb2yuv", 1);
+  const auto clamp = [&](ValueId v) {
+    const ValueId lo = b.select(b.lt_s(v, b.konst(0)), b.konst(0), v);
+    return b.select(b.gt_s(lo, b.konst(255)), b.konst(255), lo);
+  };
+
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+
+  const ValueId three_i = b.mul(loop.index, b.konst(3));
+  const ValueId r = b.load(b.add(b.konst(in_base), three_i));
+  const ValueId g = b.load(b.add(b.konst(in_base + 1), three_i));
+  const ValueId bch = b.load(b.add(b.konst(in_base + 2), three_i));
+
+  const auto axpy3 = [&](int cr, int cg, int cb, int post) {
+    const ValueId acc = b.add(
+        b.add(b.mul(r, b.konst(cr)), b.mul(g, b.konst(cg))),
+        b.add(b.mul(bch, b.konst(cb)), b.konst(128)));
+    return clamp(b.add(b.shr_s(acc, b.konst(8)), b.konst(post)));
+  };
+  const ValueId y = axpy3(66, 129, 25, 16);
+  const ValueId u = axpy3(-38, -74, 112, 128);
+  const ValueId v = axpy3(112, -94, -18, 128);
+
+  b.store(b.add(b.konst(out_base), three_i), y);
+  b.store(b.add(b.konst(out_base + 1), three_i), u);
+  b.store(b.add(b.konst(out_base + 2), three_i), v);
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("rgb2yuv", std::move(module), "rgb2yuv", {kNumPixels},
+                  segment_reader("out", static_cast<std::uint32_t>(kNumPixels * 3)),
+                  reference(rgb));
+}
+
+}  // namespace isex

@@ -1,0 +1,84 @@
+// SHA-1 round function: two unrolled rounds of the 0-19 schedule per loop
+// iteration (rotate / choose / add mixing over five chained state words).
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kNumWords = 64;
+constexpr std::int32_t kK = 0x5A827999;
+
+std::uint32_t rol(std::uint32_t x, int s) { return (x << s) | (x >> (32 - s)); }
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& w) {
+  std::uint32_t a = 0x67452301u, b = 0xEFCDAB89u, c = 0x98BADCFEu, d = 0x10325476u,
+                e = 0xC3D2E1F0u;
+  std::vector<std::int32_t> out;
+  out.reserve(w.size() / 2);
+  for (std::size_t i = 0; i + 1 < w.size(); i += 2) {
+    for (int r = 0; r < 2; ++r) {
+      const std::uint32_t f = (b & c) | (~b & d);
+      const std::uint32_t tmp = rol(a, 5) + f + e + static_cast<std::uint32_t>(w[i + r]) +
+                                static_cast<std::uint32_t>(kK);
+      e = d;
+      d = c;
+      c = rol(b, 30);
+      b = a;
+      a = tmp;
+    }
+    out.push_back(static_cast<std::int32_t>(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_sha1_round() {
+  auto module = std::make_unique<Module>("sha1");
+  const std::vector<std::int32_t> words =
+      random_samples(kNumWords, INT32_MIN, INT32_MAX, 0x5AA1);
+  const std::uint32_t in_base =
+      module->add_segment("in", kNumWords, std::vector<std::int32_t>(words));
+  const std::uint32_t out_base = module->add_segment("out", kNumWords / 2);
+
+  IrBuilder b(*module, "sha1_round", 1);
+  const auto rol_ir = [&](ValueId x, int s) {
+    return b.or_(b.shl(x, b.konst(s)), b.shr_u(x, b.konst(32 - s)));
+  };
+
+  CountedLoop loop = begin_counted_loop(b, b.param(0));  // iterations over word pairs
+  ValueId a = loop_var(b, loop, b.konst(0x67452301));
+  ValueId bb = loop_var(b, loop, b.konst(static_cast<std::int64_t>(0xEFCDAB89u - 0x100000000ll)));
+  ValueId c = loop_var(b, loop, b.konst(static_cast<std::int64_t>(0x98BADCFEu - 0x100000000ll)));
+  ValueId d = loop_var(b, loop, b.konst(0x10325476));
+  ValueId e = loop_var(b, loop, b.konst(static_cast<std::int64_t>(0xC3D2E1F0u - 0x100000000ll)));
+  const ValueId a0 = a, b0 = bb, c0 = c, d0 = d, e0 = e;
+  enter_loop_body(b, loop);
+
+  const ValueId base_addr = b.add(b.konst(in_base), b.shl(loop.index, b.konst(1)));
+  ValueId va = a0, vb = b0, vc = c0, vd = d0, ve = e0;
+  for (int r = 0; r < 2; ++r) {
+    const ValueId w = b.load(b.add(base_addr, b.konst(r)));
+    const ValueId f = b.or_(b.and_(vb, vc), b.and_(b.not_(vb), vd));
+    const ValueId tmp =
+        b.add(b.add(b.add(b.add(rol_ir(va, 5), f), ve), w), b.konst(kK));
+    ve = vd;
+    vd = vc;
+    vc = rol_ir(vb, 30);
+    vb = va;
+    va = tmp;
+  }
+  b.store(b.add(b.konst(out_base), loop.index), va);
+
+  const std::pair<ValueId, ValueId> latch[] = {
+      {a0, va}, {b0, vb}, {c0, vc}, {d0, vd}, {e0, ve}};
+  end_counted_loop(b, loop, latch);
+  b.ret(a0);
+
+  return Workload("sha1", std::move(module), "sha1_round", {kNumWords / 2},
+                  segment_reader("out", kNumWords / 2), reference(words));
+}
+
+}  // namespace isex

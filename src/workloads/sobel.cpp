@@ -1,0 +1,74 @@
+// Sobel 3x3 gradient magnitude over a row of a grayscale image: two
+// shift/add stencils, absolute values via selects, and a saturating sum.
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kWidth = 20;
+constexpr int kRows = 3;
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& px) {
+  std::vector<std::int32_t> out;
+  out.reserve(kWidth - 2);
+  const auto at = [&](int r, int c) { return px[static_cast<std::size_t>(r * kWidth + c)]; };
+  for (int c = 1; c + 1 < kWidth; ++c) {
+    const std::int32_t gx = (at(0, c + 1) + 2 * at(1, c + 1) + at(2, c + 1)) -
+                            (at(0, c - 1) + 2 * at(1, c - 1) + at(2, c - 1));
+    const std::int32_t gy = (at(2, c - 1) + 2 * at(2, c) + at(2, c + 1)) -
+                            (at(0, c - 1) + 2 * at(0, c) + at(0, c + 1));
+    const std::int32_t ax = gx < 0 ? -gx : gx;
+    const std::int32_t ay = gy < 0 ? -gy : gy;
+    const std::int32_t sum = ax + ay;
+    out.push_back(sum > 255 ? 255 : sum);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_sobel() {
+  auto module = std::make_unique<Module>("sobel");
+  const std::vector<std::int32_t> px =
+      random_samples(static_cast<std::size_t>(kWidth) * kRows, 0, 255, 0x50BE1);
+  const std::uint32_t in_base = module->add_segment(
+      "in", static_cast<std::uint32_t>(kWidth * kRows), std::vector<std::int32_t>(px));
+  const std::uint32_t out_base =
+      module->add_segment("out", static_cast<std::uint32_t>(kWidth - 2));
+
+  IrBuilder b(*module, "sobel_row", 1);
+  const auto absval = [&](ValueId v) {
+    return b.select(b.lt_s(v, b.konst(0)), b.sub(b.konst(0), v), v);
+  };
+
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+  const ValueId c = b.add(loop.index, b.konst(1));  // column 1..width-2
+
+  const auto pixel = [&](int row, int dc) {
+    const ValueId addr = b.add(
+        b.add(b.konst(in_base + static_cast<std::uint32_t>(row * kWidth)), c), b.konst(dc));
+    return b.load(addr);
+  };
+  const auto stencil = [&](ValueId a, ValueId mid, ValueId z) {
+    return b.add(b.add(a, b.shl(mid, b.konst(1))), z);
+  };
+
+  const ValueId gx = b.sub(stencil(pixel(0, 1), pixel(1, 1), pixel(2, 1)),
+                           stencil(pixel(0, -1), pixel(1, -1), pixel(2, -1)));
+  const ValueId gy = b.sub(stencil(pixel(2, -1), pixel(2, 0), pixel(2, 1)),
+                           stencil(pixel(0, -1), pixel(0, 0), pixel(0, 1)));
+  const ValueId sum = b.add(absval(gx), absval(gy));
+  const ValueId mag = b.select(b.gt_s(sum, b.konst(255)), b.konst(255), sum);
+  b.store(b.add(b.konst(out_base), loop.index), mag);
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("sobel", std::move(module), "sobel_row", {kWidth - 2},
+                  segment_reader("out", static_cast<std::uint32_t>(kWidth - 2)), reference(px));
+}
+
+}  // namespace isex

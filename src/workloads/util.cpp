@@ -1,0 +1,102 @@
+#include "workloads/util.hpp"
+
+#include "support/rng.hpp"
+
+namespace isex {
+
+std::vector<std::int32_t> random_samples(std::size_t n, std::int32_t lo, std::int32_t hi,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::int32_t>(rng.uniform(lo, hi)));
+  }
+  return out;
+}
+
+std::function<std::vector<std::int32_t>(const Module&, const Memory&)> segment_reader(
+    std::string name, std::uint32_t count) {
+  return [name = std::move(name), count](const Module& module, const Memory& mem) {
+    const MemSegment* seg = module.find_segment(name);
+    ISEX_CHECK(seg != nullptr, "output segment missing: " + name);
+    ISEX_CHECK(count <= seg->size_words, "reading past segment: " + name);
+    return mem.read_words(seg->base, count);
+  };
+}
+
+ValueId emit_cond_update(IrBuilder& b, ValueId cond, ValueId current,
+                         const std::function<ValueId()>& make_updated, const std::string& tag) {
+  const BlockId from = b.insert_block();
+  const BlockId then_b = b.new_block(tag + ".then");
+  const BlockId join = b.new_block(tag + ".join");
+  b.br_if(cond, then_b, join);
+  b.set_insert(then_b);
+  const ValueId updated = make_updated();
+  b.br(join);
+  b.set_insert(join);
+  const ValueId merged = b.phi();
+  b.add_incoming(merged, then_b, updated);
+  b.add_incoming(merged, from, current);
+  return merged;
+}
+
+ValueId emit_cond_value(IrBuilder& b, ValueId cond, const std::function<ValueId()>& make_then,
+                        const std::function<ValueId()>& make_else, const std::string& tag) {
+  const BlockId then_b = b.new_block(tag + ".then");
+  const BlockId else_b = b.new_block(tag + ".else");
+  const BlockId join = b.new_block(tag + ".join");
+  b.br_if(cond, then_b, else_b);
+  b.set_insert(then_b);
+  const ValueId tv = make_then();
+  b.br(join);
+  b.set_insert(else_b);
+  const ValueId ev = make_else();
+  b.br(join);
+  b.set_insert(join);
+  const ValueId merged = b.phi();
+  b.add_incoming(merged, then_b, tv);
+  b.add_incoming(merged, else_b, ev);
+  return merged;
+}
+
+CountedLoop begin_counted_loop(IrBuilder& b, ValueId n) {
+  CountedLoop loop;
+  loop.entry = b.insert_block();
+  loop.head = b.new_block("loop.head");
+  loop.body = b.new_block("loop.body");
+  loop.exit = b.new_block("loop.exit");
+  loop.limit = n;
+  b.br(loop.head);
+  b.set_insert(loop.head);
+  loop.index = b.phi();
+  b.add_incoming(loop.index, loop.entry, b.konst(0));
+  return loop;
+}
+
+ValueId loop_var(IrBuilder& b, const CountedLoop& loop, ValueId initial) {
+  ISEX_CHECK(b.insert_block() == loop.head, "loop_var must be created in the loop head");
+  const ValueId v = b.phi();
+  b.add_incoming(v, loop.entry, initial);
+  return v;
+}
+
+void enter_loop_body(IrBuilder& b, const CountedLoop& loop) {
+  ISEX_CHECK(b.insert_block() == loop.head, "enter_loop_body expects the head block");
+  b.br_if(b.lt_s(loop.index, loop.limit), loop.body, loop.exit);
+  b.set_insert(loop.body);
+}
+
+void end_counted_loop(IrBuilder& b, const CountedLoop& loop,
+                      std::span<const std::pair<ValueId, ValueId>> latch_updates) {
+  const BlockId latch = b.insert_block();
+  const ValueId next = b.add(loop.index, b.konst(1));
+  b.add_incoming(loop.index, latch, next);
+  for (const auto& [phi, value] : latch_updates) {
+    b.add_incoming(phi, latch, value);
+  }
+  b.br(loop.head);
+  b.set_insert(loop.exit);
+}
+
+}  // namespace isex

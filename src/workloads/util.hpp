@@ -1,0 +1,56 @@
+// Shared helpers for the hand-translated kernels: deterministic input
+// generation, segment read-back, and CFG shorthand for the conditional
+// update patterns that if-conversion later turns into SEL nodes.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "interp/memory.hpp"
+#include "ir/builder.hpp"
+
+namespace isex {
+
+/// Deterministic pseudo-random samples in [lo, hi].
+std::vector<std::int32_t> random_samples(std::size_t n, std::int32_t lo, std::int32_t hi,
+                                         std::uint64_t seed);
+
+/// Returns a reader that fetches `count` words from segment `name`.
+std::function<std::vector<std::int32_t>(const Module&, const Memory&)> segment_reader(
+    std::string name, std::uint32_t count);
+
+/// Emits `if (cond) x = make_updated()` as an explicit triangle; returns the
+/// merged value. The builder continues in the join block.
+ValueId emit_cond_update(IrBuilder& b, ValueId cond, ValueId current,
+                         const std::function<ValueId()>& make_updated, const std::string& tag);
+
+/// Emits `cond ? make_then() : make_else()` as an explicit diamond; returns
+/// the merged value. The builder continues in the join block.
+ValueId emit_cond_value(IrBuilder& b, ValueId cond, const std::function<ValueId()>& make_then,
+                        const std::function<ValueId()>& make_else, const std::string& tag);
+
+/// Counted-loop skeleton `for (i = 0; i < n; ++i)`, used as:
+///   CountedLoop loop = begin_counted_loop(b, n);   // builder now in head
+///   ValueId acc = loop_var(b, loop, init);         // loop-carried phis
+///   enter_loop_body(b, loop);                      // emits i<n branch
+///   ... body (may create triangles/diamonds) ...
+///   end_counted_loop(b, loop, {{acc, acc_next}});  // back edge; builder in exit
+struct CountedLoop {
+  BlockId entry;
+  BlockId head;
+  BlockId body;
+  BlockId exit;
+  ValueId limit;
+  ValueId index;
+};
+
+CountedLoop begin_counted_loop(IrBuilder& b, ValueId n);
+ValueId loop_var(IrBuilder& b, const CountedLoop& loop, ValueId initial);
+void enter_loop_body(IrBuilder& b, const CountedLoop& loop);
+void end_counted_loop(IrBuilder& b, const CountedLoop& loop,
+                      std::span<const std::pair<ValueId, ValueId>> latch_updates);
+
+}  // namespace isex

@@ -1,0 +1,67 @@
+// Viterbi add-compare-select butterfly (K=7-style decoder inner loop):
+// two ACS updates per step — a natural *two-output* custom instruction,
+// the case the paper's multi-output capability targets.
+#include "workloads/util.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+namespace {
+
+constexpr int kNumStates = 32;  // butterflies = kNumStates / 2
+
+std::vector<std::int32_t> reference(const std::vector<std::int32_t>& pm,
+                                    const std::vector<std::int32_t>& bm) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(kNumStates), 0);
+  for (int i = 0; i < kNumStates / 2; ++i) {
+    const std::int32_t p0 = pm[static_cast<std::size_t>(i)];
+    const std::int32_t p1 = pm[static_cast<std::size_t>(i + kNumStates / 2)];
+    const std::int32_t m = bm[static_cast<std::size_t>(i)];
+    const std::int32_t a0 = p0 + m, a1 = p1 - m;
+    const std::int32_t b0 = p0 - m, b1 = p1 + m;
+    out[static_cast<std::size_t>(2 * i)] = a0 >= a1 ? a0 : a1;
+    out[static_cast<std::size_t>(2 * i + 1)] = b0 >= b1 ? b0 : b1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_viterbi_acs() {
+  auto module = std::make_unique<Module>("viterbi");
+  const std::vector<std::int32_t> pm = random_samples(kNumStates, 0, 4000, 0x71BE1);
+  const std::vector<std::int32_t> bm = random_samples(kNumStates / 2, -255, 255, 0x71BE2);
+  const std::uint32_t pm_base =
+      module->add_segment("pm", kNumStates, std::vector<std::int32_t>(pm));
+  const std::uint32_t bm_base =
+      module->add_segment("bm", kNumStates / 2, std::vector<std::int32_t>(bm));
+  const std::uint32_t out_base = module->add_segment("out", kNumStates);
+
+  IrBuilder b(*module, "viterbi_acs", 1);
+  CountedLoop loop = begin_counted_loop(b, b.param(0));
+  enter_loop_body(b, loop);
+
+  const ValueId p0 = b.load(b.add(b.konst(pm_base), loop.index));
+  const ValueId p1 =
+      b.load(b.add(b.konst(pm_base + kNumStates / 2), loop.index));
+  const ValueId m = b.load(b.add(b.konst(bm_base), loop.index));
+
+  const ValueId a0 = b.add(p0, m);
+  const ValueId a1 = b.sub(p1, m);
+  const ValueId n0 = b.select(b.ge_s(a0, a1), a0, a1);
+  const ValueId b0 = b.sub(p0, m);
+  const ValueId b1 = b.add(p1, m);
+  const ValueId n1 = b.select(b.ge_s(b0, b1), b0, b1);
+
+  const ValueId two_i = b.shl(loop.index, b.konst(1));
+  b.store(b.add(b.konst(out_base), two_i), n0);
+  b.store(b.add(b.konst(out_base + 1), two_i), n1);
+
+  end_counted_loop(b, loop, {});
+  b.ret(b.konst(0));
+
+  return Workload("viterbi", std::move(module), "viterbi_acs", {kNumStates / 2},
+                  segment_reader("out", kNumStates), reference(pm, bm));
+}
+
+}  // namespace isex

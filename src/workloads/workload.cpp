@@ -1,0 +1,95 @@
+#include "workloads/workload.hpp"
+
+#include "ir/verifier.hpp"
+#include "passes/pipeline.hpp"
+
+namespace isex {
+
+Workload::Workload(std::string name, std::unique_ptr<Module> module, std::string entry,
+                   std::vector<std::int32_t> args,
+                   std::function<std::vector<std::int32_t>(const Module&, const Memory&)>
+                       read_outputs,
+                   std::vector<std::int32_t> expected_outputs)
+    : name_(std::move(name)),
+      module_(std::move(module)),
+      entry_(std::move(entry)),
+      args_(std::move(args)),
+      read_outputs_(std::move(read_outputs)),
+      expected_(std::move(expected_outputs)) {
+  ISEX_CHECK(module_ != nullptr, "workload needs a module");
+  ISEX_CHECK(module_->find_function(entry_) != nullptr, "missing entry " + entry_);
+  verify_module(*module_);
+}
+
+const Function& Workload::entry() const {
+  const Function* fn = module_->find_function(entry_);
+  ISEX_ASSERT(fn != nullptr, "entry vanished");
+  return *fn;
+}
+
+std::vector<std::int32_t> Workload::run(ExecResult* exec, Profile* profile) const {
+  Memory mem(*module_);
+  Interpreter interp(*module_, mem);
+  const ExecResult r = interp.run(entry(), args_, profile);
+  if (exec != nullptr) *exec = r;
+  return read_outputs_(*module_, mem);
+}
+
+void Workload::preprocess() {
+  if (preprocessed_) return;
+  run_standard_pipeline(*module_);
+  verify_module(*module_);
+  preprocessed_ = true;
+}
+
+std::vector<Dfg> Workload::extract_dfgs(const DfgOptions& options) const {
+  Profile profile;
+  Memory mem(*module_);
+  Interpreter interp(*module_, mem);
+  interp.run(entry(), args_, &profile);
+
+  std::vector<Dfg> graphs;
+  const Function& fn = entry();
+  for (std::size_t b = 0; b < fn.num_blocks(); ++b) {
+    const BlockId block{static_cast<std::uint32_t>(b)};
+    const std::uint64_t freq = profile.count(block);
+    if (freq == 0) continue;
+    Dfg g = Dfg::from_block(*module_, fn, block, static_cast<double>(freq), options);
+    if (g.candidates().empty()) continue;
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+double Workload::base_cycles() const {
+  ExecResult r;
+  run(&r);
+  return static_cast<double>(r.cycles);
+}
+
+std::vector<Workload> all_workloads() {
+  std::vector<Workload> w;
+  w.push_back(make_adpcm_decode());
+  w.push_back(make_adpcm_encode());
+  w.push_back(make_g721_quan());
+  w.push_back(make_gsm_add());
+  w.push_back(make_crc32());
+  w.push_back(make_sha1_round());
+  w.push_back(make_viterbi_acs());
+  w.push_back(make_rgb2yuv());
+  w.push_back(make_fir());
+  w.push_back(make_sobel());
+  w.push_back(make_blowfish());
+  w.push_back(make_idct_row());
+  return w;
+}
+
+std::vector<Workload> fig11_workloads() {
+  std::vector<Workload> w;
+  w.push_back(make_adpcm_decode());
+  w.push_back(make_adpcm_encode());
+  w.push_back(make_g721_quan());
+  return w;
+}
+
+}  // namespace isex

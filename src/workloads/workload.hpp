@@ -1,0 +1,82 @@
+// Workload registry: hand-translated MediaBench-style kernels (paper
+// Section 7 evaluates on a MediaBench subset compiled through MachSUIF).
+//
+// Each workload owns a Module with one entry function, stages its input
+// data into the module's memory segments, and carries a native reference
+// implementation so the IR translation is bit-exact-tested. The driver runs
+// the standard preprocessing pipeline (if-conversion etc.), profiles the
+// kernel with the interpreter, and extracts frequency-weighted DFGs — the
+// inputs the identification algorithms consume.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/module.hpp"
+
+namespace isex {
+
+class Workload {
+ public:
+  Workload(std::string name, std::unique_ptr<Module> module, std::string entry,
+           std::vector<std::int32_t> args,
+           std::function<std::vector<std::int32_t>(const Module&, const Memory&)> read_outputs,
+           std::vector<std::int32_t> expected_outputs);
+
+  const std::string& name() const { return name_; }
+  Module& module() { return *module_; }
+  const Module& module() const { return *module_; }
+  const Function& entry() const;
+  const std::vector<std::int32_t>& args() const { return args_; }
+  const std::vector<std::int32_t>& expected_outputs() const { return expected_; }
+
+  /// Runs the kernel on a fresh memory image; returns outputs read back.
+  std::vector<std::int32_t> run(ExecResult* exec = nullptr, Profile* profile = nullptr) const;
+
+  /// Runs the standard pass pipeline on the module (idempotent).
+  void preprocess();
+
+  /// Profiles the kernel and extracts one frequency-weighted DFG per
+  /// (reachable, executed) basic block of the entry function.
+  std::vector<Dfg> extract_dfgs(const DfgOptions& options = {}) const;
+
+  /// Measured single-issue base cycles of one run (after preprocess()).
+  double base_cycles() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Module> module_;
+  std::string entry_;
+  std::vector<std::int32_t> args_;
+  std::function<std::vector<std::int32_t>(const Module&, const Memory&)> read_outputs_;
+  std::vector<std::int32_t> expected_;
+  bool preprocessed_ = false;
+};
+
+// --- kernel builders -------------------------------------------------------
+// The paper's Fig. 11 benchmarks:
+Workload make_adpcm_decode();  // IMA ADPCM decoder (the paper's Fig. 3 block)
+Workload make_adpcm_encode();  // IMA ADPCM encoder
+Workload make_g721_quan();     // G.721 fmult/quan-style quantiser update
+
+// Additional kernels populating the Fig. 8 block-size spectrum:
+Workload make_gsm_add();       // GSM saturated add/sub section
+Workload make_crc32();         // bitwise CRC-32 (shift/xor ladder)
+Workload make_sha1_round();    // SHA-1 round function (rotate/majority mix)
+Workload make_viterbi_acs();   // Viterbi add-compare-select butterfly
+Workload make_rgb2yuv();       // colour-space conversion (disconnected, SIMD-like)
+Workload make_fir();           // 8-tap FIR filter
+Workload make_sobel();         // Sobel 3x3 gradient magnitude
+Workload make_blowfish();      // Feistel rounds over S-box ROMs
+Workload make_idct_row();      // 8-point fixed-point IDCT row pass
+
+/// All registered workloads (fresh instances).
+std::vector<Workload> all_workloads();
+/// The paper's three Fig. 11 benchmarks.
+std::vector<Workload> fig11_workloads();
+
+}  // namespace isex

@@ -1,0 +1,282 @@
+#include "core/single_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/random_dag.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+/// Paper Fig. 4 graph (see dfg_test.cpp for the layout discussion).
+struct Fig4 {
+  Dfg g;
+  NodeId n0, n1, n2, n3;
+  Fig4() {
+    const NodeId in_a = g.add_input("a");
+    const NodeId in_b = g.add_input("b");
+    const NodeId in_c = g.add_input("c");
+    const NodeId in_d = g.add_input("d");
+    const NodeId c2 = g.add_constant(2);
+    n3 = g.add_op(Opcode::mul, "3:mul");
+    n2 = g.add_op(Opcode::shr_s, "2:shr");
+    n1 = g.add_op(Opcode::add, "1:add");
+    n0 = g.add_op(Opcode::add, "0:add");
+    g.add_edge(in_a, n3);
+    g.add_edge(in_b, n3);
+    g.add_edge(n3, n2);
+    g.add_edge(c2, n2);
+    g.add_edge(n3, n1);
+    g.add_edge(in_c, n1);
+    g.add_edge(n2, n0);
+    g.add_edge(in_d, n0);
+    g.add_output(n0, "out0");
+    g.add_output(n1, "out1");
+    g.finalize();
+  }
+};
+
+Constraints cons(int nin, int nout) {
+  Constraints c;
+  c.max_inputs = nin;
+  c.max_outputs = nout;
+  return c;
+}
+
+/// Exhaustive reference: scan all 2^candidates cuts.
+SingleCutResult brute_force(const Dfg& g, const Constraints& c) {
+  const auto& cand = g.candidates();
+  SingleCutResult best;
+  best.cut = BitVector(g.num_nodes());
+  ISEX_CHECK(cand.size() <= 20, "brute force too large");
+  for (std::uint64_t bits = 1; bits < (std::uint64_t{1} << cand.size()); ++bits) {
+    BitVector cut(g.num_nodes());
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (bits >> i & 1) cut.set(cand[i].index);
+    }
+    const CutMetrics m = compute_metrics(g, cut, kLat);
+    if (!m.convex || m.inputs > c.max_inputs || m.outputs > c.max_outputs) continue;
+    const double merit = merit_of(m, g.exec_freq());
+    if (merit > best.merit) {
+      best.merit = merit;
+      best.cut = cut;
+      best.metrics = m;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Paper Fig. 7: execution trace on the Fig. 4 graph with Nout = 1.
+// "Only 5 cuts pass both output port check and the convexity check, while 6
+//  cuts are found to violate either constraint, resulting in elimination of
+//  4 more cuts. Among 16 possible cuts, only 11 are therefore considered."
+// ---------------------------------------------------------------------------
+TEST(SingleCut, Fig7TraceCountsMatchPaper) {
+  const Fig4 f;
+  const SingleCutResult r = find_best_cut(f.g, kLat, cons(10, 1));
+  EXPECT_EQ(r.stats.cuts_considered, 11u);
+  EXPECT_EQ(r.stats.passed_checks, 5u);
+  EXPECT_EQ(r.stats.failed_output + r.stats.failed_convex, 6u);
+  EXPECT_FALSE(r.stats.budget_exhausted);
+  // The six failures prune exactly four further cuts: 15 nonempty cuts exist.
+  Constraints no_prune = cons(10, 1);
+  no_prune.enable_pruning = false;
+  EXPECT_EQ(find_best_cut(f.g, kLat, no_prune).stats.cuts_considered, 15u);
+}
+
+TEST(SingleCut, Fig4WithoutPruningConsidersAllCuts) {
+  const Fig4 f;
+  Constraints c = cons(10, 1);
+  c.enable_pruning = false;
+  const SingleCutResult r = find_best_cut(f.g, kLat, c);
+  EXPECT_EQ(r.stats.cuts_considered, 15u);  // all nonempty cuts
+  // Pruning never changes the reported optimum.
+  const SingleCutResult pruned = find_best_cut(f.g, kLat, cons(10, 1));
+  EXPECT_DOUBLE_EQ(r.merit, pruned.merit);
+  EXPECT_EQ(r.cut, pruned.cut);
+}
+
+TEST(SingleCut, Fig4BestCutWithTwoOutputs) {
+  const Fig4 f;
+  // With Nout=2 and enough inputs the whole graph is the best cut:
+  // sw = 1+1+1+2 = 5, hw = mul+shr+add = 0.8+0.18+0.27 = 1.25 -> 2 cycles.
+  const SingleCutResult r = find_best_cut(f.g, kLat, cons(4, 2));
+  EXPECT_EQ(r.cut.count(), 4u);
+  EXPECT_DOUBLE_EQ(r.merit, 3.0);
+  EXPECT_EQ(r.metrics.inputs, 4);
+  EXPECT_EQ(r.metrics.outputs, 2);
+}
+
+TEST(SingleCut, RespectsInputConstraint) {
+  const Fig4 f;
+  // Nin=2: the whole graph (4 inputs) is infeasible; the best 2-input cut
+  // must still be found.
+  const SingleCutResult r = find_best_cut(f.g, kLat, cons(2, 2));
+  EXPECT_LE(r.metrics.inputs, 2);
+  const SingleCutResult ref = brute_force(f.g, cons(2, 2));
+  EXPECT_DOUBLE_EQ(r.merit, ref.merit);
+}
+
+TEST(SingleCut, EmptyResultWhenNothingBeneficial) {
+  // A single add: sw 1, hw 1 cycle -> merit 0; no cut should be chosen.
+  Dfg g;
+  const NodeId in = g.add_input();
+  const NodeId a = g.add_op(Opcode::add);
+  g.add_edge(in, a);
+  g.add_output(a);
+  g.finalize();
+  const SingleCutResult r = find_best_cut(g, kLat, cons(4, 2));
+  EXPECT_TRUE(r.cut.none());
+  EXPECT_DOUBLE_EQ(r.merit, 0.0);
+}
+
+TEST(SingleCut, MeritScalesWithFrequency) {
+  Fig4 f;
+  f.g.set_exec_freq(100.0);
+  const SingleCutResult r = find_best_cut(f.g, kLat, cons(4, 2));
+  EXPECT_DOUBLE_EQ(r.merit, 300.0);
+}
+
+TEST(SingleCut, FindsDisconnectedCuts) {
+  // Two independent mul+add chains; one joint instruction saves more than
+  // either chain alone (paper Section 4: disconnected graphs matter).
+  Dfg g;
+  std::vector<NodeId> outs;
+  for (int i = 0; i < 2; ++i) {
+    const NodeId a = g.add_input();
+    const NodeId b = g.add_input();
+    const NodeId m = g.add_op(Opcode::mul);
+    const NodeId s = g.add_op(Opcode::add);
+    g.add_edge(a, m);
+    g.add_edge(b, m);
+    g.add_edge(m, s);
+    g.add_edge(a, s);
+    g.add_output(s);
+    outs.push_back(s);
+  }
+  g.finalize();
+  const SingleCutResult r = find_best_cut(g, kLat, cons(4, 2));
+  // All four ops in one cut: sw = 2+1+2+1 = 6; hw = ceil(1.07) = 2 -> merit 4.
+  EXPECT_EQ(r.cut.count(), 4u);
+  EXPECT_DOUBLE_EQ(r.merit, 4.0);
+  // With a single output port only one chain fits.
+  const SingleCutResult r1 = find_best_cut(g, kLat, cons(4, 1));
+  EXPECT_EQ(r1.cut.count(), 2u);
+  EXPECT_DOUBLE_EQ(r1.merit, 1.0);
+}
+
+TEST(SingleCut, ForbiddenNodesStayOutside) {
+  Dfg g;
+  const NodeId in = g.add_input();
+  const NodeId ld = g.add_forbidden_op(Opcode::load, "LD");
+  const NodeId m = g.add_op(Opcode::mul);
+  const NodeId a = g.add_op(Opcode::add);
+  g.add_edge(in, ld);
+  g.add_edge(ld, m);
+  g.add_edge(m, a);
+  g.add_edge(in, a);
+  g.add_output(a);
+  g.finalize();
+  const SingleCutResult r = find_best_cut(g, kLat, cons(4, 2));
+  EXPECT_FALSE(r.cut.test(ld.index));
+}
+
+TEST(SingleCut, BudgetStopsSearch) {
+  RandomDagConfig cfg;
+  cfg.num_ops = 24;
+  cfg.seed = 3;
+  const Dfg g = random_dag(cfg);
+  Constraints c = cons(4, 2);
+  c.search_budget = 50;
+  const SingleCutResult r = find_best_cut(g, kLat, c);
+  EXPECT_TRUE(r.stats.budget_exhausted);
+  EXPECT_LE(r.stats.cuts_considered, 50u);
+}
+
+TEST(SingleCut, ReportedMetricsMatchReference) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 12;
+    cfg.seed = seed;
+    const Dfg g = random_dag(cfg);
+    const SingleCutResult r = find_best_cut(g, kLat, cons(3, 2));
+    if (r.cut.none()) continue;
+    const CutMetrics m = compute_metrics(g, r.cut, kLat);
+    EXPECT_TRUE(m.convex) << "seed " << seed;
+    EXPECT_LE(m.inputs, 3) << "seed " << seed;
+    EXPECT_LE(m.outputs, 2) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(merit_of(m, g.exec_freq()), r.merit) << "seed " << seed;
+  }
+}
+
+// Property test: the enumerator equals exhaustive search on random DAGs,
+// across a grid of constraints.
+struct GridParam {
+  int nin, nout;
+};
+
+class SingleCutOptimality : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SingleCutOptimality, MatchesBruteForce) {
+  const auto [nin, nout] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 11;
+    cfg.seed = seed * 77 + static_cast<std::uint64_t>(nin * 10 + nout);
+    const Dfg g = random_dag(cfg);
+    const Constraints c = cons(nin, nout);
+    const SingleCutResult fast = find_best_cut(g, kLat, c);
+    const SingleCutResult ref = brute_force(g, c);
+    EXPECT_DOUBLE_EQ(fast.merit, ref.merit)
+        << "seed=" << seed << " nin=" << nin << " nout=" << nout
+        << " fast=" << fast.cut.to_string() << " ref=" << ref.cut.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ConstraintGrid, SingleCutOptimality,
+                         ::testing::Values(GridParam{1, 1}, GridParam{2, 1}, GridParam{2, 2},
+                                           GridParam{3, 1}, GridParam{3, 2}, GridParam{4, 2},
+                                           GridParam{4, 4}, GridParam{8, 3}),
+                         [](const ::testing::TestParamInfo<GridParam>& info) {
+                           return "nin" + std::to_string(info.param.nin) + "_nout" +
+                                  std::to_string(info.param.nout);
+                         });
+
+// The optional prunes must never change the optimum.
+class SingleCutAblations : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleCutAblations, ResultPreserving) {
+  const int variant = GetParam();
+  for (std::uint64_t seed = 40; seed <= 60; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 13;
+    cfg.seed = seed;
+    const Dfg g = random_dag(cfg);
+    Constraints base = cons(3, 2);
+    Constraints tweaked = base;
+    if (variant == 0) tweaked.prune_permanent_inputs = true;
+    if (variant == 1) tweaked.branch_and_bound = true;
+    if (variant == 2) tweaked.enable_pruning = false;
+    if (variant == 3) {
+      tweaked.prune_permanent_inputs = true;
+      tweaked.branch_and_bound = true;
+    }
+    const SingleCutResult a = find_best_cut(g, kLat, base);
+    const SingleCutResult b = find_best_cut(g, kLat, tweaked);
+    EXPECT_DOUBLE_EQ(a.merit, b.merit) << "seed " << seed << " variant " << variant;
+    // The extra prunes only shrink the search.
+    if (variant == 0 || variant == 1 || variant == 3) {
+      EXPECT_LE(b.stats.cuts_considered, a.stats.cuts_considered);
+    }
+    if (variant == 2) {
+      EXPECT_GE(b.stats.cuts_considered, a.stats.cuts_considered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SingleCutAblations, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace isex

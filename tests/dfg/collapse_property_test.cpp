@@ -1,0 +1,87 @@
+// Property tests for collapse(): on random DAGs with random feasible cuts,
+// the collapsed graph must stay acyclic, preserve all external reachability
+// relations through the super-node, and keep the remaining candidates'
+// metrics unchanged.
+#include <gtest/gtest.h>
+
+#include "core/single_cut.hpp"
+#include "dfg/collapse.hpp"
+#include "dfg/random_dag.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+class CollapseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseProperty, PreservesReachabilityAndAcyclicity) {
+  RandomDagConfig cfg;
+  cfg.num_ops = 14;
+  cfg.seed = GetParam();
+  const Dfg g = random_dag(cfg);
+
+  Constraints cons;
+  cons.max_inputs = 3;
+  cons.max_outputs = 2;
+  const SingleCutResult best = find_best_cut(g, kLat, cons);
+  if (best.cut.none()) GTEST_SKIP() << "no beneficial cut for this seed";
+
+  const CollapseResult r = collapse(g, best.cut, "fused");
+  // finalize() inside collapse throws on cycles; reaching here means acyclic.
+  EXPECT_EQ(r.graph.num_nodes(), g.num_nodes() - best.cut.count() + 1);
+
+  // External pairwise reachability is preserved under the node mapping.
+  for (std::size_t a = 0; a < g.num_nodes(); ++a) {
+    for (std::size_t b = 0; b < g.num_nodes(); ++b) {
+      if (a == b || best.cut.test(a) || best.cut.test(b)) continue;
+      const NodeId na = r.old_to_new[a];
+      const NodeId nb = r.old_to_new[b];
+      if (g.reaches(NodeId{a}, NodeId{b})) {
+        EXPECT_TRUE(r.graph.reaches(na, nb))
+            << "lost path " << a << "->" << b << " seed " << GetParam();
+      }
+    }
+  }
+
+  // Paths into and out of the cut now route through the super node.
+  best.cut.for_each([&](std::size_t m) {
+    for (std::size_t b = 0; b < g.num_nodes(); ++b) {
+      if (best.cut.test(b)) continue;
+      if (g.reaches(NodeId{m}, NodeId{b})) {
+        EXPECT_TRUE(r.super == r.old_to_new[b] || r.graph.reaches(r.super, r.old_to_new[b]));
+      }
+    }
+  });
+
+  // The super node is never a candidate again.
+  for (NodeId n : r.graph.candidates()) EXPECT_NE(n, r.super);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(CollapseProperty, IterativeChainOfCollapses) {
+  // Repeatedly collapsing best cuts must terminate with a graph where no
+  // beneficial cut remains, never growing the node count.
+  RandomDagConfig cfg;
+  cfg.num_ops = 18;
+  cfg.seed = 5;
+  Dfg g = random_dag(cfg);
+  Constraints cons;
+  cons.max_inputs = 4;
+  cons.max_outputs = 2;
+  std::size_t prev_nodes = g.num_nodes();
+  for (int round = 0; round < 10; ++round) {
+    const SingleCutResult best = find_best_cut(g, kLat, cons);
+    if (best.cut.none()) break;
+    CollapseResult r = collapse(g, best.cut, "f" + std::to_string(round));
+    EXPECT_LT(r.graph.num_nodes(), prev_nodes);
+    prev_nodes = r.graph.num_nodes();
+    g = std::move(r.graph);
+  }
+  EXPECT_TRUE(find_best_cut(g, kLat, cons).cut.none());
+}
+
+}  // namespace
+}  // namespace isex

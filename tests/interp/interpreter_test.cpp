@@ -1,0 +1,198 @@
+#include "interp/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace isex {
+namespace {
+
+TEST(Memory, SegmentsInitialisedAndBounded) {
+  Module m("t");
+  m.add_segment("tab", 4, {10, 20, 30}, true);
+  m.add_segment("buf", 2);
+  Memory mem(m, 3);
+  EXPECT_EQ(mem.size_words(), 9u);
+  EXPECT_EQ(mem.load(0), 10);
+  EXPECT_EQ(mem.load(2), 30);
+  EXPECT_EQ(mem.load(3), 0);  // zero-filled tail
+  EXPECT_EQ(mem.scratch_base(), 6u);
+  EXPECT_THROW(mem.load(9), Error);
+  EXPECT_THROW(mem.store(1, 5), Error);  // read-only
+  mem.store(4, 5);
+  EXPECT_EQ(mem.load(4), 5);
+}
+
+TEST(Memory, BulkHelpers) {
+  Module m("t");
+  m.add_segment("buf", 8);
+  Memory mem(m);
+  const std::vector<std::int32_t> data{1, 2, 3};
+  mem.write_words(2, data);
+  EXPECT_EQ(mem.read_words(2, 3), data);
+  EXPECT_THROW(mem.write_words(6, std::vector<std::int32_t>{1, 2, 3}), Error);
+}
+
+TEST(Interpreter, StraightLineArithmetic) {
+  Module m("t");
+  IrBuilder b(m, "f", 2);
+  b.ret(b.mul(b.add(b.param(0), b.param(1)), b.konst(3)));
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  const std::vector<std::int32_t> args{4, 5};
+  const ExecResult r = interp.run(b.function(), args);
+  EXPECT_EQ(r.return_value, 27);
+  EXPECT_EQ(r.instructions, 3u);  // add, mul, ret
+  // add(1) + mul(2) + ret(1) = 4 cycles in the standard model.
+  EXPECT_EQ(r.cycles, 4u);
+}
+
+TEST(Interpreter, BranchesAndPhis) {
+  // f(x) = x > 0 ? x + 1 : x - 1
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId then_b = b.new_block("then");
+  const BlockId else_b = b.new_block("else");
+  const BlockId join = b.new_block("join");
+  b.br_if(b.gt_s(b.param(0), b.konst(0)), then_b, else_b);
+  b.set_insert(then_b);
+  const ValueId t = b.add(b.param(0), b.konst(1));
+  b.br(join);
+  b.set_insert(else_b);
+  const ValueId e = b.sub(b.param(0), b.konst(1));
+  b.br(join);
+  b.set_insert(join);
+  const ValueId p = b.phi();
+  b.add_incoming(p, then_b, t);
+  b.add_incoming(p, else_b, e);
+  b.ret(p);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  EXPECT_EQ(interp.run(b.function(), std::vector<std::int32_t>{5}).return_value, 6);
+  EXPECT_EQ(interp.run(b.function(), std::vector<std::int32_t>{-5}).return_value, -6);
+}
+
+// Counting loop: sum of 0..n-1 with a profile.
+TEST(Interpreter, LoopWithProfile) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId head = b.new_block("head");
+  const BlockId body = b.new_block("body");
+  const BlockId exit = b.new_block("exit");
+  b.br(head);
+
+  b.set_insert(head);
+  const ValueId i = b.phi();
+  const ValueId acc = b.phi();
+  b.add_incoming(i, b.function().entry(), b.konst(0));
+  b.add_incoming(acc, b.function().entry(), b.konst(0));
+  b.br_if(b.lt_s(i, b.param(0)), body, exit);
+
+  b.set_insert(body);
+  const ValueId acc2 = b.add(acc, i);
+  const ValueId i2 = b.add(i, b.konst(1));
+  b.add_incoming(i, body, i2);
+  b.add_incoming(acc, body, acc2);
+  b.br(head);
+
+  b.set_insert(exit);
+  b.ret(acc);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  Profile prof;
+  const ExecResult r = interp.run(b.function(), std::vector<std::int32_t>{10}, &prof);
+  EXPECT_EQ(r.return_value, 45);
+  EXPECT_EQ(prof.count(head), 11u);
+  EXPECT_EQ(prof.count(body), 10u);
+  EXPECT_EQ(prof.count(exit), 1u);
+}
+
+TEST(Interpreter, LoadsAndStores) {
+  Module m("t");
+  const auto base = m.add_segment("buf", 4, {7, 8, 9, 10});
+  IrBuilder b(m, "f", 1);
+  const ValueId addr = b.add(b.konst(static_cast<std::int64_t>(base)), b.param(0));
+  const ValueId x = b.load(addr);
+  b.store(addr, b.add(x, b.konst(100)));
+  b.ret(x);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  const ExecResult r = interp.run(b.function(), std::vector<std::int32_t>{2});
+  EXPECT_EQ(r.return_value, 9);
+  EXPECT_EQ(mem.load(base + 2), 109);
+}
+
+TEST(Interpreter, StepBudgetTrapsOnInfiniteLoop) {
+  Module m("t");
+  IrBuilder b(m, "f", 0);
+  const BlockId spin = b.new_block("spin");
+  b.br(spin);
+  b.set_insert(spin);
+  b.br(spin);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter::Options opts;
+  opts.max_steps = 1000;
+  Interpreter interp(m, mem, LatencyModel::standard_018um(), opts);
+  EXPECT_THROW(interp.run(b.function(), {}), Error);
+}
+
+TEST(Interpreter, CustomOpRoundTrip) {
+  // Custom op computing (a + b, a - b) — exercised both directly and via IR.
+  Module m("t");
+  CustomOp cop;
+  cop.name = "addsub";
+  cop.num_inputs = 2;
+  cop.micros.push_back({Opcode::add, 0, 1, -1, 0});
+  cop.micros.push_back({Opcode::sub, 0, 1, -1, 0});
+  cop.outputs = {2, 3};  // operand space: 0,1 inputs; 2,3 micro results
+  cop.latency_cycles = 1;
+  const int idx = m.add_custom_op(cop);
+
+  IrBuilder b(m, "f", 2);
+  const auto outs = b.custom(idx, {b.param(0), b.param(1)});
+  b.ret(b.mul(outs[0], outs[1]));
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  const auto direct =
+      interp.eval_custom(m.custom_op(idx), std::vector<std::int32_t>{9, 4});
+  EXPECT_EQ(direct, (std::vector<std::int32_t>{13, 5}));
+
+  const ExecResult r = interp.run(b.function(), std::vector<std::int32_t>{9, 4});
+  EXPECT_EQ(r.return_value, 13 * 5);
+}
+
+TEST(Interpreter, CustomOpRomLookup) {
+  Module m("t");
+  m.add_segment("rom", 4, {5, 6, 7, 8}, true);
+  CustomOp cop;
+  cop.name = "lut_add";
+  cop.num_inputs = 1;
+  // rom[input] + 100
+  cop.micros.push_back({Opcode::load, 0, -1, -1, 0});  // imm 0 = segment index
+  cop.micros.push_back({Opcode::konst, -1, -1, -1, 100});
+  cop.micros.push_back({Opcode::add, 1, 2, -1, 0});
+  cop.outputs = {3};
+  const int idx = m.add_custom_op(cop);
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  EXPECT_EQ(interp.eval_custom(m.custom_op(idx), std::vector<std::int32_t>{2}),
+            (std::vector<std::int32_t>{107}));
+  EXPECT_THROW(interp.eval_custom(m.custom_op(idx), std::vector<std::int32_t>{9}), Error);
+}
+
+}  // namespace
+}  // namespace isex

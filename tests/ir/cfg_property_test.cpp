@@ -1,0 +1,102 @@
+// Property tests for the CFG analyses on randomly generated (reducible and
+// irreducible) control-flow graphs: dominator facts checked against a
+// brute-force path-based definition.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "support/rng.hpp"
+
+namespace isex {
+namespace {
+
+/// Builds a random CFG with `n` blocks; every block ends in br or br_if to
+/// random targets. Returns the module (function named "f").
+std::unique_ptr<Module> random_cfg(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<Module>("t");
+  IrBuilder b(*m, "f", 1);
+  std::vector<BlockId> blocks{b.function().entry()};
+  for (int i = 1; i < n; ++i) blocks.push_back(b.new_block("b" + std::to_string(i)));
+  for (int i = 0; i < n; ++i) {
+    b.set_insert(blocks[static_cast<std::size_t>(i)]);
+    const auto kind = rng.uniform(0, 2);
+    if (kind == 0 || n == 1) {
+      b.ret(b.konst(0));
+    } else if (kind == 1) {
+      b.br(blocks[static_cast<std::size_t>(rng.uniform(0, n - 1))]);
+    } else {
+      b.br_if(b.param(0), blocks[static_cast<std::size_t>(rng.uniform(0, n - 1))],
+              blocks[static_cast<std::size_t>(rng.uniform(0, n - 1))]);
+    }
+  }
+  return m;
+}
+
+/// Brute-force dominance: a dominates b iff removing a disconnects b from
+/// the entry.
+bool dominates_ref(const Function& fn, const Cfg& cfg, BlockId a, BlockId b) {
+  if (a == b) return true;
+  if (fn.entry() == a) return true;  // the entry dominates everything reachable
+  std::vector<std::uint8_t> seen(fn.num_blocks(), 0);
+  std::vector<BlockId> stack{fn.entry()};
+  seen[fn.entry().index] = 1;
+  while (!stack.empty()) {
+    const BlockId cur = stack.back();
+    stack.pop_back();
+    if (cur == b) return false;  // reached b while avoiding a
+    for (BlockId s : cfg.successors(cur)) {
+      if (s == a || seen[s.index]) continue;
+      seen[s.index] = 1;
+      stack.push_back(s);
+    }
+  }
+  return true;
+}
+
+class CfgProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CfgProperty, DominatorsMatchBruteForce) {
+  const auto m = random_cfg(8, GetParam());
+  const Function& fn = *m->find_function("f");
+  const Cfg cfg(fn);
+  for (std::size_t a = 0; a < fn.num_blocks(); ++a) {
+    for (std::size_t b = 0; b < fn.num_blocks(); ++b) {
+      const BlockId ba{a}, bb{b};
+      if (!cfg.is_reachable(ba) || !cfg.is_reachable(bb)) continue;
+      EXPECT_EQ(cfg.dominates(ba, bb), dominates_ref(fn, cfg, ba, bb))
+          << "seed " << GetParam() << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(CfgProperty, RpoVisitsEveryReachableBlockOnce) {
+  const auto m = random_cfg(10, GetParam() + 1000);
+  const Function& fn = *m->find_function("f");
+  const Cfg cfg(fn);
+  std::vector<int> count(fn.num_blocks(), 0);
+  for (BlockId b : cfg.reverse_post_order()) ++count[b.index];
+  for (std::size_t b = 0; b < fn.num_blocks(); ++b) {
+    EXPECT_EQ(count[b], cfg.is_reachable(BlockId{b}) ? 1 : 0);
+  }
+  EXPECT_EQ(cfg.reverse_post_order().front(), fn.entry());
+}
+
+TEST_P(CfgProperty, PredecessorsMirrorSuccessors) {
+  const auto m = random_cfg(9, GetParam() + 2000);
+  const Function& fn = *m->find_function("f");
+  const Cfg cfg(fn);
+  for (std::size_t i = 0; i < fn.num_blocks(); ++i) {
+    const BlockId b{i};
+    if (!cfg.is_reachable(b)) continue;
+    for (BlockId s : cfg.successors(b)) {
+      const auto& preds = cfg.predecessors(s);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), b), preds.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfgProperty, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace isex

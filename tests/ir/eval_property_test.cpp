@@ -1,0 +1,112 @@
+// Property tests pinning the scalar evaluator's algebra: commutativity
+// flags in the opcode table are honoured, width operators agree with their
+// mask definitions, comparisons are consistent with each other, and the
+// select operator matches its ternary definition — on a deterministic
+// random sample including the 32-bit edge values.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "ir/eval.hpp"
+#include "support/rng.hpp"
+
+namespace isex {
+namespace {
+
+std::vector<std::int32_t> sample_values() {
+  std::vector<std::int32_t> xs = {0,  1,  -1, 2,  -2, 31, 32, 33, 255, 256, -255, -256,
+                                  std::numeric_limits<std::int32_t>::max(),
+                                  std::numeric_limits<std::int32_t>::min()};
+  Rng rng(0xE7A1);
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(static_cast<std::int32_t>(rng.next()));
+  }
+  return xs;
+}
+
+TEST(EvalProperty, CommutativeOpsCommute) {
+  const auto xs = sample_values();
+  for (const Opcode op : {Opcode::add, Opcode::mul, Opcode::and_, Opcode::or_, Opcode::xor_,
+                          Opcode::eq, Opcode::ne}) {
+    ASSERT_TRUE(info(op).is_commutative);
+    for (std::int32_t a : xs) {
+      for (std::int32_t b : xs) {
+        EXPECT_EQ(eval_op(op, a, b), eval_op(op, b, a)) << name_of(op);
+      }
+    }
+  }
+}
+
+TEST(EvalProperty, NonCommutativeFlagsAreHonest) {
+  // For every op flagged non-commutative there exists a counterexample.
+  for (const Opcode op : {Opcode::sub, Opcode::shl, Opcode::shr_u, Opcode::shr_s,
+                          Opcode::lt_s, Opcode::le_s, Opcode::lt_u, Opcode::le_u}) {
+    ASSERT_FALSE(info(op).is_commutative);
+    EXPECT_NE(eval_op(op, 7, 2), eval_op(op, 2, 7)) << name_of(op);
+  }
+}
+
+TEST(EvalProperty, WidthOpsMatchMaskDefinitions) {
+  for (std::int32_t x : sample_values()) {
+    EXPECT_EQ(eval_op(Opcode::zext8, x), x & 0xff);
+    EXPECT_EQ(eval_op(Opcode::zext16, x), x & 0xffff);
+    EXPECT_EQ(eval_op(Opcode::sext8, eval_op(Opcode::zext8, x)),
+              eval_op(Opcode::sext8, x));
+    EXPECT_EQ(eval_op(Opcode::sext16, eval_op(Opcode::zext16, x)),
+              eval_op(Opcode::sext16, x));
+    // Sign extension then zero-extension is the identity on the low bits.
+    EXPECT_EQ(eval_op(Opcode::zext8, eval_op(Opcode::sext8, x)), x & 0xff);
+  }
+}
+
+TEST(EvalProperty, ComparisonTrichotomy) {
+  const auto xs = sample_values();
+  for (std::int32_t a : xs) {
+    for (std::int32_t b : xs) {
+      const int lt = eval_op(Opcode::lt_s, a, b);
+      const int gt = eval_op(Opcode::lt_s, b, a);
+      const int eq = eval_op(Opcode::eq, a, b);
+      EXPECT_EQ(lt + gt + eq, 1) << a << " vs " << b;
+      EXPECT_EQ(eval_op(Opcode::le_s, a, b), lt | eq);
+      EXPECT_EQ(eval_op(Opcode::ne, a, b), 1 - eq);
+    }
+  }
+}
+
+TEST(EvalProperty, ShiftsEquivalentToMultiplyDivide) {
+  Rng rng(0x5111);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::int32_t>(rng.uniform(0, 1 << 20));
+    const auto s = static_cast<std::int32_t>(rng.uniform(0, 10));
+    EXPECT_EQ(eval_op(Opcode::shl, x, s), x * (1 << s));
+    EXPECT_EQ(eval_op(Opcode::shr_u, x, s), x / (1 << s));
+    EXPECT_EQ(eval_op(Opcode::shr_s, x, s), x >> s);
+  }
+}
+
+TEST(EvalProperty, SelectMatchesTernary) {
+  const auto xs = sample_values();
+  for (std::int32_t c : xs) {
+    EXPECT_EQ(eval_op(Opcode::select, c, 11, 22), c != 0 ? 11 : 22);
+  }
+}
+
+TEST(EvalProperty, DivRemIdentity) {
+  Rng rng(0xD1F);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.next());
+    auto b = static_cast<std::int32_t>(rng.next());
+    if (b == 0) b = 1;
+    if (a == std::numeric_limits<std::int32_t>::min() && b == -1) continue;
+    const std::int32_t q = eval_op(Opcode::div_s, a, b);
+    const std::int32_t r = eval_op(Opcode::rem_s, a, b);
+    EXPECT_EQ(q * b + r, a);
+    if (r != 0) {
+      EXPECT_LT(std::abs(static_cast<std::int64_t>(r)), std::abs(static_cast<std::int64_t>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace isex {
+namespace {
+
+TEST(Opcode, InfoTable) {
+  EXPECT_STREQ(name_of(Opcode::add), "add");
+  EXPECT_TRUE(info(Opcode::add).is_commutative);
+  EXPECT_FALSE(info(Opcode::sub).is_commutative);
+  EXPECT_TRUE(info(Opcode::br).is_terminator);
+  EXPECT_TRUE(info(Opcode::load).is_memory);
+  EXPECT_TRUE(info(Opcode::store).is_memory);
+  EXPECT_FALSE(info(Opcode::store).has_result);
+  EXPECT_EQ(info(Opcode::select).operand_count, 3);
+  EXPECT_EQ(info(Opcode::phi).operand_count, -1);
+}
+
+TEST(Eval, Arithmetic) {
+  EXPECT_EQ(eval_op(Opcode::add, 2, 3), 5);
+  EXPECT_EQ(eval_op(Opcode::add, 0x7fffffff, 1), static_cast<std::int32_t>(0x80000000));
+  EXPECT_EQ(eval_op(Opcode::sub, 2, 3), -1);
+  EXPECT_EQ(eval_op(Opcode::mul, -4, 3), -12);
+  EXPECT_EQ(eval_op(Opcode::div_s, 7, -2), -3);
+  EXPECT_EQ(eval_op(Opcode::rem_s, 7, -2), 1);
+  EXPECT_EQ(eval_op(Opcode::div_u, -2, 3),
+            static_cast<std::int32_t>(0xfffffffeu / 3u));
+}
+
+TEST(Eval, DivisionTraps) {
+  EXPECT_THROW(eval_op(Opcode::div_s, 1, 0), Error);
+  EXPECT_THROW(eval_op(Opcode::rem_u, 1, 0), Error);
+  // INT_MIN / -1 wraps instead of trapping.
+  EXPECT_EQ(eval_op(Opcode::div_s, std::numeric_limits<std::int32_t>::min(), -1),
+            std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Eval, ShiftsMaskAmount) {
+  EXPECT_EQ(eval_op(Opcode::shl, 1, 33), 2);  // 33 & 31 == 1
+  EXPECT_EQ(eval_op(Opcode::shr_s, -8, 1), -4);
+  EXPECT_EQ(eval_op(Opcode::shr_u, -8, 1), static_cast<std::int32_t>(0xfffffff8u >> 1));
+}
+
+TEST(Eval, ComparesAndSelect) {
+  EXPECT_EQ(eval_op(Opcode::lt_s, -1, 0), 1);
+  EXPECT_EQ(eval_op(Opcode::lt_u, -1, 0), 0);  // unsigned -1 is huge
+  EXPECT_EQ(eval_op(Opcode::select, 1, 10, 20), 10);
+  EXPECT_EQ(eval_op(Opcode::select, 0, 10, 20), 20);
+}
+
+TEST(Eval, WidthOps) {
+  EXPECT_EQ(eval_op(Opcode::sext8, 0x80), -128);
+  EXPECT_EQ(eval_op(Opcode::zext8, 0x180), 0x80);
+  EXPECT_EQ(eval_op(Opcode::sext16, 0x8000), -32768);
+  EXPECT_EQ(eval_op(Opcode::zext16, 0x18000), 0x8000);
+}
+
+TEST(Function, KonstDeduplicated) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const ValueId a = f.make_konst(42);
+  const ValueId b = f.make_konst(42);
+  const ValueId c = f.make_konst(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(f.konst_value(a), 42);
+}
+
+TEST(Builder, StraightLineFunctionVerifies) {
+  Module m("t");
+  IrBuilder b(m, "f", 2);
+  const ValueId sum = b.add(b.param(0), b.param(1));
+  const ValueId scaled = b.mul(sum, b.konst(3));
+  b.ret(scaled);
+  EXPECT_NO_THROW(verify_function(m, b.function()));
+}
+
+TEST(Builder, DiamondWithPhiVerifies) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId then_b = b.new_block("then");
+  const BlockId else_b = b.new_block("else");
+  const BlockId join = b.new_block("join");
+
+  const ValueId c = b.gt_s(b.param(0), b.konst(0));
+  b.br_if(c, then_b, else_b);
+
+  b.set_insert(then_b);
+  const ValueId t = b.add(b.param(0), b.konst(1));
+  b.br(join);
+
+  b.set_insert(else_b);
+  const ValueId e = b.sub(b.param(0), b.konst(1));
+  b.br(join);
+
+  b.set_insert(join);
+  const ValueId p = b.phi();
+  b.add_incoming(p, then_b, t);
+  b.add_incoming(p, else_b, e);
+  b.ret(p);
+
+  EXPECT_NO_THROW(verify_function(m, b.function()));
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const BlockId entry = f.add_block("entry");
+  // Build an add that uses its own result as an operand.
+  const InstrId add = f.append_instr(entry, Opcode::add,
+                                     {f.make_konst(1), f.make_konst(2)});
+  f.instr(add).operands[0] = f.instr(add).result;
+  f.append_instr(entry, Opcode::ret, {f.instr(add).result});
+  EXPECT_THROW(verify_function(m, f), Error);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const BlockId entry = f.add_block("entry");
+  f.append_instr(entry, Opcode::add, {f.make_konst(1), f.make_konst(2)});
+  EXPECT_THROW(verify_function(m, f), Error);
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const BlockId entry = f.add_block("entry");
+  f.append_instr(entry, Opcode::ret, {f.make_konst(0)});
+  f.append_instr(entry, Opcode::ret, {f.make_konst(1)});
+  EXPECT_THROW(verify_function(m, f), Error);
+}
+
+TEST(Verifier, RejectsPhiInEntry) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const BlockId entry = f.add_block("entry");
+  f.append_instr(entry, Opcode::phi, {});
+  f.append_instr(entry, Opcode::ret, {f.make_konst(0)});
+  EXPECT_THROW(verify_function(m, f), Error);
+}
+
+TEST(Verifier, RejectsOperandArityMismatch) {
+  Module m("t");
+  Function& f = m.add_function("f", 0);
+  const BlockId entry = f.add_block("entry");
+  f.append_instr(entry, Opcode::add, {f.make_konst(1)});  // add needs 2 operands
+  f.append_instr(entry, Opcode::ret, {f.make_konst(0)});
+  EXPECT_THROW(verify_function(m, f), Error);
+}
+
+TEST(Cfg, DiamondStructure) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId then_b = b.new_block("then");
+  const BlockId else_b = b.new_block("else");
+  const BlockId join = b.new_block("join");
+  b.br_if(b.param(0), then_b, else_b);
+  b.set_insert(then_b);
+  b.br(join);
+  b.set_insert(else_b);
+  b.br(join);
+  b.set_insert(join);
+  b.ret(b.konst(0));
+
+  const Cfg cfg(b.function());
+  const BlockId entry = b.function().entry();
+  EXPECT_EQ(cfg.successors(entry).size(), 2u);
+  EXPECT_EQ(cfg.predecessors(join).size(), 2u);
+  EXPECT_TRUE(cfg.dominates(entry, join));
+  EXPECT_FALSE(cfg.dominates(then_b, join));
+  EXPECT_EQ(cfg.immediate_dominator(join), entry);
+  EXPECT_EQ(cfg.reverse_post_order().front(), entry);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId body = b.new_block("body");
+  const BlockId exit = b.new_block("exit");
+  b.br(body);
+  b.set_insert(body);
+  b.br_if(b.param(0), body, exit);
+  b.set_insert(exit);
+  b.ret(b.konst(0));
+
+  const Cfg cfg(b.function());
+  EXPECT_EQ(cfg.predecessors(body).size(), 2u);
+  EXPECT_TRUE(cfg.dominates(body, exit));
+}
+
+TEST(Printer, ContainsOpcodesAndNames) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  b.ret(b.add(b.param(0), b.konst(7)));
+  const std::string s = function_to_string(m, b.function());
+  EXPECT_NE(s.find("func f(arg0)"), std::string::npos);
+  EXPECT_NE(s.find("add arg0, 7"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+TEST(Module, SegmentsGetSequentialBases) {
+  Module m("t");
+  const auto a = m.add_segment("a", 10);
+  const auto b = m.add_segment("b", 5, {1, 2, 3}, true);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 10u);
+  EXPECT_EQ(m.memory_words(), 15u);
+  EXPECT_TRUE(m.find_segment("b")->read_only);
+  EXPECT_THROW(m.add_segment("a", 3), Error);
+}
+
+}  // namespace
+}  // namespace isex

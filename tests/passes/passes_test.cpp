@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/constant_fold.hpp"
+#include "passes/dce.hpp"
+#include "passes/if_conversion.hpp"
+#include "passes/pipeline.hpp"
+#include "passes/simplify_cfg.hpp"
+
+namespace isex {
+namespace {
+
+std::size_t live_instr_count(const Function& fn) {
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < fn.num_blocks(); ++b) {
+    n += fn.block(BlockId{static_cast<std::uint32_t>(b)}).instrs.size();
+  }
+  return n;
+}
+
+TEST(Dce, RemovesUnusedChain) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const ValueId used = b.add(b.param(0), b.konst(1));
+  const ValueId dead1 = b.mul(b.param(0), b.konst(3));
+  b.shl(dead1, b.konst(2));  // dead2 depends on dead1
+  b.ret(used);
+  EXPECT_TRUE(run_dce(b.function()));
+  verify_function(m, b.function());
+  EXPECT_EQ(live_instr_count(b.function()), 2u);  // add + ret
+  EXPECT_FALSE(run_dce(b.function()));
+}
+
+TEST(Dce, KeepsStores) {
+  Module m("t");
+  m.add_segment("buf", 4);
+  IrBuilder b(m, "f", 0);
+  b.store(b.konst(0), b.konst(42));
+  b.ret(b.konst(0));
+  EXPECT_FALSE(run_dce(b.function()));
+  EXPECT_EQ(live_instr_count(b.function()), 2u);
+}
+
+TEST(ConstantFold, FoldsArithmetic) {
+  Module m("t");
+  IrBuilder b(m, "f", 0);
+  const ValueId x = b.add(b.konst(2), b.konst(3));
+  const ValueId y = b.mul(x, b.konst(4));
+  b.ret(y);
+  EXPECT_TRUE(run_constant_fold(b.function()));
+  run_dce(b.function());
+  verify_function(m, b.function());
+  // Everything folds to ret 20.
+  EXPECT_EQ(live_instr_count(b.function()), 1u);
+  const Instruction& term = b.function().instr(b.function().terminator(b.function().entry()));
+  EXPECT_EQ(b.function().konst_value(term.operands[0]), 20);
+}
+
+TEST(ConstantFold, AppliesIdentities) {
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const ValueId a = b.add(b.param(0), b.konst(0));   // x + 0 -> x
+  const ValueId s = b.shl(a, b.konst(0));            // x << 0 -> x
+  const ValueId o = b.or_(s, b.konst(0));            // x | 0 -> x
+  b.ret(o);
+  EXPECT_TRUE(run_constant_fold(b.function()));
+  run_dce(b.function());
+  EXPECT_EQ(live_instr_count(b.function()), 1u);  // just ret arg0
+}
+
+TEST(ConstantFold, SelectWithConstantCondition) {
+  Module m("t");
+  IrBuilder b(m, "f", 2);
+  b.ret(b.select(b.konst(1), b.param(0), b.param(1)));
+  EXPECT_TRUE(run_constant_fold(b.function()));
+  run_dce(b.function());
+  const Instruction& term = b.function().instr(b.function().terminator(b.function().entry()));
+  EXPECT_EQ(term.operands[0], b.function().param(0));
+}
+
+TEST(ConstantFold, LeavesDivisionByZeroForRuntime) {
+  Module m("t");
+  IrBuilder b(m, "f", 0);
+  b.ret(b.div_s(b.konst(1), b.konst(0)));
+  EXPECT_FALSE(run_constant_fold(b.function()));
+}
+
+/// Builds f(x) = x > 0 ? x*3 : x+7 as an explicit diamond.
+IrBuilder make_diamond(Module& m) {
+  IrBuilder b(m, "f", 1);
+  const BlockId t = b.new_block("then");
+  const BlockId e = b.new_block("else");
+  const BlockId j = b.new_block("join");
+  b.br_if(b.gt_s(b.param(0), b.konst(0)), t, e);
+  b.set_insert(t);
+  const ValueId vt = b.mul(b.param(0), b.konst(3));
+  b.br(j);
+  b.set_insert(e);
+  const ValueId ve = b.add(b.param(0), b.konst(7));
+  b.br(j);
+  b.set_insert(j);
+  const ValueId p = b.phi();
+  b.add_incoming(p, t, vt);
+  b.add_incoming(p, e, ve);
+  b.ret(p);
+  return b;
+}
+
+TEST(IfConversion, ConvertsDiamondToSelect) {
+  Module m("t");
+  IrBuilder b = make_diamond(m);
+  verify_function(m, b.function());
+
+  EXPECT_TRUE(run_if_conversion(b.function()));
+  run_simplify_cfg(b.function());
+  verify_function(m, b.function());
+
+  // Single straight-line block with a select, no phi, no br_if.
+  EXPECT_EQ(b.function().num_blocks(), 1u);
+  const std::string s = function_to_string(m, b.function());
+  EXPECT_NE(s.find("select"), std::string::npos);
+  EXPECT_EQ(s.find("phi"), std::string::npos);
+  EXPECT_EQ(s.find("br_if"), std::string::npos);
+}
+
+TEST(IfConversion, PreservesSemantics) {
+  Module m1("a"), m2("b");
+  IrBuilder b1 = make_diamond(m1);
+  IrBuilder b2 = make_diamond(m2);
+  run_standard_pipeline(b2.function());
+  verify_function(m2, b2.function());
+
+  Memory mem1(m1), mem2(m2);
+  Interpreter i1(m1, mem1), i2(m2, mem2);
+  for (std::int32_t x : {-10, -1, 0, 1, 5, 1000}) {
+    const std::vector<std::int32_t> args{x};
+    EXPECT_EQ(i1.run(b1.function(), args).return_value,
+              i2.run(b2.function(), args).return_value)
+        << "x=" << x;
+  }
+}
+
+TEST(IfConversion, ConvertsTriangle) {
+  // f(x) = x > 0 ? x - 1 : x  (then-side triangle)
+  Module m("t");
+  IrBuilder b(m, "f", 1);
+  const BlockId t = b.new_block("then");
+  const BlockId j = b.new_block("join");
+  b.br_if(b.gt_s(b.param(0), b.konst(0)), t, j);
+  b.set_insert(t);
+  const ValueId vt = b.sub(b.param(0), b.konst(1));
+  b.br(j);
+  b.set_insert(j);
+  const ValueId p = b.phi();
+  b.add_incoming(p, t, vt);
+  b.add_incoming(p, b.function().entry(), b.param(0));
+  b.ret(p);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  const auto before5 = interp.run(b.function(), std::vector<std::int32_t>{5}).return_value;
+
+  EXPECT_TRUE(run_if_conversion(b.function()));
+  run_simplify_cfg(b.function());
+  verify_function(m, b.function());
+  EXPECT_EQ(b.function().num_blocks(), 1u);
+
+  EXPECT_EQ(interp.run(b.function(), std::vector<std::int32_t>{5}).return_value, before5);
+  EXPECT_EQ(interp.run(b.function(), std::vector<std::int32_t>{-5}).return_value, -5);
+}
+
+TEST(IfConversion, RefusesStores) {
+  Module m("t");
+  m.add_segment("buf", 4);
+  IrBuilder b(m, "f", 1);
+  const BlockId t = b.new_block("then");
+  const BlockId j = b.new_block("join");
+  b.br_if(b.param(0), t, j);
+  b.set_insert(t);
+  b.store(b.konst(0), b.konst(1));
+  b.br(j);
+  b.set_insert(j);
+  b.ret(b.konst(0));
+  verify_function(m, b.function());
+  EXPECT_FALSE(run_if_conversion(b.function()));
+}
+
+TEST(IfConversion, RefusesLoadsUnlessAllowed) {
+  Module m("t");
+  m.add_segment("buf", 4);
+  IrBuilder b(m, "f", 1);
+  const BlockId t = b.new_block("then");
+  const BlockId j = b.new_block("join");
+  b.br_if(b.param(0), t, j);
+  b.set_insert(t);
+  const ValueId v = b.load(b.konst(0));
+  b.br(j);
+  b.set_insert(j);
+  const ValueId p = b.phi();
+  b.add_incoming(p, t, v);
+  b.add_incoming(p, b.function().entry(), b.konst(-1));
+  b.ret(p);
+  verify_function(m, b.function());
+
+  EXPECT_FALSE(run_if_conversion(b.function()));
+  IfConversionOptions opts;
+  opts.speculate_loads = true;
+  EXPECT_TRUE(run_if_conversion(b.function(), opts));
+  run_simplify_cfg(b.function());
+  verify_function(m, b.function());
+}
+
+TEST(SimplifyCfg, MergesChainsAndRemovesUnreachable) {
+  Module m("t");
+  IrBuilder b(m, "f", 0);
+  const BlockId b1 = b.new_block("b1");
+  const BlockId b2 = b.new_block("b2");
+  const BlockId orphan = b.new_block("orphan");
+  b.br(b1);
+  b.set_insert(b1);
+  const ValueId x = b.add(b.konst(1), b.konst(2));
+  b.br(b2);
+  b.set_insert(b2);
+  b.ret(x);
+  b.set_insert(orphan);
+  b.ret(b.konst(9));
+  verify_function(m, b.function());
+
+  EXPECT_TRUE(run_simplify_cfg(b.function()));
+  verify_function(m, b.function());
+  EXPECT_EQ(b.function().num_blocks(), 1u);
+}
+
+TEST(Pipeline, LoopWithDiamondBecomesTwoBlocks) {
+  // while (i < n) { acc = (acc & 1) ? acc*3+1 : acc/... simplified pure ops }
+  Module m("t");
+  IrBuilder b(m, "f", 2);
+  const BlockId head = b.new_block("head");
+  const BlockId body = b.new_block("body");
+  const BlockId t = b.new_block("then");
+  const BlockId e = b.new_block("else");
+  const BlockId latch = b.new_block("latch");
+  const BlockId exit = b.new_block("exit");
+  b.br(head);
+
+  b.set_insert(head);
+  const ValueId i = b.phi();
+  const ValueId acc = b.phi();
+  b.add_incoming(i, b.function().entry(), b.konst(0));
+  b.add_incoming(acc, b.function().entry(), b.param(1));
+  b.br_if(b.lt_s(i, b.param(0)), body, exit);
+
+  b.set_insert(body);
+  b.br_if(b.and_(acc, b.konst(1)), t, e);
+  b.set_insert(t);
+  const ValueId vt = b.add(b.mul(acc, b.konst(3)), b.konst(1));
+  b.br(latch);
+  b.set_insert(e);
+  const ValueId ve = b.shr_s(acc, b.konst(1));
+  b.br(latch);
+  b.set_insert(latch);
+  const ValueId accp = b.phi();
+  b.add_incoming(accp, t, vt);
+  b.add_incoming(accp, e, ve);
+  const ValueId ip = b.add(i, b.konst(1));
+  b.add_incoming(i, latch, ip);
+  b.add_incoming(acc, latch, accp);
+  b.br(head);
+
+  b.set_insert(exit);
+  b.ret(acc);
+  verify_function(m, b.function());
+
+  Memory mem(m);
+  Interpreter interp(m, mem);
+  const std::vector<std::int32_t> args{7, 100};
+  const auto before = interp.run(b.function(), args).return_value;
+
+  run_standard_pipeline(b.function());
+  verify_function(m, b.function());
+  EXPECT_EQ(interp.run(b.function(), args).return_value, before);
+
+  // entry, head (phis + compare), one straight-line body, exit: the inner
+  // diamond is gone and the body carries the select.
+  EXPECT_EQ(b.function().num_blocks(), 4u);
+  const std::string s = function_to_string(m, b.function());
+  EXPECT_NE(s.find("select"), std::string::npos);
+  // Only the loop back-branch remains conditional.
+  std::size_t brifs = 0;
+  for (std::size_t p = s.find("br_if"); p != std::string::npos; p = s.find("br_if", p + 1)) ++brifs;
+  EXPECT_EQ(brifs, 1u) << s;
+}
+
+}  // namespace
+}  // namespace isex

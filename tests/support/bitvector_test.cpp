@@ -1,0 +1,128 @@
+#include "support/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace isex {
+namespace {
+
+TEST(BitVector, StartsEmpty) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, AssignHelper) {
+  BitVector v(8);
+  v.assign(3, true);
+  EXPECT_TRUE(v.test(3));
+  v.assign(3, false);
+  EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(16);
+  EXPECT_THROW(v.set(16), Error);
+  EXPECT_THROW(v.test(100), Error);
+}
+
+TEST(BitVector, DomainMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW((void)a.disjoint_with(b), Error);
+}
+
+TEST(BitVector, SetOperations) {
+  BitVector a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+
+  BitVector u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.test(1) && u.test(50) && u.test(99));
+
+  BitVector i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+
+  BitVector d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitVector, DisjointAndSubset) {
+  BitVector a(64), b(64), c(64);
+  a.set(3);
+  b.set(4);
+  c.set(3);
+  c.set(4);
+  EXPECT_TRUE(a.disjoint_with(b));
+  EXPECT_FALSE(a.disjoint_with(c));
+  EXPECT_TRUE(a.subset_of(c));
+  EXPECT_FALSE(c.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+}
+
+TEST(BitVector, ForEachAscending) {
+  BitVector v(200);
+  v.set(5);
+  v.set(64);
+  v.set(128);
+  v.set(199);
+  std::vector<std::size_t> seen;
+  v.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{5, 64, 128, 199}));
+  EXPECT_EQ(v.set_bits(), seen);
+}
+
+TEST(BitVector, ToString) {
+  BitVector v(10);
+  v.set(2);
+  v.set(7);
+  EXPECT_EQ(v.to_string(), "{2, 7}");
+}
+
+TEST(BitVector, EqualityAndHash) {
+  BitVector a(40), b(40);
+  a.set(17);
+  b.set(17);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(18);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitVector, ClearResetsAll) {
+  BitVector v(90);
+  for (std::size_t i = 0; i < 90; i += 7) v.set(i);
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+}  // namespace
+}  // namespace isex

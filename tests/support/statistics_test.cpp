@@ -1,0 +1,89 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace isex {
+namespace {
+
+TEST(Statistics, Mean) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, GeometricMean) {
+  std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+}
+
+TEST(Statistics, GeometricMeanRejectsNonPositive) {
+  std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), Error);
+}
+
+TEST(Statistics, LogLogSlopeRecoversExponent) {
+  // y = 3 * x^2.5 exactly.
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 64; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 2.5));
+  }
+  EXPECT_NEAR(log_log_slope(xs, ys), 2.5, 1e-9);
+}
+
+TEST(Statistics, LogLogSlopeSkipsNonPositive) {
+  std::vector<double> xs{0.0, 2.0, 4.0, 8.0};
+  std::vector<double> ys{5.0, 4.0, 16.0, 64.0};
+  EXPECT_NEAR(log_log_slope(xs, ys), 2.0, 1e-9);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng r(9);
+  EXPECT_EQ(r.uniform(4, 4), 4);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(TextTable, AlignsAndPrints) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 2)});
+  t.add_row({"b", TextTable::num(std::uint64_t{42})});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWideRows) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), Error);
+}
+
+}  // namespace
+}  // namespace isex

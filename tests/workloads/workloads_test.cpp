@@ -1,0 +1,114 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+
+namespace isex {
+namespace {
+
+class WorkloadCorrectness : public ::testing::TestWithParam<std::string> {
+ protected:
+  Workload load() const {
+    for (Workload& w : all_workloads()) {
+      if (w.name() == GetParam()) return std::move(w);
+    }
+    ISEX_CHECK(false, "unknown workload " + GetParam());
+  }
+};
+
+TEST_P(WorkloadCorrectness, MatchesNativeReference) {
+  const Workload w = load();
+  EXPECT_EQ(w.run(), w.expected_outputs()) << w.name();
+}
+
+TEST_P(WorkloadCorrectness, PipelinePreservesSemantics) {
+  Workload w = load();
+  w.preprocess();
+  EXPECT_EQ(w.run(), w.expected_outputs()) << w.name();
+}
+
+TEST_P(WorkloadCorrectness, ExtractsNonTrivialDfgs) {
+  Workload w = load();
+  w.preprocess();
+  const std::vector<Dfg> graphs = w.extract_dfgs();
+  ASSERT_FALSE(graphs.empty()) << w.name();
+  std::size_t max_candidates = 0;
+  for (const Dfg& g : graphs) {
+    EXPECT_GT(g.exec_freq(), 0.0);
+    max_candidates = std::max(max_candidates, g.candidates().size());
+  }
+  // Every kernel's hot block must expose a meaningful DFG.
+  EXPECT_GE(max_candidates, 8u) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadCorrectness,
+                         ::testing::Values("adpcmdecode", "adpcmencode", "g721", "gsm",
+                                           "crc32", "sha1", "viterbi", "rgb2yuv", "fir",
+                                           "sobel", "blowfish", "idct"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Workloads, AdpcmDecodeIfConvertsToStraightLineBody) {
+  Workload w = make_adpcm_decode();
+  const std::size_t blocks_before = w.entry().num_blocks();
+  w.preprocess();
+  const std::size_t blocks_after = w.entry().num_blocks();
+  // The eight conditional updates of the decoder body all fold into selects.
+  EXPECT_GT(blocks_before, 10u);
+  EXPECT_LE(blocks_after, 4u);
+  const std::string s = function_to_string(w.module(), w.entry());
+  EXPECT_NE(s.find("select"), std::string::npos);
+}
+
+TEST(Workloads, AdpcmDecodeBodyMatchesFig3Scale) {
+  // The paper's Fig. 3 block: dozens of ops, two table loads, one store.
+  Workload w = make_adpcm_decode();
+  w.preprocess();
+  const std::vector<Dfg> graphs = w.extract_dfgs();
+  const Dfg* body = nullptr;
+  for (const Dfg& g : graphs) {
+    if (body == nullptr || g.candidates().size() > body->candidates().size()) body = &g;
+  }
+  ASSERT_NE(body, nullptr);
+  EXPECT_GE(body->candidates().size(), 20u);
+  int loads = 0, stores = 0;
+  for (NodeId n : body->op_nodes()) {
+    if (body->node(n).op == Opcode::load) ++loads;
+    if (body->node(n).op == Opcode::store) ++stores;
+  }
+  EXPECT_EQ(loads, 3);  // input code + indexTable + stepsizeTable
+  EXPECT_EQ(stores, 1);
+}
+
+TEST(Workloads, RomOptionExposesTableLoads) {
+  Workload w = make_adpcm_decode();
+  w.preprocess();
+  DfgOptions rom;
+  rom.allow_rom_loads = true;
+  std::size_t plain = 0, with_rom = 0;
+  for (const Dfg& g : w.extract_dfgs()) plain = std::max(plain, g.candidates().size());
+  for (const Dfg& g : w.extract_dfgs(rom)) with_rom = std::max(with_rom, g.candidates().size());
+  EXPECT_EQ(with_rom, plain + 2);  // both table lookups become candidates
+}
+
+TEST(Workloads, Fig11SubsetNamesAndOrder) {
+  const auto w = fig11_workloads();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].name(), "adpcmdecode");
+  EXPECT_EQ(w[1].name(), "adpcmencode");
+  EXPECT_EQ(w[2].name(), "g721");
+}
+
+TEST(Workloads, BaseCyclesArePositiveAndStable) {
+  Workload w = make_gsm_add();
+  w.preprocess();
+  const double c1 = w.base_cycles();
+  const double c2 = w.base_cycles();
+  EXPECT_GT(c1, 0.0);
+  EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+}  // namespace
+}  // namespace isex
