@@ -3,14 +3,13 @@
 // extension's gain, so subtrees that cannot beat the incumbent are skipped.
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   std::cout << "=== Ablation: branch-and-bound merit pruning (extension) ===\n\n";
   TextTable table({"block", "Nin/Nout", "considered (off)", "considered (on)", "reduction",
                    "same optimum"});
@@ -24,10 +23,10 @@ int main() {
         cons.max_inputs = nin;
         cons.max_outputs = nout;
         cons.search_budget = 10'000'000;
-        const SingleCutResult off = find_best_cut(g, latency, cons);
+        const SingleCutResult off = explorer.identify(g, cons);
         Constraints on_cons = cons;
         on_cons.branch_and_bound = true;
-        const SingleCutResult on = find_best_cut(g, latency, on_cons);
+        const SingleCutResult on = explorer.identify(g, on_cons);
         const double reduction = 1.0 - static_cast<double>(on.stats.cuts_considered) /
                                            static_cast<double>(off.stats.cuts_considered);
         table.add_row({g.name(), std::to_string(nin) + "/" + std::to_string(nout),

@@ -5,14 +5,13 @@
 // quantifies what that extra prune would buy at tight Nin.
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   std::cout << "=== Ablation: permanent-input pruning (extension; Nout=2) ===\n\n";
   TextTable table({"block", "Nin", "considered (off)", "considered (on)", "reduction",
                    "same optimum"});
@@ -26,10 +25,10 @@ int main() {
         cons.max_inputs = nin;
         cons.max_outputs = 2;
         cons.search_budget = 10'000'000;
-        const SingleCutResult off = find_best_cut(g, latency, cons);
+        const SingleCutResult off = explorer.identify(g, cons);
         Constraints on_cons = cons;
         on_cons.prune_permanent_inputs = true;
-        const SingleCutResult on = find_best_cut(g, latency, on_cons);
+        const SingleCutResult on = explorer.identify(g, on_cons);
         const double reduction = 1.0 - static_cast<double>(on.stats.cuts_considered) /
                                            static_cast<double>(off.stats.cuts_considered);
         table.add_row({g.name(), TextTable::num(nin),

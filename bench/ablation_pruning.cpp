@@ -4,14 +4,13 @@
 // fully without pruning).
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   std::cout << "=== Ablation: output/convexity subtree elimination (Nout=2) ===\n\n";
   TextTable table({"block", "N", "considered (pruned)", "considered (full)", "reduction",
                    "same optimum"});
@@ -24,10 +23,10 @@ int main() {
       Constraints cons;
       cons.max_inputs = 1 << 20;
       cons.max_outputs = 2;
-      const SingleCutResult pruned = find_best_cut(g, latency, cons);
+      const SingleCutResult pruned = explorer.identify(g, cons);
       Constraints full_cons = cons;
       full_cons.enable_pruning = false;
-      const SingleCutResult full = find_best_cut(g, latency, full_cons);
+      const SingleCutResult full = explorer.identify(g, full_cons);
       const double reduction = 1.0 - static_cast<double>(pruned.stats.cuts_considered) /
                                          static_cast<double>(full.stats.cuts_considered);
       table.add_row({g.name(), TextTable::num(static_cast<std::uint64_t>(n)),

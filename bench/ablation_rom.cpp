@@ -3,38 +3,34 @@
 // memories in the AFUs"). On adpcm both step-size and index tables qualify.
 #include <iostream>
 
-#include "core/iterative_select.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   constexpr int kNinstr = 8;
 
   std::cout << "=== Ablation: AFU ROM tables (Section 9 extension) ===\n\n";
   TextTable table({"workload", "Nin/Nout", "speedup (no ROM)", "speedup (ROM)", "gain"});
 
   for (Workload& w : fig11_workloads()) {
-    w.preprocess();
-    const double base = w.base_cycles();
+    ExplorationRequest request;
+    request.scheme = "iterative";
+    request.num_instructions = kNinstr;
+    request.constraints.branch_and_bound = true;
+    request.constraints.prune_permanent_inputs = true;
+
     for (const auto& [nin, nout] : std::vector<std::pair<int, int>>{{2, 1}, {4, 2}}) {
-      Constraints cons;
-      cons.max_inputs = nin;
-      cons.max_outputs = nout;
-      cons.branch_and_bound = true;
-      cons.prune_permanent_inputs = true;
+      request.constraints.max_inputs = nin;
+      request.constraints.max_outputs = nout;
 
-      const std::vector<Dfg> plain = w.extract_dfgs();
-      DfgOptions rom_opts;
-      rom_opts.allow_rom_loads = true;
-      const std::vector<Dfg> romful = w.extract_dfgs(rom_opts);
+      request.dfg_options.allow_rom_loads = false;
+      const double s0 = explorer.run(w, request).estimated_speedup;
+      request.dfg_options.allow_rom_loads = true;
+      const double s1 = explorer.run(w, request).estimated_speedup;
 
-      const double s0 = application_speedup(
-          base, select_iterative(plain, latency, cons, kNinstr).total_merit);
-      const double s1 = application_speedup(
-          base, select_iterative(romful, latency, cons, kNinstr).total_merit);
       table.add_row({w.name(), std::to_string(nin) + "/" + std::to_string(nout),
                      TextTable::num(s0, 3) + "x", TextTable::num(s1, 3) + "x",
                      TextTable::num((s1 / s0 - 1.0) * 100, 1) + "%"});

@@ -4,15 +4,13 @@
 // tractable, plus the identification-call accounting of Fig. 10's bound.
 #include <iostream>
 
-#include "core/iterative_select.hpp"
-#include "core/optimal_select.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   constexpr int kNinstr = 6;
 
   std::cout << "=== Ablation: Optimal (greedy + exact DP) vs. Iterative selection ===\n\n";
@@ -21,26 +19,30 @@ int main() {
 
   for (Workload& w : all_workloads()) {
     if (w.name() == "adpcmdecode" || w.name() == "adpcmencode") continue;  // paper: intractable
-    w.preprocess();
-    const std::vector<Dfg> graphs = w.extract_dfgs();
+    ExplorationRequest request;
+    request.num_instructions = kNinstr;
+    request.constraints.branch_and_bound = true;
+    request.constraints.search_budget = 5'000'000;
+
     for (const auto& [nin, nout] : std::vector<std::pair<int, int>>{{3, 1}, {4, 2}}) {
-      Constraints cons;
-      cons.max_inputs = nin;
-      cons.max_outputs = nout;
-      cons.branch_and_bound = true;
-      cons.search_budget = 5'000'000;
-      const SelectionResult iter = select_iterative(graphs, latency, cons, kNinstr);
-      const SelectionResult greedy =
-          select_optimal(graphs, latency, cons, kNinstr, OptimalMode::greedy_increments);
-      const SelectionResult dp =
-          select_optimal(graphs, latency, cons, kNinstr, OptimalMode::exact_dp);
+      request.constraints.max_inputs = nin;
+      request.constraints.max_outputs = nout;
+
+      const auto run_scheme = [&](const std::string& scheme) {
+        request.scheme = scheme;
+        return explorer.run(w, request);
+      };
+      const ExplorationReport iter = run_scheme("iterative");
+      const ExplorationReport greedy = run_scheme("optimal");
+      const ExplorationReport dp = run_scheme("optimal-dp");
+
       table.add_row(
           {w.name(), std::to_string(nin) + "/" + std::to_string(nout),
            TextTable::num(iter.total_merit, 1),
-           greedy.budget_exhausted ? "n/a" : TextTable::num(greedy.total_merit, 1),
-           dp.budget_exhausted ? "n/a" : TextTable::num(dp.total_merit, 1),
+           greedy.stats.budget_exhausted ? "n/a" : TextTable::num(greedy.total_merit, 1),
+           dp.stats.budget_exhausted ? "n/a" : TextTable::num(dp.total_merit, 1),
            TextTable::num(greedy.identification_calls),
-           TextTable::num(static_cast<std::uint64_t>(kNinstr + graphs.size() - 1))});
+           TextTable::num(static_cast<std::uint64_t>(kNinstr + greedy.num_blocks - 1))});
     }
   }
   table.print(std::cout);

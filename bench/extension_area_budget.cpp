@@ -1,47 +1,43 @@
 // Extension bench: instruction selection under an area constraint (paper
-// Section 9 future work). Sweeps the silicon budget and reports how much of
-// the unconstrained speedup survives — the area/performance Pareto curve.
+// Section 9 future work). Sweeps the silicon budget through the "area"
+// scheme and reports how much of the unconstrained speedup survives — the
+// area/performance Pareto curve.
 #include <iostream>
 
-#include "core/area_select.hpp"
-#include "core/iterative_select.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   std::cout << "=== Extension: selection under an area budget (MAC equivalents) ===\n\n";
 
   for (Workload& w : fig11_workloads()) {
-    w.preprocess();
-    const std::vector<Dfg> graphs = w.extract_dfgs();
-    const double base = w.base_cycles();
+    ExplorationRequest request;
+    request.num_instructions = 16;
+    request.constraints.max_inputs = 4;
+    request.constraints.max_outputs = 2;
+    request.constraints.branch_and_bound = true;
+    request.constraints.prune_permanent_inputs = true;
 
-    Constraints cons;
-    cons.max_inputs = 4;
-    cons.max_outputs = 2;
-    cons.branch_and_bound = true;
-    cons.prune_permanent_inputs = true;
-
-    const double unconstrained =
-        select_iterative(graphs, latency, cons, 16).total_merit;
+    request.scheme = "iterative";
+    const ExplorationReport unconstrained = explorer.run(w, request);
 
     std::cout << "--- " << w.name() << " (unconstrained speedup "
-              << TextTable::num(application_speedup(base, unconstrained), 3) << "x) ---\n";
+              << TextTable::num(unconstrained.estimated_speedup, 3) << "x) ---\n";
     TextTable table({"area budget", "instrs", "area used", "speedup", "of unconstrained"});
     for (const double budget : {0.1, 0.25, 0.5, 1.0, 2.0}) {
-      AreaSelectOptions opts;
-      opts.max_area_macs = budget;
-      opts.num_instructions = 16;
-      const SelectionResult r = select_area_constrained(graphs, latency, cons, opts);
+      request.scheme = "area";
+      request.area.max_area_macs = budget;
+      const ExplorationReport r = explorer.run(w, request);
       double area = 0.0;
-      for (const SelectedCut& sc : r.cuts) area += sc.metrics.area_macs;
-      const double speedup = application_speedup(base, r.total_merit);
-      const double frac = unconstrained > 0 ? r.total_merit / unconstrained : 1.0;
-      table.add_row({TextTable::num(budget, 2), TextTable::num(static_cast<int>(r.cuts.size())),
-                     TextTable::num(area, 3), TextTable::num(speedup, 3) + "x",
+      for (const CutReport& cut : r.cuts) area += cut.metrics.area_macs;
+      const double frac =
+          unconstrained.total_merit > 0 ? r.total_merit / unconstrained.total_merit : 1.0;
+      table.add_row({TextTable::num(budget, 2),
+                     TextTable::num(static_cast<int>(r.cuts.size())),
+                     TextTable::num(area, 3), TextTable::num(r.estimated_speedup, 3) + "x",
                      TextTable::num(frac * 100, 1) + "%"});
     }
     table.print(std::cout);

@@ -7,61 +7,74 @@
 // "n/a (budget)" when the budget is exhausted before completion — the exact
 // situation the paper describes ("the Optimal algorithm could not be run on
 // the adpcmdecode benchmark due to the large size of the basic blocks").
+//
+// `fig11_speedup --json` prints one ExplorationReport per (workload, scheme,
+// constraint) cell as a JSON array instead of the tables.
+#include <cstring>
 #include <iostream>
 
-#include "core/baseline_select.hpp"
-#include "core/iterative_select.hpp"
-#include "core/optimal_select.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
-int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const Explorer explorer;
   constexpr int kNinstr = 16;
 
-  std::cout << "=== Fig. 11: estimated speedup, up to " << kNinstr
-            << " special instructions ===\n";
-  std::cout << "(paper shape: Iterative/Optimal dominate; all algorithms are similar\n"
-               " under tight constraints; exact algorithms pull ahead as ports grow)\n\n";
+  const std::vector<std::pair<int, int>> ports = {{2, 1}, {3, 1}, {4, 1},
+                                                  {2, 2}, {4, 2}, {8, 4}};
 
+  if (!json) {
+    std::cout << "=== Fig. 11: estimated speedup, up to " << kNinstr
+              << " special instructions ===\n";
+    std::cout << "(paper shape: Iterative/Optimal dominate; all algorithms are similar\n"
+                 " under tight constraints; exact algorithms pull ahead as ports grow)\n\n";
+  }
+
+  Json all_reports = Json::array();
   for (Workload& w : fig11_workloads()) {
-    w.preprocess();
-    const std::vector<Dfg> graphs = w.extract_dfgs();
-    const double base = w.base_cycles();
-    std::cout << "--- " << w.name() << " (base cycles " << base << ") ---\n";
+    ExplorationRequest request;
+    request.num_instructions = kNinstr;
+    request.constraints.branch_and_bound = true;  // result-preserving accelerations
+    request.constraints.prune_permanent_inputs = true;
 
     TextTable table({"Nin/Nout", "Optimal", "Iterative", "Clubbing", "MaxMISO"});
-    for (const auto& [nin, nout] :
-         std::vector<std::pair<int, int>>{{2, 1}, {3, 1}, {4, 1}, {2, 2}, {4, 2}, {8, 4}}) {
-      Constraints cons;
-      cons.max_inputs = nin;
-      cons.max_outputs = nout;
-      cons.branch_and_bound = true;        // result-preserving accelerations
-      cons.prune_permanent_inputs = true;
+    double base = 0.0;
+    for (const auto& [nin, nout] : ports) {
+      request.constraints.max_inputs = nin;
+      request.constraints.max_outputs = nout;
 
-      const auto spd = [&](double merit) {
-        return TextTable::num(application_speedup(base, merit), 3) + "x";
+      const auto run_scheme = [&](const std::string& scheme,
+                                  std::uint64_t budget) -> ExplorationReport {
+        request.scheme = scheme;
+        request.constraints.search_budget = budget;
+        ExplorationReport r = explorer.run(w, request);
+        if (json) all_reports.push_back(r.to_json());
+        return r;
       };
 
       // Optimal under a budget, like the paper's failed adpcm runs.
-      Constraints opt_cons = cons;
-      opt_cons.search_budget = 1'000'000;
-      const SelectionResult opt = select_optimal(graphs, latency, opt_cons, kNinstr);
-      const std::string optimal_cell =
-          opt.budget_exhausted ? "n/a (budget)" : spd(opt.total_merit);
+      const ExplorationReport opt = run_scheme("optimal", 1'000'000);
+      const ExplorationReport iter = run_scheme("iterative", 0);
+      const ExplorationReport club = run_scheme("clubbing", 0);
+      const ExplorationReport miso = run_scheme("maxmiso", 0);
+      base = iter.base_cycles;
 
-      table.add_row(
-          {std::to_string(nin) + "/" + std::to_string(nout), optimal_cell,
-           spd(select_iterative(graphs, latency, cons, kNinstr).total_merit),
-           spd(select_baseline(graphs, latency, cons, kNinstr, BaselineAlgorithm::clubbing)
-                   .total_merit),
-           spd(select_baseline(graphs, latency, cons, kNinstr, BaselineAlgorithm::max_miso)
-                   .total_merit)});
+      const auto spd = [](const ExplorationReport& r) {
+        return TextTable::num(r.estimated_speedup, 3) + "x";
+      };
+      table.add_row({std::to_string(nin) + "/" + std::to_string(nout),
+                     opt.stats.budget_exhausted ? "n/a (budget)" : spd(opt), spd(iter),
+                     spd(club), spd(miso)});
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    if (!json) {
+      std::cout << "--- " << w.name() << " (base cycles " << base << ") ---\n";
+      table.print(std::cout);
+      std::cout << "\n";
+    }
   }
+  if (json) std::cout << all_reports.dump(2) << "\n";
   return 0;
 }

@@ -2,9 +2,14 @@
 // Fig. 4 four-node example with Nout = 1. The paper reports: 16 possible
 // cuts, 11 considered, 5 passing both checks, 6 failing, 4 eliminated by
 // subtree pruning. This binary regenerates those counts.
+//
+// `fig7_trace --json` instead runs the full Explorer pipeline on the same
+// graph and prints the structured ExplorationReport — the CI smoke test
+// validates that the report parses.
+#include <cstring>
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
 
 using namespace isex;
@@ -38,21 +43,32 @@ Dfg fig4_graph() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Explorer explorer;
   const Dfg g = fig4_graph();
-  const LatencyModel latency = LatencyModel::standard_018um();
-
-  std::cout << "=== Fig. 7: search trace on the Fig. 4 example (Nout = 1) ===\n\n";
-  TextTable table({"quantity", "paper", "measured"});
 
   Constraints cons;
   cons.max_inputs = 100;  // "any Nin"
   cons.max_outputs = 1;
-  const SingleCutResult pruned = find_best_cut(g, latency, cons);
+
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    ExplorationRequest request;
+    request.graphs.push_back(g);
+    request.scheme = "iterative";
+    request.constraints = cons;
+    request.num_instructions = 2;
+    std::cout << explorer.run(request).to_json_string() << "\n";
+    return 0;
+  }
+
+  std::cout << "=== Fig. 7: search trace on the Fig. 4 example (Nout = 1) ===\n\n";
+  TextTable table({"quantity", "paper", "measured"});
+
+  const SingleCutResult pruned = explorer.identify(g, cons);
 
   Constraints no_prune = cons;
   no_prune.enable_pruning = false;
-  const SingleCutResult full = find_best_cut(g, latency, no_prune);
+  const SingleCutResult full = explorer.identify(g, no_prune);
 
   table.add_row({"possible cuts (2^4)", "16", "16"});
   table.add_row({"cuts considered", "11", TextTable::num(pruned.stats.cuts_considered)});

@@ -7,16 +7,15 @@
 #include <iostream>
 #include <vector>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "dfg/random_dag.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
   Constraints cons;
   cons.max_inputs = 1 << 20;  // any Nin: inputs never prune (paper Sec. 6.1)
   cons.max_outputs = 2;
@@ -30,7 +29,7 @@ int main() {
   const auto measure = [&](const Dfg& g, const std::string& name) {
     const std::size_t n = g.candidates().size();
     if (n < 2) return;
-    const SingleCutResult r = find_best_cut(g, latency, cons);
+    const SingleCutResult r = explorer.identify(g, cons);
     const double nn = static_cast<double>(n);
     const double considered = static_cast<double>(r.stats.cuts_considered);
     xs.push_back(nn);

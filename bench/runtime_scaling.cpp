@@ -1,20 +1,19 @@
 // Section 8 runtime claim: "in all but extreme cases it took only some
 // seconds". Google-benchmark timings of single-cut identification vs. graph
-// size and output constraint, plus whole-application iterative selection.
+// size and output constraint, plus whole-application iterative selection
+// through the Explorer pipeline — including its thread-pool scaling.
 #include <benchmark/benchmark.h>
 
-#include "core/iterative_select.hpp"
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "dfg/random_dag.hpp"
-#include "workloads/workload.hpp"
 
 namespace {
 
 using namespace isex;
 
-const LatencyModel& latency() {
-  static const LatencyModel lat = LatencyModel::standard_018um();
-  return lat;
+const Explorer& explorer() {
+  static const Explorer ex;
+  return ex;
 }
 
 Dfg synthetic(int n) {
@@ -34,7 +33,7 @@ void BM_SingleCut_Synthetic(benchmark::State& state) {
   cons.max_outputs = static_cast<int>(state.range(1));
   std::uint64_t considered = 0;
   for (auto _ : state) {
-    const SingleCutResult r = find_best_cut(g, latency(), cons);
+    const SingleCutResult r = explorer().identify(g, cons);
     considered = r.stats.cuts_considered;
     benchmark::DoNotOptimize(r.merit);
   }
@@ -45,7 +44,7 @@ BENCHMARK(BM_SingleCut_Synthetic)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SingleCut_AdpcmDecodeBody(benchmark::State& state) {
-  Workload w = make_adpcm_decode();
+  Workload w = find_workload("adpcmdecode");
   w.preprocess();
   const std::vector<Dfg> graphs = w.extract_dfgs();
   const Dfg* body = nullptr;
@@ -56,7 +55,7 @@ void BM_SingleCut_AdpcmDecodeBody(benchmark::State& state) {
   cons.max_inputs = static_cast<int>(state.range(0));
   cons.max_outputs = static_cast<int>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(find_best_cut(*body, latency(), cons).merit);
+    benchmark::DoNotOptimize(explorer().identify(*body, cons).merit);
   }
 }
 BENCHMARK(BM_SingleCut_AdpcmDecodeBody)
@@ -65,26 +64,35 @@ BENCHMARK(BM_SingleCut_AdpcmDecodeBody)
     ->Args({8, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Identification + selection only (run_blocks): pre-extracted graphs, with
+// the per-block searches spread over `threads` workers.
 void BM_IterativeSelection_Fig11Benchmarks(benchmark::State& state) {
   std::vector<std::vector<Dfg>> all;
   for (Workload& w : fig11_workloads()) {
     w.preprocess();
     all.push_back(w.extract_dfgs());
   }
-  Constraints cons;
-  cons.max_inputs = 4;
-  cons.max_outputs = 2;
-  cons.branch_and_bound = true;
-  cons.prune_permanent_inputs = true;
+  ExplorationRequest request;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 16;
+  request.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     double total = 0;
     for (const auto& graphs : all) {
-      total += select_iterative(graphs, latency(), cons, 16).total_merit;
+      total += explorer().run_blocks(graphs, request).total_merit;
     }
     benchmark::DoNotOptimize(total);
   }
 }
-BENCHMARK(BM_IterativeSelection_Fig11Benchmarks)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IterativeSelection_Fig11Benchmarks)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

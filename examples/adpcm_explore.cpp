@@ -1,24 +1,20 @@
 // The paper's Fig. 3 walk-through on the real adpcm decoder: preprocess,
 // extract the hot block's DFG, and watch the best instruction grow from M1
 // (2 inputs / 1 output) to M2 (3 inputs) to the disconnected M2+M3 as the
-// microarchitectural constraints relax. Finishes by rewriting the chosen
-// extension into the program and emitting its Verilog.
+// microarchitectural constraints relax. Finishes with one Explorer pipeline
+// run that selects, rewrites and validates the extension and emits its
+// Verilog.
 #include <iostream>
 
-#include "afu/afu_builder.hpp"
-#include "afu/rewrite.hpp"
-#include "afu/verilog.hpp"
-#include "core/iterative_select.hpp"
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
 
-  Workload w = make_adpcm_decode();
+  Workload w = find_workload("adpcmdecode");
   std::cout << "adpcm decoder: " << w.entry().num_blocks()
             << " blocks before if-conversion\n";
   w.preprocess();
@@ -47,7 +43,7 @@ int main() {
     Constraints cons;
     cons.max_inputs = row.nin;
     cons.max_outputs = row.nout;
-    const SingleCutResult r = find_best_cut(*body, latency, cons);
+    const SingleCutResult r = explorer.identify(*body, cons);
     table.add_row({std::to_string(row.nin) + "/" + std::to_string(row.nout),
                    TextTable::num(r.metrics.num_ops), TextTable::num(r.metrics.inputs),
                    TextTable::num(r.metrics.outputs), TextTable::num(r.metrics.sw_cycles),
@@ -56,27 +52,23 @@ int main() {
   }
   table.print(std::cout);
 
-  // Select with 4 read / 2 write ports, rewrite, and validate.
-  Constraints cons;
-  cons.max_inputs = 4;
-  cons.max_outputs = 2;
-  const SelectionResult sel = select_iterative(graphs, latency, cons, 2);
-  ExecResult before;
-  w.run(&before);
-  Function& fn = *w.module().find_function(w.entry().name());
-  rewrite_selection(w.module(), fn, graphs, sel, latency, "adpcm_ise");
-  ExecResult after;
-  const bool ok = w.run(&after) == w.expected_outputs();
+  // Select with 4 read / 2 write ports, rewrite, and validate — one request.
+  ExplorationRequest request;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.num_instructions = 2;
+  request.rewrite = true;
+  request.emit_verilog = true;
+  request.name_prefix = "adpcm_ise";
+  const ExplorationReport report = explorer.run(w, request);
 
-  std::cout << "\nselected " << sel.cuts.size() << " instructions; rewrite "
-            << (ok ? "bit-exact" : "MISMATCH") << "; cycles " << before.cycles << " -> "
-            << after.cycles << " (speedup "
-            << TextTable::num(static_cast<double>(before.cycles) /
-                                  static_cast<double>(after.cycles),
-                              3)
+  std::cout << "\nselected " << report.cuts.size() << " instructions; rewrite "
+            << (report.validation.bit_exact ? "bit-exact" : "MISMATCH") << "; cycles "
+            << report.validation.cycles_before << " -> " << report.validation.cycles_after
+            << " (speedup " << TextTable::num(report.validation.measured_speedup, 3)
             << "x)\n\n";
 
-  std::cout << "Verilog for the first selected AFU:\n\n"
-            << emit_verilog(w.module(), w.module().custom_op(0));
+  std::cout << "Verilog for the first selected AFU:\n\n" << report.verilog.at(0);
   return 0;
 }

@@ -1,57 +1,55 @@
 // Sweep the register-file port constraints on one benchmark and print the
-// estimated application speedup surface for all four algorithms — a
-// zoomed-in version of the paper's Fig. 11 for interactive exploration.
+// estimated application speedup surface for the registered selection schemes
+// — a zoomed-in version of the paper's Fig. 11 for interactive exploration.
 //
 // Usage: constraint_sweep [workload-name]   (default: adpcmdecode)
 #include <iostream>
 
-#include "core/baseline_select.hpp"
-#include "core/iterative_select.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "adpcmdecode";
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
 
   Workload w = [&] {
-    for (Workload& cand : all_workloads()) {
-      if (cand.name() == name) return std::move(cand);
+    try {
+      return find_workload(name);
+    } catch (const Error& e) {
+      std::cerr << e.what() << "\n";
+      std::exit(1);
     }
-    std::cerr << "unknown workload '" << name << "'; available:";
-    for (const Workload& cand : all_workloads()) std::cerr << " " << cand.name();
-    std::cerr << "\n";
-    std::exit(1);
   }();
-  w.preprocess();
-  const std::vector<Dfg> graphs = w.extract_dfgs();
-  const double base = w.base_cycles();
 
-  std::cout << "workload " << w.name() << ": base cycles " << base << ", "
-            << graphs.size() << " profiled blocks, Ninstr = 16\n\n";
+  ExplorationRequest request;
+  request.num_instructions = 16;
+  request.constraints.branch_and_bound = true;  // result-preserving acceleration
+  request.constraints.prune_permanent_inputs = true;
 
+  const std::vector<std::string> schemes = {"iterative", "clubbing", "maxmiso"};
   TextTable table({"Nin", "Nout", "Iterative", "Clubbing", "MaxMISO"});
+  double base_cycles = 0.0;
+  int num_blocks = 0;
   for (const int nin : {2, 3, 4, 8}) {
     for (const int nout : {1, 2, 4}) {
-      Constraints cons;
-      cons.max_inputs = nin;
-      cons.max_outputs = nout;
-      cons.branch_and_bound = true;  // result-preserving acceleration
-      cons.prune_permanent_inputs = true;
-      const auto speedup = [&](double merit) {
-        return TextTable::num(application_speedup(base, merit), 3) + "x";
-      };
-      table.add_row(
-          {std::to_string(nin), std::to_string(nout),
-           speedup(select_iterative(graphs, latency, cons, 16).total_merit),
-           speedup(select_baseline(graphs, latency, cons, 16, BaselineAlgorithm::clubbing)
-                       .total_merit),
-           speedup(select_baseline(graphs, latency, cons, 16, BaselineAlgorithm::max_miso)
-                       .total_merit)});
+      request.constraints.max_inputs = nin;
+      request.constraints.max_outputs = nout;
+      std::vector<std::string> row{std::to_string(nin), std::to_string(nout)};
+      for (const std::string& scheme : schemes) {
+        request.scheme = scheme;
+        const ExplorationReport report = explorer.run(w, request);
+        row.push_back(TextTable::num(report.estimated_speedup, 3) + "x");
+        base_cycles = report.base_cycles;
+        num_blocks = report.num_blocks;
+      }
+      table.add_row(std::move(row));
     }
   }
+  std::cout << "workload " << w.name() << ": base cycles " << base_cycles << ", "
+            << num_blocks << " profiled blocks, Ninstr = "
+            << request.num_instructions << "\n\n";
   table.print(std::cout);
   return 0;
 }

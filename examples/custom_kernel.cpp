@@ -1,17 +1,17 @@
-// Bring your own kernel: define a function with the IrBuilder API, let the
-// toolchain if-convert it, identify extensions, rewrite, and prove the
-// transformed program equivalent on concrete inputs.
+// Bring your own kernel: define a function with the IrBuilder API, wrap it
+// in a Workload, and let one Explorer request if-convert it, identify
+// extensions, rewrite, and prove the transformed program equivalent on
+// concrete inputs.
 //
 // The kernel here is an alpha-blend with saturation:
 //   out[i] = clamp((a[i] * alpha + b[i] * (256 - alpha)) >> 8, 0, 255)
 #include <iostream>
+#include <memory>
 
-#include "afu/rewrite.hpp"
-#include "core/iterative_select.hpp"
+#include "api/explorer.hpp"
 #include "interp/interpreter.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
-#include "passes/pipeline.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "workloads/util.hpp"
@@ -20,16 +20,15 @@ using namespace isex;
 
 int main() {
   constexpr int kN = 32;
-  const LatencyModel latency = LatencyModel::standard_018um();
 
-  Module module("blend");
+  auto module = std::make_unique<Module>("blend");
   const auto a_data = random_samples(kN, 0, 255, 1);
   const auto b_data = random_samples(kN, 0, 255, 2);
-  const std::uint32_t a_base = module.add_segment("a", kN, std::vector<std::int32_t>(a_data));
-  const std::uint32_t b_base = module.add_segment("b", kN, std::vector<std::int32_t>(b_data));
-  const std::uint32_t out_base = module.add_segment("out", kN);
+  const std::uint32_t a_base = module->add_segment("a", kN, std::vector<std::int32_t>(a_data));
+  const std::uint32_t b_base = module->add_segment("b", kN, std::vector<std::int32_t>(b_data));
+  const std::uint32_t out_base = module->add_segment("out", kN);
 
-  IrBuilder b(module, "alpha_blend", 2);  // (n, alpha)
+  IrBuilder b(*module, "alpha_blend", 2);  // (n, alpha)
   CountedLoop loop = begin_counted_loop(b, b.param(0));
   enter_loop_body(b, loop);
   const ValueId av = b.load(b.add(b.konst(a_base), loop.index));
@@ -43,51 +42,44 @@ int main() {
   b.store(b.add(b.konst(out_base), loop.index), hi);
   end_counted_loop(b, loop, {});
   b.ret(b.konst(0));
-  verify_module(module);
+  verify_module(*module);
 
-  Function& fn = *module.find_function("alpha_blend");
-  run_standard_pipeline(module);
-
-  // Profile + extract DFGs.
-  Memory mem0(module);
-  Interpreter interp0(module, mem0);
-  Profile profile;
+  // Reference outputs from one interpreted run of the untransformed kernel.
   const std::vector<std::int32_t> args{kN, 96};
-  const ExecResult before = interp0.run(fn, args, &profile);
-  const auto baseline_out = mem0.read_words(out_base, kN);
-
-  std::vector<Dfg> graphs;
-  for (std::size_t blk = 0; blk < fn.num_blocks(); ++blk) {
-    const BlockId id{static_cast<std::uint32_t>(blk)};
-    if (profile.count(id) == 0) continue;
-    Dfg g = Dfg::from_block(module, fn, id, static_cast<double>(profile.count(id)));
-    if (!g.candidates().empty()) graphs.push_back(std::move(g));
+  std::vector<std::int32_t> expected;
+  {
+    Memory mem(*module);
+    Interpreter interp(*module, mem);
+    interp.run(*module->find_function("alpha_blend"), args);
+    expected = mem.read_words(out_base, kN);
   }
 
-  Constraints cons;
-  cons.max_inputs = 4;
-  cons.max_outputs = 1;
-  const SelectionResult sel = select_iterative(graphs, latency, cons, 2);
-  const RewriteReport report = rewrite_selection(module, fn, graphs, sel, latency, "blend");
+  const auto read_out = [out_base](const Module&, const Memory& mem) {
+    return mem.read_words(out_base, kN);
+  };
+  Workload w("alpha_blend", std::move(module), "alpha_blend", args, read_out, expected);
 
-  Memory mem1(module);
-  Interpreter interp1(module, mem1);
-  const ExecResult after = interp1.run(fn, args);
-  const bool equal = mem1.read_words(out_base, kN) == baseline_out;
+  // Preprocess, profile, identify, select, rewrite, validate — one request.
+  const Explorer explorer;
+  ExplorationRequest request;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 1;
+  request.num_instructions = 2;
+  request.rewrite = true;
+  const ExplorationReport report = explorer.run(w, request);
 
   std::cout << "custom kernel 'alpha_blend'\n";
   TextTable t({"metric", "value"});
-  t.add_row({"selected instructions", TextTable::num(report.instructions_added)});
-  t.add_row({"AFU area (MAC equiv)", TextTable::num(report.total_area_macs, 3)});
-  t.add_row({"cycles before", TextTable::num(before.cycles)});
-  t.add_row({"cycles after", TextTable::num(after.cycles)});
-  t.add_row({"speedup", TextTable::num(static_cast<double>(before.cycles) /
-                                           static_cast<double>(after.cycles),
-                                       3) +
-                            "x"});
-  t.add_row({"outputs bit-exact", equal ? "yes" : "NO"});
+  t.add_row({"selected instructions", TextTable::num(static_cast<int>(report.afus.size()))});
+  t.add_row({"AFU area (MAC equiv)", TextTable::num(report.afu_area_macs, 3)});
+  t.add_row({"cycles before", TextTable::num(report.validation.cycles_before)});
+  t.add_row({"cycles after", TextTable::num(report.validation.cycles_after)});
+  t.add_row({"speedup", TextTable::num(report.validation.measured_speedup, 3) + "x"});
+  t.add_row({"outputs bit-exact", report.validation.bit_exact ? "yes" : "NO"});
   t.print(std::cout);
 
-  std::cout << "\nrewritten function:\n" << function_to_string(module, fn);
-  return equal ? 0 : 1;
+  std::cout << "\nrewritten function:\n"
+            << function_to_string(w.module(), w.entry());
+  return report.validation.bit_exact ? 0 : 1;
 }

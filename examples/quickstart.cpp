@@ -1,9 +1,11 @@
-// Quickstart: build a dataflow graph by hand, enumerate the best
-// instruction-set extension under register-file port constraints, and print
-// what the search did.
+// Quickstart: build a dataflow graph by hand, sweep the register-file port
+// constraints through the isex::Explorer facade, and print the structured
+// exploration report as JSON — the three calls every other driver builds on:
+// identify() for one block, run_blocks() for raw graphs, run() for a named
+// workload.
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "dfg/dot.hpp"
 #include "support/table.hpp"
 
@@ -33,7 +35,7 @@ int main() {
   g.add_output(sel, "r");
   g.finalize();
 
-  const LatencyModel latency = LatencyModel::standard_018um();
+  const Explorer explorer;
 
   TextTable table({"Nin", "Nout", "best cut", "ops", "IN", "OUT", "sw", "hw", "merit",
                    "cuts considered"});
@@ -41,7 +43,7 @@ int main() {
     Constraints cons;
     cons.max_inputs = nin;
     cons.max_outputs = nout;
-    const SingleCutResult r = find_best_cut(g, latency, cons);
+    const SingleCutResult r = explorer.identify(g, cons);
     table.add_row({std::to_string(nin), std::to_string(nout), r.cut.to_string(),
                    TextTable::num(r.metrics.num_ops), TextTable::num(r.metrics.inputs),
                    TextTable::num(r.metrics.outputs), TextTable::num(r.metrics.sw_cycles),
@@ -54,8 +56,18 @@ int main() {
   Constraints cons;
   cons.max_inputs = 3;
   cons.max_outputs = 1;
-  const SingleCutResult best = find_best_cut(g, latency, cons);
+  const SingleCutResult best = explorer.identify(g, cons);
   std::cout << "\nGraphviz rendering with the 3-input/1-output cut highlighted:\n\n"
             << to_dot(g, std::span<const BitVector>{&best.cut, 1});
+
+  // The same exploration as one pipeline call, reported as JSON.
+  ExplorationRequest request;
+  request.graphs.push_back(g);
+  request.scheme = "iterative";
+  request.constraints = cons;
+  request.num_instructions = 1;
+  const ExplorationReport report = explorer.run(request);
+  std::cout << "\nStructured report of the full pipeline (scheme 'iterative'):\n\n"
+            << report.to_json_string() << "\n";
   return 0;
 }

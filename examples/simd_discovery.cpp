@@ -5,9 +5,8 @@
 // single-output identification can never produce.
 #include <iostream>
 
-#include "core/single_cut.hpp"
+#include "api/explorer.hpp"
 #include "support/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace isex;
 
@@ -41,8 +40,8 @@ bool is_disconnected(const Dfg& g, const BitVector& cut) {
 }  // namespace
 
 int main() {
-  const LatencyModel latency = LatencyModel::standard_018um();
-  Workload w = make_rgb2yuv();
+  const Explorer explorer;
+  Workload w = find_workload("rgb2yuv");
   w.preprocess();
   const std::vector<Dfg> graphs = w.extract_dfgs();
   const Dfg* body = nullptr;
@@ -59,7 +58,7 @@ int main() {
     cons.max_inputs = 4;
     cons.max_outputs = nout;
     cons.branch_and_bound = true;
-    const SingleCutResult r = find_best_cut(*body, latency, cons);
+    const SingleCutResult r = explorer.identify(*body, cons);
     table.add_row({TextTable::num(nout), TextTable::num(r.metrics.num_ops),
                    TextTable::num(r.metrics.inputs), TextTable::num(r.metrics.outputs),
                    TextTable::num(r.merit / body->exec_freq(), 2),

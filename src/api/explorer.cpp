@@ -1,0 +1,160 @@
+#include "api/explorer.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "afu/afu_builder.hpp"
+#include "afu/rewrite.hpp"
+#include "afu/verilog.hpp"
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Explorer::Explorer(LatencyModel latency, SchemeRegistry* registry)
+    : latency_(std::move(latency)),
+      registry_(registry != nullptr ? registry : &SchemeRegistry::global()) {}
+
+SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints) const {
+  return find_best_cut(block, latency_, constraints);
+}
+
+MultiCutResult Explorer::identify_multi(const Dfg& block, const Constraints& constraints,
+                                        int num_cuts) const {
+  return find_best_cuts(block, latency_, constraints, num_cuts);
+}
+
+ExplorationReport Explorer::run(const ExplorationRequest& request) const {
+  if (!request.workload.empty()) {
+    Workload w = find_workload(request.workload);
+    return run(w, request);
+  }
+  ISEX_CHECK(!request.graphs.empty(),
+             "ExplorationRequest needs a workload name or user graphs");
+  return run_blocks(request.graphs, request);
+}
+
+ExplorationReport Explorer::run(Workload& workload, const ExplorationRequest& request) const {
+  return run_pipeline(&workload, {}, request);
+}
+
+ExplorationReport Explorer::run_blocks(std::span<const Dfg> blocks,
+                                       const ExplorationRequest& request) const {
+  ISEX_CHECK(!blocks.empty(), "no graphs to explore");
+  return run_pipeline(nullptr, blocks, request);
+}
+
+ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg> blocks,
+                                         const ExplorationRequest& request) const {
+  const auto t_start = Clock::now();
+  ExplorationReport report;
+  report.scheme = request.scheme;
+  report.constraints = request.constraints;
+  report.num_instructions = request.num_instructions;
+
+  // --- profile + extract ---------------------------------------------------
+  std::vector<Dfg> extracted;
+  if (workload != nullptr) {
+    report.workload = workload->name();
+    workload->preprocess();
+    extracted = workload->extract_dfgs(request.dfg_options, &report.base_cycles);
+    blocks = extracted;
+  } else {
+    for (const Dfg& g : blocks) report.base_cycles += block_static_cycles(g, latency_);
+  }
+  report.num_blocks = static_cast<int>(blocks.size());
+  report.timings.extract_ms = ms_since(t_start);
+
+  // --- identify + select ---------------------------------------------------
+  const auto t_identify = Clock::now();
+  const SelectionScheme& scheme = registry_->get(request.scheme);
+  std::unique_ptr<ThreadPool> pool;
+  Executor* executor = &serial_executor();
+  if (request.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(request.num_threads);
+    executor = pool.get();
+  }
+  report.num_threads = executor->num_threads();
+
+  SchemeInputs inputs{blocks,       latency_,     request.constraints,
+                      request.num_instructions, request.area, executor};
+  report.selection = scheme.select(inputs);
+  report.timings.identify_ms = ms_since(t_identify);
+
+  report.total_merit = report.selection.total_merit;
+  report.identification_calls = report.selection.identification_calls;
+  report.stats = report.selection.stats;
+  if (report.base_cycles > report.total_merit) {
+    report.estimated_speedup = application_speedup(report.base_cycles, report.total_merit);
+  }
+  for (const SelectedCut& sc : report.selection.cuts) {
+    CutReport cr;
+    cr.block_index = sc.block_index;
+    cr.block = blocks[static_cast<std::size_t>(sc.block_index)].name();
+    cr.merit = sc.merit;
+    cr.metrics = sc.metrics;
+    cr.nodes = sc.cut.to_string();
+    report.cuts.push_back(std::move(cr));
+  }
+
+  // --- AFU construction / rewrite / validation -----------------------------
+  if (workload != nullptr && (request.build_afus || request.rewrite || request.emit_verilog)) {
+    Module& module = workload->module();
+    const auto record_afu = [&](const CustomOp& op) {
+      AfuReport ar;
+      ar.name = op.name;
+      ar.num_inputs = op.num_inputs;
+      ar.num_outputs = op.num_outputs();
+      ar.latency_cycles = op.latency_cycles;
+      ar.area_macs = op.area_macs;
+      report.afu_area_macs += op.area_macs;
+      report.afus.push_back(std::move(ar));
+      if (request.emit_verilog) report.verilog.push_back(emit_verilog(module, op));
+    };
+
+    if (request.rewrite) {
+      Function& fn = *module.find_function(workload->entry().name());
+      const RewriteReport rewrite =
+          rewrite_selection(module, fn, blocks, report.selection, latency_,
+                            request.name_prefix);
+      ExecResult after;
+      const bool bit_exact = workload->run(&after) == workload->expected_outputs();
+      report.validation.rewritten = true;
+      report.validation.bit_exact = bit_exact;
+      // The profiling run of extract_dfgs already measured the pre-rewrite
+      // cycle count (the interpreter is deterministic).
+      report.validation.cycles_before = static_cast<std::uint64_t>(report.base_cycles);
+      report.validation.cycles_after = after.cycles;
+      if (after.cycles > 0) {
+        report.validation.measured_speedup =
+            report.base_cycles / static_cast<double>(after.cycles);
+      }
+      for (const int index : rewrite.custom_op_indices) record_afu(module.custom_op(index));
+    } else {
+      // Snapshot AFUs without touching the program.
+      const Function& fn = workload->entry();
+      int index = 0;
+      for (const SelectedCut& sc : report.selection.cuts) {
+        const Dfg& g = blocks[static_cast<std::size_t>(sc.block_index)];
+        const AfuSpec spec = build_afu(module, fn, g, sc.cut, latency_,
+                                       request.name_prefix + std::to_string(index));
+        record_afu(spec.op);
+        ++index;
+      }
+    }
+  }
+
+  report.timings.total_ms = ms_since(t_start);
+  return report;
+}
+
+}  // namespace isex

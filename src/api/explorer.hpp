@@ -1,0 +1,112 @@
+// The unified pipeline facade of the reproduction.
+//
+// The paper's flow is fixed — profile the application, build per-block DFGs,
+// identify cuts under the Nin/Nout microarchitectural constraints, select up
+// to Ninstr instructions, and account the AFU — and `Explorer` runs all of
+// it behind one call: an ExplorationRequest in, a structured (JSON
+// round-trippable) ExplorationReport out. Selection schemes are resolved by
+// name against a SchemeRegistry, and the per-block identification searches
+// run across a thread pool when the request asks for more than one thread
+// (results are bit-identical to the single-threaded run).
+//
+//   Explorer ex;
+//   ExplorationRequest req;
+//   req.workload = "adpcmdecode";
+//   req.scheme = "iterative";
+//   req.constraints.max_inputs = 4;
+//   req.constraints.max_outputs = 2;
+//   ExplorationReport report = ex.run(req);
+//   std::cout << report.to_json_string();
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "api/scheme.hpp"
+#include "core/multi_cut.hpp"
+#include "core/single_cut.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+struct ExplorationRequest {
+  /// Workload registry name (see workload_names()); leave empty to explore
+  /// the user-provided `graphs` instead.
+  std::string workload;
+  /// User-provided per-block DFGs (used when `workload` is empty). The base
+  /// cycle count then falls back to the blocks' static cycle estimate.
+  std::vector<Dfg> graphs;
+
+  /// Selection scheme name resolved against the registry ("iterative",
+  /// "optimal", "optimal-dp", "clubbing", "maxmiso", "area", or user-added).
+  std::string scheme = "iterative";
+  Constraints constraints;
+  /// Ninstr: maximum number of special instructions.
+  int num_instructions = 16;
+  /// Silicon budget options for the "area" scheme (its instruction cap is
+  /// taken from num_instructions).
+  AreaSelectOptions area;
+  /// DFG extraction options (e.g. admit ROM-hinted loads, Section 9).
+  DfgOptions dfg_options;
+
+  /// Threads for per-block identification: 1 = serial (default),
+  /// 0 = hardware concurrency. Results are identical for any value.
+  int num_threads = 1;
+
+  /// Snapshot an AFU per selected cut (ports, latency, area) into the report.
+  bool build_afus = false;
+  /// Rewrite the selection into the workload's module and validate that the
+  /// transformed program is bit-exact; fills report.validation. Mutates the
+  /// workload module (workload pipelines only).
+  bool rewrite = false;
+  /// With rewrite/build_afus: capture each AFU's Verilog into the report.
+  bool emit_verilog = false;
+  /// Name prefix for synthesized custom ops.
+  std::string name_prefix = "isex";
+};
+
+class Explorer {
+ public:
+  /// `registry` defaults to SchemeRegistry::global(); the latency/area model
+  /// applies to every request run through this explorer.
+  explicit Explorer(LatencyModel latency = LatencyModel::standard_018um(),
+                    SchemeRegistry* registry = nullptr);
+
+  const LatencyModel& latency() const { return latency_; }
+  SchemeRegistry& registry() const { return *registry_; }
+
+  /// Runs the whole pipeline. Resolves request.workload against the workload
+  /// registry, or explores request.graphs when the name is empty.
+  ExplorationReport run(const ExplorationRequest& request) const;
+
+  /// Runs the pipeline on a caller-owned workload (bring-your-own Module).
+  /// request.workload is ignored; with request.rewrite the module is
+  /// transformed in place.
+  ExplorationReport run(Workload& workload, const ExplorationRequest& request) const;
+
+  /// Identification + selection on pre-extracted graphs. No module is
+  /// available, so AFU construction and rewriting are skipped; the base
+  /// cycle count is the blocks' static single-issue estimate.
+  ExplorationReport run_blocks(std::span<const Dfg> blocks,
+                               const ExplorationRequest& request) const;
+
+  // --- single-block identification (paper Problem 1) ----------------------
+  /// Best single cut of one block under `constraints`.
+  SingleCutResult identify(const Dfg& block, const Constraints& constraints) const;
+  /// Best set of up to `num_cuts` disjoint cuts of one block.
+  MultiCutResult identify_multi(const Dfg& block, const Constraints& constraints,
+                                int num_cuts) const;
+
+ private:
+  ExplorationReport run_pipeline(Workload* workload, std::span<const Dfg> blocks,
+                                 const ExplorationRequest& request) const;
+
+  LatencyModel latency_;
+  SchemeRegistry* registry_;
+};
+
+}  // namespace isex

@@ -1,0 +1,177 @@
+#include "api/report.hpp"
+
+namespace isex {
+
+namespace {
+
+Json constraints_to_json(const Constraints& c) {
+  Json j = Json::object();
+  j.set("max_inputs", c.max_inputs);
+  j.set("max_outputs", c.max_outputs);
+  j.set("enable_pruning", c.enable_pruning);
+  j.set("prune_permanent_inputs", c.prune_permanent_inputs);
+  j.set("branch_and_bound", c.branch_and_bound);
+  j.set("search_budget", c.search_budget);
+  return j;
+}
+
+Constraints constraints_from_json(const Json& j) {
+  Constraints c;
+  c.max_inputs = static_cast<int>(j.at("max_inputs").as_int());
+  c.max_outputs = static_cast<int>(j.at("max_outputs").as_int());
+  c.enable_pruning = j.at("enable_pruning").as_bool();
+  c.prune_permanent_inputs = j.at("prune_permanent_inputs").as_bool();
+  c.branch_and_bound = j.at("branch_and_bound").as_bool();
+  c.search_budget = j.at("search_budget").as_uint();
+  return c;
+}
+
+Json stats_to_json(const EnumerationStats& s) {
+  Json j = Json::object();
+  j.set("cuts_considered", s.cuts_considered);
+  j.set("passed_checks", s.passed_checks);
+  j.set("failed_output", s.failed_output);
+  j.set("failed_convex", s.failed_convex);
+  j.set("pruned_inputs", s.pruned_inputs);
+  j.set("pruned_bound", s.pruned_bound);
+  j.set("best_updates", s.best_updates);
+  j.set("budget_exhausted", s.budget_exhausted);
+  return j;
+}
+
+EnumerationStats stats_from_json(const Json& j) {
+  EnumerationStats s;
+  s.cuts_considered = j.at("cuts_considered").as_uint();
+  s.passed_checks = j.at("passed_checks").as_uint();
+  s.failed_output = j.at("failed_output").as_uint();
+  s.failed_convex = j.at("failed_convex").as_uint();
+  s.pruned_inputs = j.at("pruned_inputs").as_uint();
+  s.pruned_bound = j.at("pruned_bound").as_uint();
+  s.best_updates = j.at("best_updates").as_uint();
+  s.budget_exhausted = j.at("budget_exhausted").as_bool();
+  return s;
+}
+
+Json cut_to_json(const CutReport& c) {
+  Json j = Json::object();
+  j.set("block_index", c.block_index);
+  j.set("block", c.block);
+  j.set("merit", c.merit);
+  j.set("num_ops", c.metrics.num_ops);
+  j.set("inputs", c.metrics.inputs);
+  j.set("outputs", c.metrics.outputs);
+  j.set("sw_cycles", c.metrics.sw_cycles);
+  j.set("hw_cycles", c.metrics.hw_cycles);
+  j.set("hw_critical", c.metrics.hw_critical);
+  j.set("area_macs", c.metrics.area_macs);
+  j.set("nodes", c.nodes);
+  return j;
+}
+
+CutReport cut_from_json(const Json& j) {
+  CutReport c;
+  c.block_index = static_cast<int>(j.at("block_index").as_int());
+  c.block = j.at("block").as_string();
+  c.merit = j.at("merit").as_double();
+  c.metrics.num_ops = static_cast<int>(j.at("num_ops").as_int());
+  c.metrics.inputs = static_cast<int>(j.at("inputs").as_int());
+  c.metrics.outputs = static_cast<int>(j.at("outputs").as_int());
+  c.metrics.sw_cycles = static_cast<int>(j.at("sw_cycles").as_int());
+  c.metrics.hw_cycles = static_cast<int>(j.at("hw_cycles").as_int());
+  c.metrics.hw_critical = j.at("hw_critical").as_double();
+  c.metrics.area_macs = j.at("area_macs").as_double();
+  c.nodes = j.at("nodes").as_string();
+  return c;
+}
+
+Json afu_to_json(const AfuReport& a) {
+  Json j = Json::object();
+  j.set("name", a.name);
+  j.set("inputs", a.num_inputs);
+  j.set("outputs", a.num_outputs);
+  j.set("latency_cycles", a.latency_cycles);
+  j.set("area_macs", a.area_macs);
+  return j;
+}
+
+AfuReport afu_from_json(const Json& j) {
+  AfuReport a;
+  a.name = j.at("name").as_string();
+  a.num_inputs = static_cast<int>(j.at("inputs").as_int());
+  a.num_outputs = static_cast<int>(j.at("outputs").as_int());
+  a.latency_cycles = static_cast<int>(j.at("latency_cycles").as_int());
+  a.area_macs = j.at("area_macs").as_double();
+  return a;
+}
+
+}  // namespace
+
+Json ExplorationReport::to_json() const {
+  Json j = Json::object();
+  j.set("workload", workload);
+  j.set("scheme", scheme);
+  j.set("constraints", constraints_to_json(constraints));
+  j.set("num_instructions", num_instructions);
+  j.set("num_threads", num_threads);
+  j.set("num_blocks", num_blocks);
+  j.set("base_cycles", base_cycles);
+  j.set("total_merit", total_merit);
+  j.set("estimated_speedup", estimated_speedup);
+  j.set("identification_calls", identification_calls);
+  j.set("stats", stats_to_json(stats));
+
+  Json cut_array = Json::array();
+  for (const CutReport& c : cuts) cut_array.push_back(cut_to_json(c));
+  j.set("cuts", std::move(cut_array));
+
+  Json afu_array = Json::array();
+  for (const AfuReport& a : afus) afu_array.push_back(afu_to_json(a));
+  j.set("afus", std::move(afu_array));
+  j.set("afu_area_macs", afu_area_macs);
+
+  Json v = Json::object();
+  v.set("rewritten", validation.rewritten);
+  v.set("bit_exact", validation.bit_exact);
+  v.set("cycles_before", validation.cycles_before);
+  v.set("cycles_after", validation.cycles_after);
+  v.set("measured_speedup", validation.measured_speedup);
+  j.set("validation", std::move(v));
+
+  Json t = Json::object();
+  t.set("extract_ms", timings.extract_ms);
+  t.set("identify_ms", timings.identify_ms);
+  t.set("total_ms", timings.total_ms);
+  j.set("timings", std::move(t));
+  return j;
+}
+
+ExplorationReport ExplorationReport::from_json(const Json& j) {
+  ExplorationReport r;
+  r.workload = j.at("workload").as_string();
+  r.scheme = j.at("scheme").as_string();
+  r.constraints = constraints_from_json(j.at("constraints"));
+  r.num_instructions = static_cast<int>(j.at("num_instructions").as_int());
+  r.num_threads = static_cast<int>(j.at("num_threads").as_int());
+  r.num_blocks = static_cast<int>(j.at("num_blocks").as_int());
+  r.base_cycles = j.at("base_cycles").as_double();
+  r.total_merit = j.at("total_merit").as_double();
+  r.estimated_speedup = j.at("estimated_speedup").as_double();
+  r.identification_calls = j.at("identification_calls").as_uint();
+  r.stats = stats_from_json(j.at("stats"));
+  for (const Json& c : j.at("cuts").as_array()) r.cuts.push_back(cut_from_json(c));
+  for (const Json& a : j.at("afus").as_array()) r.afus.push_back(afu_from_json(a));
+  r.afu_area_macs = j.at("afu_area_macs").as_double();
+  const Json& v = j.at("validation");
+  r.validation.rewritten = v.at("rewritten").as_bool();
+  r.validation.bit_exact = v.at("bit_exact").as_bool();
+  r.validation.cycles_before = v.at("cycles_before").as_uint();
+  r.validation.cycles_after = v.at("cycles_after").as_uint();
+  r.validation.measured_speedup = v.at("measured_speedup").as_double();
+  const Json& t = j.at("timings");
+  r.timings.extract_ms = t.at("extract_ms").as_double();
+  r.timings.identify_ms = t.at("identify_ms").as_double();
+  r.timings.total_ms = t.at("total_ms").as_double();
+  return r;
+}
+
+}  // namespace isex

@@ -1,0 +1,84 @@
+// Structured result of one exploration pipeline run: the selected cuts with
+// their metrics, the aggregated enumeration statistics, speedup and AFU-area
+// accounting, validation outcomes, and wall-clock timings — all JSON
+// round-trippable so benches, dashboards, and CI consume one format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/selection.hpp"
+#include "support/json.hpp"
+
+namespace isex {
+
+/// One selected cut, flattened for serialization.
+struct CutReport {
+  int block_index = 0;
+  std::string block;       // DFG name of the block
+  double merit = 0.0;      // freq-weighted estimated cycles saved
+  CutMetrics metrics;
+  std::string nodes;       // cut bit vector over the block's node ids ("0101…")
+};
+
+/// One synthesized AFU (filled when the request asks for AFU construction).
+struct AfuReport {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int latency_cycles = 0;
+  double area_macs = 0.0;
+};
+
+/// End-to-end rewrite validation (filled when the request asks for it).
+struct ValidationReport {
+  bool rewritten = false;
+  bool bit_exact = false;
+  std::uint64_t cycles_before = 0;
+  std::uint64_t cycles_after = 0;
+  double measured_speedup = 0.0;  // cycles_before / cycles_after
+};
+
+struct ReportTimings {
+  double extract_ms = 0.0;   // preprocess + profile + DFG extraction
+  double identify_ms = 0.0;  // identification + selection
+  double total_ms = 0.0;
+};
+
+struct ExplorationReport {
+  std::string workload;  // empty for user-provided graphs
+  std::string scheme;
+  Constraints constraints;
+  int num_instructions = 0;
+  int num_threads = 1;
+
+  int num_blocks = 0;  // profiled blocks with candidates
+  double base_cycles = 0.0;
+  double total_merit = 0.0;
+  double estimated_speedup = 1.0;
+
+  std::uint64_t identification_calls = 0;
+  EnumerationStats stats;  // aggregated over every identification call
+
+  std::vector<CutReport> cuts;
+  std::vector<AfuReport> afus;
+  double afu_area_macs = 0.0;  // summed over `afus`
+
+  ValidationReport validation;
+  ReportTimings timings;
+
+  /// Verilog of each synthesized AFU (request.emit_verilog); not serialized.
+  std::vector<std::string> verilog;
+  /// The raw selection (bit vectors usable against the extracted DFGs); not
+  /// serialized.
+  SelectionResult selection;
+
+  Json to_json() const;
+  std::string to_json_string(int indent = 2) const { return to_json().dump(indent); }
+  /// Inverse of to_json(); throws isex::Error on missing/mistyped fields.
+  static ExplorationReport from_json(const Json& json);
+};
+
+}  // namespace isex

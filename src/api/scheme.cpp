@@ -1,0 +1,126 @@
+#include "api/scheme.hpp"
+
+#include <algorithm>
+
+#include "core/baseline_select.hpp"
+#include "core/iterative_select.hpp"
+#include "core/optimal_select.hpp"
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+/// Adapts one of the free-function schemes to the interface.
+class FunctionScheme : public SelectionScheme {
+ public:
+  using Fn = SelectionResult (*)(const SchemeInputs&);
+
+  FunctionScheme(std::string name, std::string description, Fn fn)
+      : name_(std::move(name)), description_(std::move(description)), fn_(fn) {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& description() const override { return description_; }
+  SelectionResult select(const SchemeInputs& in) const override { return fn_(in); }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Fn fn_;
+};
+
+}  // namespace
+
+void register_builtin_schemes(SchemeRegistry& registry) {
+  registry.add(std::make_unique<FunctionScheme>(
+      "iterative", "single-cut identification + collapse (paper Section 6.3)",
+      [](const SchemeInputs& in) {
+        return select_iterative(in.blocks, in.latency, in.constraints, in.num_instructions,
+                                in.executor);
+      }));
+  registry.add(std::make_unique<FunctionScheme>(
+      "optimal", "greedy best(b, m) increments over multiple-cut tables (Section 6.2)",
+      [](const SchemeInputs& in) {
+        return select_optimal(in.blocks, in.latency, in.constraints, in.num_instructions,
+                              OptimalMode::greedy_increments, in.executor);
+      }));
+  registry.add(std::make_unique<FunctionScheme>(
+      "optimal-dp", "exact DP allocation over the best(b, m) tables",
+      [](const SchemeInputs& in) {
+        return select_optimal(in.blocks, in.latency, in.constraints, in.num_instructions,
+                              OptimalMode::exact_dp, in.executor);
+      }));
+  registry.add(std::make_unique<FunctionScheme>(
+      "clubbing", "Clubbing baseline, candidates ranked by merit",
+      [](const SchemeInputs& in) {
+        return select_baseline(in.blocks, in.latency, in.constraints, in.num_instructions,
+                               BaselineAlgorithm::clubbing, in.executor);
+      }));
+  registry.add(std::make_unique<FunctionScheme>(
+      "maxmiso", "MaxMISO baseline, candidates ranked by merit",
+      [](const SchemeInputs& in) {
+        return select_baseline(in.blocks, in.latency, in.constraints, in.num_instructions,
+                               BaselineAlgorithm::max_miso, in.executor);
+      }));
+  registry.add(std::make_unique<FunctionScheme>(
+      "area", "knapsack selection under an AFU silicon budget (Section 9 extension)",
+      [](const SchemeInputs& in) {
+        AreaSelectOptions options = in.area;
+        options.num_instructions = in.num_instructions;
+        return select_area_constrained(in.blocks, in.latency, in.constraints, options,
+                                       in.executor);
+      }));
+}
+
+SchemeRegistry& SchemeRegistry::global() {
+  static SchemeRegistry* registry = [] {
+    auto* r = new SchemeRegistry();
+    register_builtin_schemes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SchemeRegistry::add(std::unique_ptr<SelectionScheme> scheme) {
+  ISEX_CHECK(scheme != nullptr, "null scheme");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : schemes_) {
+    ISEX_CHECK(existing->name() != scheme->name(),
+               "scheme '" + scheme->name() + "' already registered");
+  }
+  schemes_.push_back(std::move(scheme));
+}
+
+const SelectionScheme* SchemeRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& scheme : schemes_) {
+    if (scheme->name() == name) return scheme.get();
+  }
+  return nullptr;
+}
+
+const SelectionScheme& SchemeRegistry::get(const std::string& name) const {
+  const SelectionScheme* scheme = find(name);
+  if (scheme == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw Error("unknown selection scheme '" + name + "' (registered: " + known + ")");
+  }
+  return *scheme;
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(schemes_.size());
+    for (const auto& scheme : schemes_) out.push_back(scheme->name());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace isex

@@ -1,0 +1,82 @@
+// Pluggable instruction-selection schemes behind one interface, plus the
+// name-keyed registry the Explorer facade resolves requests against.
+//
+// The four schemes of the reproduction (the paper's Iterative and Optimal,
+// the Clubbing/MaxMISO baselines, and the Section 9 area-constrained
+// extension) are pre-registered; users add their own with
+// `SchemeRegistry::global().add(...)` and select them by name through an
+// ExplorationRequest.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/area_select.hpp"
+#include "core/selection.hpp"
+#include "latency/latency_model.hpp"
+#include "support/parallel.hpp"
+
+namespace isex {
+
+/// Everything a scheme may consume. Schemes must be pure functions of these
+/// inputs (no hidden state): the Explorer relies on that for determinism
+/// across thread counts.
+struct SchemeInputs {
+  std::span<const Dfg> blocks;
+  const LatencyModel& latency;
+  const Constraints& constraints;
+  /// Ninstr: maximum number of special instructions to select.
+  int num_instructions = 16;
+  /// Extra options for area-aware schemes (ignored by the others).
+  AreaSelectOptions area;
+  /// Never null; per-block identification should run through it.
+  Executor* executor = nullptr;
+};
+
+class SelectionScheme {
+ public:
+  virtual ~SelectionScheme() = default;
+  /// Registry key, e.g. "iterative".
+  virtual const std::string& name() const = 0;
+  /// One-line human description for listings and reports.
+  virtual const std::string& description() const = 0;
+  virtual SelectionResult select(const SchemeInputs& inputs) const = 0;
+};
+
+/// Thread-safe name-keyed scheme registry. The global() instance comes with
+/// the built-in schemes:
+///   iterative   — paper Section 6.3 (single-cut identification + collapse)
+///   optimal     — paper Section 6.2/Fig. 10 (greedy best(b, m) increments)
+///   optimal-dp  — exact DP allocation over the same best(b, m) tables
+///   clubbing    — Clubbing baseline ranked by merit
+///   maxmiso     — MaxMISO baseline ranked by merit
+///   area        — Section 9 extension: knapsack under an AFU area budget
+class SchemeRegistry {
+ public:
+  /// The process-wide registry (built-ins pre-registered).
+  static SchemeRegistry& global();
+
+  /// An empty registry (tests, sandboxing user schemes).
+  SchemeRegistry() = default;
+
+  /// Registers a scheme under scheme->name(); throws on duplicates.
+  void add(std::unique_ptr<SelectionScheme> scheme);
+  /// Throws isex::Error listing the registered names if `name` is unknown.
+  const SelectionScheme& get(const std::string& name) const;
+  const SelectionScheme* find(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SelectionScheme>> schemes_;
+};
+
+/// Registers the built-in schemes into `registry` (used by global(); exposed
+/// so tests can build isolated registries with the standard contents).
+void register_builtin_schemes(SchemeRegistry& registry);
+
+}  // namespace isex

@@ -11,7 +11,8 @@ namespace isex {
 SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const LatencyModel& latency,
                                         const Constraints& constraints,
-                                        const AreaSelectOptions& options) {
+                                        const AreaSelectOptions& options,
+                                        Executor* executor) {
   ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
   ISEX_CHECK(options.num_instructions >= 1, "need at least one instruction slot");
   ISEX_CHECK(options.area_grid_macs > 0, "area grid must be positive");
@@ -19,7 +20,7 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
   // Candidate pool: more slots than the final cap so the knapsack can trade
   // one large candidate for several small ones.
   SelectionResult pool =
-      select_iterative(blocks, latency, constraints, options.num_instructions * 2);
+      select_iterative(blocks, latency, constraints, options.num_instructions * 2, executor);
 
   const auto grid = [&](double area) {
     return static_cast<int>(std::ceil(area / options.area_grid_macs - 1e-12));
@@ -53,8 +54,7 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
 
   SelectionResult result;
   result.identification_calls = pool.identification_calls;
-  result.cuts_considered = pool.cuts_considered;
-  result.budget_exhausted = pool.budget_exhausted;
+  result.stats = pool.stats;
 
   int w = capacity;
   int k = max_count;

@@ -14,6 +14,7 @@
 
 #include "core/selection.hpp"
 #include "latency/latency_model.hpp"
+#include "support/parallel.hpp"
 
 namespace isex {
 
@@ -27,6 +28,7 @@ struct AreaSelectOptions {
 SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const LatencyModel& latency,
                                         const Constraints& constraints,
-                                        const AreaSelectOptions& options);
+                                        const AreaSelectOptions& options,
+                                        Executor* executor = nullptr);
 
 }  // namespace isex

@@ -9,16 +9,24 @@ namespace isex {
 
 SelectionResult select_baseline(std::span<const Dfg> blocks, const LatencyModel& latency,
                                 const Constraints& constraints, int num_instructions,
-                                BaselineAlgorithm algorithm) {
+                                BaselineAlgorithm algorithm, Executor* executor) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  if (executor == nullptr) executor = &serial_executor();
   SelectionResult result;
   std::vector<SelectedCut> candidates;
 
+  // Per-block identification is independent; filtering and ranking below
+  // consume the results in block order, so the selection is deterministic.
+  std::vector<std::vector<BitVector>> per_block(blocks.size());
+  executor->parallel_for(blocks.size(), [&](std::size_t b) {
+    per_block[b] = algorithm == BaselineAlgorithm::clubbing
+                       ? find_clubs(blocks[b], latency, constraints)
+                       : find_max_misos(blocks[b]);
+  });
+
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const Dfg& g = blocks[b];
-    const std::vector<BitVector> found = algorithm == BaselineAlgorithm::clubbing
-                                             ? find_clubs(g, latency, constraints)
-                                             : find_max_misos(g);
+    const std::vector<BitVector>& found = per_block[b];
     ++result.identification_calls;
     for (const BitVector& cut : found) {
       SelectedCut sc;

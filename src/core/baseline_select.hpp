@@ -7,13 +7,17 @@
 
 #include "core/selection.hpp"
 #include "latency/latency_model.hpp"
+#include "support/parallel.hpp"
 
 namespace isex {
 
 enum class BaselineAlgorithm { clubbing, max_miso };
 
+/// Per-block identification is independent; when an `executor` is given the
+/// blocks run through it and candidates are merged in block order, so the
+/// output is identical to the serial run.
 SelectionResult select_baseline(std::span<const Dfg> blocks, const LatencyModel& latency,
                                 const Constraints& constraints, int num_instructions,
-                                BaselineAlgorithm algorithm);
+                                BaselineAlgorithm algorithm, Executor* executor = nullptr);
 
 }  // namespace isex

@@ -17,8 +17,10 @@ struct BlockState {
 }  // namespace
 
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
-                                 const Constraints& constraints, int num_instructions) {
+                                 const Constraints& constraints, int num_instructions,
+                                 Executor* executor) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  if (executor == nullptr) executor = &serial_executor();
   SelectionResult result;
 
   std::vector<BlockState> state;
@@ -32,15 +34,26 @@ SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel
   }
 
   for (int round = 0; round < num_instructions; ++round) {
+    // Identify on every block whose cache was invalidated (all blocks in
+    // round 0, just the collapsed one afterwards). The searches are
+    // independent; stats merge in block order, keeping the result identical
+    // to a serial run.
+    std::vector<std::size_t> pending;
+    for (std::size_t b = 0; b < state.size(); ++b) {
+      if (!state[b].cached) pending.push_back(b);
+    }
+    executor->parallel_for(pending.size(), [&](std::size_t i) {
+      BlockState& s = state[pending[i]];
+      s.cached = find_best_cut(s.current, latency, constraints);
+    });
+    for (const std::size_t b : pending) {
+      ++result.identification_calls;
+      result.stats += state[b].cached->stats;
+    }
+
     int best_block = -1;
     double best_merit = 0.0;
     for (std::size_t b = 0; b < state.size(); ++b) {
-      if (!state[b].cached) {
-        state[b].cached = find_best_cut(state[b].current, latency, constraints);
-        ++result.identification_calls;
-        result.cuts_considered += state[b].cached->stats.cuts_considered;
-        result.budget_exhausted |= state[b].cached->stats.budget_exhausted;
-      }
       if (state[b].cached->merit > best_merit) {
         best_merit = state[b].cached->merit;
         best_block = static_cast<int>(b);

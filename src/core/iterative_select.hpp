@@ -8,12 +8,18 @@
 
 #include "core/selection.hpp"
 #include "core/single_cut.hpp"
+#include "support/parallel.hpp"
 
 namespace isex {
 
 /// `blocks` are the (finalized) G+ graphs of all basic blocks, frequency
 /// weighted. Returned cuts are expressed over each block's original node ids.
+///
+/// Per-block identification calls within a round are independent; when an
+/// `executor` is given they run through it, and results are merged in block
+/// order so the output is identical to the serial run.
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
-                                 const Constraints& constraints, int num_instructions);
+                                 const Constraints& constraints, int num_instructions,
+                                 Executor* executor = nullptr);
 
 }  // namespace isex

@@ -15,17 +15,18 @@ struct BlockTable {
   int exhausted_at = -1;  // m where no further gain appeared (-1: unknown)
 };
 
-/// Ensures best(b, m) is computed; returns false if the table is saturated
-/// (more cuts bring no improvement).
-bool ensure(BlockTable& table, const Dfg& g, const LatencyModel& lat, const Constraints& cons,
-            int m, SelectionResult& accounting) {
-  if (static_cast<int>(table.best.size()) > m) return true;
-  if (table.exhausted_at >= 0 && m > table.exhausted_at) return false;
+/// True if best(b, m) still needs an identification call.
+bool needs_fill(const BlockTable& table, int m) {
+  if (static_cast<int>(table.best.size()) > m) return false;
+  return table.exhausted_at < 0 || m <= table.exhausted_at;
+}
+
+/// Applies a computed m-cut solution to the table (the sequential part of the
+/// old `ensure`); returns false if the table saturated at m - 1.
+bool apply(BlockTable& table, MultiCutResult r, int m, SelectionResult& accounting) {
   ISEX_ASSERT(static_cast<int>(table.best.size()) == m, "table filled out of order");
-  MultiCutResult r = find_best_cuts(g, lat, cons, m);
   ++accounting.identification_calls;
-  accounting.cuts_considered += r.stats.cuts_considered;
-  accounting.budget_exhausted |= r.stats.budget_exhausted;
+  accounting.stats += r.stats;
   if (r.total_merit <= table.best.back() + 1e-12 ||
       static_cast<int>(r.cuts.size()) < m) {
     table.exhausted_at = m - 1;
@@ -66,22 +67,43 @@ SelectionResult assemble(std::span<const Dfg> blocks, const std::vector<BlockTab
 
 SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
                                const Constraints& constraints, int num_instructions,
-                               OptimalMode mode) {
+                               OptimalMode mode, Executor* executor) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  if (executor == nullptr) executor = &serial_executor();
   const int max_per_block = std::min(num_instructions, 8);
 
   SelectionResult accounting;
   std::vector<BlockTable> tables(blocks.size());
   std::vector<int> m_of_block(blocks.size(), 0);
 
+  // Runs the pending (block, m) identifications of one round through the
+  // executor, then applies them to the tables in block order — identical
+  // accounting and tables as a serial sweep.
+  const auto fill_pending = [&](const std::vector<std::pair<std::size_t, int>>& pending) {
+    std::vector<MultiCutResult> found(pending.size());
+    executor->parallel_for(pending.size(), [&](std::size_t i) {
+      const auto& [b, m] = pending[i];
+      found[i] = find_best_cuts(blocks[b], latency, constraints, m);
+    });
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      apply(tables[pending[i].first], std::move(found[i]), pending[i].second, accounting);
+    }
+  };
+
   if (mode == OptimalMode::greedy_increments) {
     for (int round = 0; round < num_instructions; ++round) {
+      std::vector<std::pair<std::size_t, int>> pending;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const int next = m_of_block[b] + 1;
+        if (next <= max_per_block && needs_fill(tables[b], next)) pending.emplace_back(b, next);
+      }
+      fill_pending(pending);
+
       int best_block = -1;
       double best_gain = 0.0;
       for (std::size_t b = 0; b < blocks.size(); ++b) {
         const int next = m_of_block[b] + 1;
-        if (next > max_per_block) continue;
-        if (!ensure(tables[b], blocks[b], latency, constraints, next, accounting)) continue;
+        if (next > max_per_block || static_cast<int>(tables[b].best.size()) <= next) continue;
         const double gain = tables[b].best[static_cast<std::size_t>(next)] -
                             tables[b].best[static_cast<std::size_t>(m_of_block[b])];
         if (gain > best_gain + 1e-12) {
@@ -96,10 +118,23 @@ SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& 
   }
 
   // exact_dp: fill the tables completely up to max_per_block, then allocate
-  // the Ninstr budget by dynamic programming.
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    for (int m = 1; m <= max_per_block; ++m) {
-      if (!ensure(tables[b], blocks[b], latency, constraints, m, accounting)) break;
+  // the Ninstr budget by dynamic programming. Each block's table fill is
+  // sequential in m but blocks are independent: run whole blocks in parallel
+  // with local accounting, merged in block order.
+  {
+    std::vector<BlockTable> filled(blocks.size());
+    std::vector<SelectionResult> local(blocks.size());
+    executor->parallel_for(blocks.size(), [&](std::size_t b) {
+      for (int m = 1; m <= max_per_block; ++m) {
+        if (!needs_fill(filled[b], m)) break;
+        MultiCutResult r = find_best_cuts(blocks[b], latency, constraints, m);
+        if (!apply(filled[b], std::move(r), m, local[b])) break;
+      }
+    });
+    tables = std::move(filled);
+    for (const SelectionResult& l : local) {
+      accounting.identification_calls += l.identification_calls;
+      accounting.stats += l.stats;
     }
   }
   const int budget = num_instructions;

@@ -16,6 +16,7 @@
 
 #include "core/multi_cut.hpp"
 #include "core/selection.hpp"
+#include "support/parallel.hpp"
 
 namespace isex {
 
@@ -24,8 +25,12 @@ enum class OptimalMode {
   exact_dp,           // exhaustive allocation over the best(b, m) tables
 };
 
+/// Per-block best(b, m) table extensions within a round are independent;
+/// when an `executor` is given they run through it, merged in block order —
+/// the output is identical to the serial run.
 SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
                                const Constraints& constraints, int num_instructions,
-                               OptimalMode mode = OptimalMode::greedy_increments);
+                               OptimalMode mode = OptimalMode::greedy_increments,
+                               Executor* executor = nullptr);
 
 }  // namespace isex

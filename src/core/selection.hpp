@@ -24,10 +24,11 @@ struct SelectionResult {
   /// Number of identification-algorithm invocations performed (the paper
   /// bounds the Optimal scheme by Ninstr + Nbb - 1).
   std::uint64_t identification_calls = 0;
-  std::uint64_t cuts_considered = 0;  // summed over all invocations
-  /// True if any identification call ran out of its search budget; the
-  /// result is then a lower bound, not the scheme's true answer.
-  bool budget_exhausted = false;
+  /// Full enumeration statistics aggregated (operator+=) over every
+  /// identification call, so pruning ablations are reportable through every
+  /// scheme. `stats.budget_exhausted` means some call ran out of its search
+  /// budget and the result is a lower bound, not the scheme's true answer.
+  EnumerationStats stats;
 };
 
 /// Whole-application speedup estimate: base cycles over base minus cycles

@@ -1,0 +1,435 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* names[] = {"null", "boolean", "integer", "real", "string", "array",
+                                "object"};
+  throw Error(std::string("json: expected ") + want + ", got " +
+              names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+Json::Json(std::uint64_t v) : type_(Type::integer) {
+  if (v > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw Error("json: integer " + std::to_string(v) + " exceeds the signed 64-bit range");
+  }
+  int_ = static_cast<std::int64_t>(v);
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::boolean) type_error("boolean", type_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ == Type::integer) return int_;
+  type_error("integer", type_);
+}
+
+std::uint64_t Json::as_uint() const {
+  if (type_ == Type::integer) {
+    if (int_ < 0) throw Error("json: expected non-negative integer, got " +
+                              std::to_string(int_));
+    return static_cast<std::uint64_t>(int_);
+  }
+  type_error("integer", type_);
+}
+
+double Json::as_double() const {
+  if (type_ == Type::real) return real_;
+  if (type_ == Type::integer) return static_cast<double>(int_);
+  type_error("number", type_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::string) type_error("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::array) type_error("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::object) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::object) type_error("object", type_);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw Error("json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ != Type::object) type_error("object", type_);
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::array) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::null: return true;
+    case Type::boolean: return bool_ == o.bool_;
+    case Type::integer: return int_ == o.int_;
+    case Type::real: return real_ == o.real_;
+    case Type::string: return string_ == o.string_;
+    case Type::array: return array_ == o.array_;
+    case Type::object: return object_ == o.object_;
+  }
+  return false;
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);  // shortest round-trip
+  std::string_view text(buf, static_cast<std::size_t>(res.ptr - buf));
+  out += text;
+  // Keep reals distinguishable from integers across a round-trip.
+  if (text.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::null: out += "null"; return;
+    case Type::boolean: out += bool_ ? "true" : "false"; return;
+    case Type::integer: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, res.ptr);
+      return;
+    }
+    case Type::real: dump_double(out, real_); return;
+    case Type::string: dump_string(out, string_); return;
+    case Type::array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        dump_string(out, object_[i].first);
+        out += indent >= 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error("json parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  // Parsing recurses per nesting level; bound it so hostile input throws
+  // instead of overflowing the stack.
+  static constexpr int kMaxDepth = 256;
+
+  Json value() {
+    skip_ws();
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    ++depth_;
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        --depth_;
+        return obj;
+      }
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    ++depth_;
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        --depth_;
+        return arr;
+      }
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) fail("short \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = hex4();
+          if (code >= 0xdc00 && code <= 0xdfff) fail("lone low surrogate");
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // Surrogate pair: the low half must follow immediately.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool real = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        real = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    if (!real) {
+      std::int64_t v = 0;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(), v);
+      if (res.ec != std::errc() || res.ptr != token.data() + token.size()) fail("bad integer");
+      return Json(v);
+    }
+    double v = 0;
+    const auto res = std::from_chars(token.data(), token.data() + token.size(), v);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) fail("bad number");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace isex

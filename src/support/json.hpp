@@ -1,0 +1,85 @@
+// Minimal JSON value type for the structured exploration reports: object /
+// array / string / integer / double / bool / null, with a strict parser and
+// a deterministic serializer (object keys keep insertion order; doubles are
+// printed with shortest round-trip precision so dump(parse(dump(x))) is
+// byte-stable). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace isex {
+
+class Json {
+ public:
+  enum class Type { null, boolean, integer, real, string, array, object };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (reports serialize reproducibly).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::null) {}
+  Json(std::nullptr_t) : type_(Type::null) {}
+  Json(bool b) : type_(Type::boolean), bool_(b) {}
+  Json(int v) : type_(Type::integer), int_(v) {}
+  Json(std::int64_t v) : type_(Type::integer), int_(v) {}
+  /// Throws isex::Error above INT64_MAX (integers are stored signed; a
+  /// silent wrap would break the round-trip guarantee).
+  Json(std::uint64_t v);
+  Json(double v) : type_(Type::real), real_(v) {}
+  Json(const char* s) : type_(Type::string), string_(s) {}
+  Json(std::string s) : type_(Type::string), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::array), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::object), object_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_number() const { return type_ == Type::integer || type_ == Type::real; }
+
+  // --- accessors (throw isex::Error on type mismatch / missing key) -------
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;  // integers convert
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object lookup; throws on missing key.
+  const Json& at(std::string_view key) const;
+  /// Object lookup; returns nullptr on missing key.
+  const Json* find(std::string_view key) const;
+
+  /// Object append (this must be an object).
+  void set(std::string key, Json value);
+  /// Array append (this must be an array).
+  void push_back(Json value);
+
+  // --- serialization -------------------------------------------------------
+  /// `indent < 0`: compact one-line form; otherwise pretty-printed.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws isex::Error with position info on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& o) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double real_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace isex

@@ -1,0 +1,88 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+class SerialExecutor : public Executor {
+ public:
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+  int num_threads() const override { return 1; }
+};
+
+}  // namespace
+
+Executor& serial_executor() {
+  static SerialExecutor exec;
+  return exec;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (job_.next < job_.n) {
+    const std::size_t i = job_.next++;
+    ++job_.in_flight;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*job_.fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !job_.error) job_.error = error;
+    --job_.in_flight;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || (generation_ != seen && job_.next < job_.n); });
+    if (stopping_) return;
+    seen = generation_;
+    drain(lock);
+    if (job_.in_flight == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  ISEX_CHECK(job_.fn == nullptr, "nested parallel_for on the same ThreadPool");
+  job_ = Job{&fn, n, 0, 0, nullptr};
+  ++generation_;
+  work_cv_.notify_all();
+  drain(lock);  // the caller participates
+  done_cv_.wait(lock, [&] { return job_.in_flight == 0; });
+  const std::exception_ptr error = job_.error;
+  job_ = Job{};
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace isex

@@ -2,6 +2,7 @@
 
 #include "ir/verifier.hpp"
 #include "passes/pipeline.hpp"
+#include "support/assert.hpp"
 
 namespace isex {
 
@@ -42,11 +43,13 @@ void Workload::preprocess() {
   preprocessed_ = true;
 }
 
-std::vector<Dfg> Workload::extract_dfgs(const DfgOptions& options) const {
+std::vector<Dfg> Workload::extract_dfgs(const DfgOptions& options,
+                                        double* base_cycles) const {
   Profile profile;
   Memory mem(*module_);
   Interpreter interp(*module_, mem);
-  interp.run(entry(), args_, &profile);
+  const ExecResult exec = interp.run(entry(), args_, &profile);
+  if (base_cycles != nullptr) *base_cycles = static_cast<double>(exec.cycles);
 
   std::vector<Dfg> graphs;
   const Function& fn = entry();
@@ -67,20 +70,35 @@ double Workload::base_cycles() const {
   return static_cast<double>(r.cycles);
 }
 
+namespace {
+
+// Static name -> factory table so lookups by name need not materialize (and
+// verify) every registered module.
+struct WorkloadEntry {
+  const char* name;
+  Workload (*make)();
+};
+
+constexpr WorkloadEntry kWorkloadRegistry[] = {
+    {"adpcmdecode", make_adpcm_decode},
+    {"adpcmencode", make_adpcm_encode},
+    {"g721", make_g721_quan},
+    {"gsm", make_gsm_add},
+    {"crc32", make_crc32},
+    {"sha1", make_sha1_round},
+    {"viterbi", make_viterbi_acs},
+    {"rgb2yuv", make_rgb2yuv},
+    {"fir", make_fir},
+    {"sobel", make_sobel},
+    {"blowfish", make_blowfish},
+    {"idct", make_idct_row},
+};
+
+}  // namespace
+
 std::vector<Workload> all_workloads() {
   std::vector<Workload> w;
-  w.push_back(make_adpcm_decode());
-  w.push_back(make_adpcm_encode());
-  w.push_back(make_g721_quan());
-  w.push_back(make_gsm_add());
-  w.push_back(make_crc32());
-  w.push_back(make_sha1_round());
-  w.push_back(make_viterbi_acs());
-  w.push_back(make_rgb2yuv());
-  w.push_back(make_fir());
-  w.push_back(make_sobel());
-  w.push_back(make_blowfish());
-  w.push_back(make_idct_row());
+  for (const WorkloadEntry& entry : kWorkloadRegistry) w.push_back(entry.make());
   return w;
 }
 
@@ -90,6 +108,28 @@ std::vector<Workload> fig11_workloads() {
   w.push_back(make_adpcm_encode());
   w.push_back(make_g721_quan());
   return w;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const WorkloadEntry& entry : kWorkloadRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+Workload find_workload(const std::string& name) {
+  for (const WorkloadEntry& entry : kWorkloadRegistry) {
+    if (name == entry.name) {
+      Workload w = entry.make();
+      ISEX_ASSERT(w.name() == name, "workload registry name mismatch");
+      return w;
+    }
+  }
+  std::string known;
+  for (const WorkloadEntry& entry : kWorkloadRegistry) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw Error("unknown workload '" + name + "' (registered: " + known + ")");
 }
 
 }  // namespace isex

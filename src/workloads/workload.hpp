@@ -41,8 +41,11 @@ class Workload {
   void preprocess();
 
   /// Profiles the kernel and extracts one frequency-weighted DFG per
-  /// (reachable, executed) basic block of the entry function.
-  std::vector<Dfg> extract_dfgs(const DfgOptions& options = {}) const;
+  /// (reachable, executed) basic block of the entry function. When
+  /// `base_cycles` is given it receives the cycle count of the profiling run
+  /// (identical to base_cycles(), without a second execution).
+  std::vector<Dfg> extract_dfgs(const DfgOptions& options = {},
+                                double* base_cycles = nullptr) const;
 
   /// Measured single-issue base cycles of one run (after preprocess()).
   double base_cycles() const;
@@ -78,5 +81,10 @@ Workload make_idct_row();      // 8-point fixed-point IDCT row pass
 std::vector<Workload> all_workloads();
 /// The paper's three Fig. 11 benchmarks.
 std::vector<Workload> fig11_workloads();
+/// Names of all registered workloads, in registry order.
+std::vector<std::string> workload_names();
+/// A fresh instance of the named workload; throws isex::Error (listing the
+/// registered names) when unknown.
+Workload find_workload(const std::string& name);
 
 }  // namespace isex

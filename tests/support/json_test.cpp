@@ -1,0 +1,115 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace isex {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json(std::uint64_t{12345678901234ull}).dump(), "12345678901234");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+  EXPECT_EQ(Json::parse("null"), Json(nullptr));
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, DoublesKeepShortestRoundTripForm) {
+  // Integral-valued reals keep a ".0" marker so the type survives parsing.
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+  EXPECT_EQ(Json::parse("2.0").type(), Json::Type::real);
+  EXPECT_EQ(Json::parse("2").type(), Json::Type::integer);
+
+  for (const double v : {0.1, 1.0 / 3.0, 1.38, 6.02e23, -7.25e-12}) {
+    const std::string text = Json(v).dump();
+    EXPECT_DOUBLE_EQ(Json::parse(text).as_double(), v) << text;
+    // Stable fixed point: dump(parse(dump(v))) == dump(v).
+    EXPECT_EQ(Json::parse(text).dump(), text);
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\rf";
+  const std::string text = Json(raw).dump();
+  EXPECT_EQ(Json::parse(text).as_string(), raw);
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as a JSON surrogate pair must become 4-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), Error);        // unpaired high
+  EXPECT_THROW(Json::parse("\"\\ud83dx\""), Error);       // high + garbage
+  EXPECT_THROW(Json::parse("\"\\ude00\""), Error);        // lone low
+  EXPECT_THROW(Json::parse("\"\\ud83d\\u0041\""), Error); // high + non-low
+}
+
+TEST(Json, AsUintRejectsNegatives) {
+  EXPECT_THROW(Json::parse("-3").as_uint(), Error);
+  EXPECT_EQ(Json::parse("3").as_uint(), 3u);
+}
+
+TEST(Json, Uint64AboveInt64MaxIsRejectedNotWrapped) {
+  EXPECT_THROW(Json(std::uint64_t{0xffffffffffffffffull}), Error);
+  const std::uint64_t max_ok = 0x7fffffffffffffffull;
+  EXPECT_EQ(Json(max_ok).as_uint(), max_ok);
+}
+
+TEST(Json, NestedContainersRoundTrip) {
+  Json obj = Json::object();
+  obj.set("name", "isex");
+  obj.set("counts", Json::Array{Json(1), Json(2), Json(3)});
+  Json inner = Json::object();
+  inner.set("flag", true);
+  inner.set("ratio", 0.75);
+  obj.set("inner", std::move(inner));
+  obj.set("empty_array", Json::array());
+  obj.set("empty_object", Json::object());
+
+  for (const int indent : {-1, 2}) {
+    const std::string text = obj.dump(indent);
+    EXPECT_EQ(Json::parse(text), obj) << text;
+  }
+  // Key order is preserved (deterministic serialization).
+  EXPECT_EQ(obj.dump(), Json::parse(obj.dump()).dump());
+}
+
+TEST(Json, ObjectAccessors) {
+  const Json obj = Json::parse(R"({"a": 1, "b": [true, null]})");
+  EXPECT_EQ(obj.at("a").as_int(), 1);
+  EXPECT_EQ(obj.at("b").as_array().size(), 2u);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), Error);
+  EXPECT_THROW(obj.at("a").as_string(), Error);
+}
+
+TEST(Json, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  const std::string deep(200000, '[');
+  EXPECT_THROW(Json::parse(deep + std::string(200000, ']')), Error);
+  // 200 levels stays well under the cap.
+  std::string ok(200, '[');
+  ok += "1";
+  ok += std::string(200, ']');
+  EXPECT_EQ(Json::parse(ok).dump(), ok);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);
+  EXPECT_THROW(Json::parse("--1"), Error);
+}
+
+}  // namespace
+}  // namespace isex
