@@ -1,7 +1,8 @@
 // Section 8 runtime claim: "in all but extreme cases it took only some
 // seconds". Google-benchmark timings of single-cut identification vs. graph
 // size and output constraint, plus whole-application iterative selection
-// through the Explorer pipeline — including its thread-pool scaling.
+// through the Explorer pipeline — including its thread-pool scaling and the
+// ResultCache's cold-vs-warm sweep behaviour.
 #include <benchmark/benchmark.h>
 
 #include "api/explorer.hpp"
@@ -33,7 +34,9 @@ void BM_SingleCut_Synthetic(benchmark::State& state) {
   cons.max_outputs = static_cast<int>(state.range(1));
   std::uint64_t considered = 0;
   for (auto _ : state) {
-    const SingleCutResult r = explorer().identify(g, cons);
+    // use_cache=false: this bench measures the enumeration itself; a memo
+    // hit after iteration 1 would collapse the scaling curves to noise.
+    const SingleCutResult r = explorer().identify(g, cons, /*use_cache=*/false);
     considered = r.stats.cuts_considered;
     benchmark::DoNotOptimize(r.merit);
   }
@@ -55,7 +58,7 @@ void BM_SingleCut_AdpcmDecodeBody(benchmark::State& state) {
   cons.max_inputs = static_cast<int>(state.range(0));
   cons.max_outputs = static_cast<int>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(explorer().identify(*body, cons).merit);
+    benchmark::DoNotOptimize(explorer().identify(*body, cons, /*use_cache=*/false).merit);
   }
 }
 BENCHMARK(BM_SingleCut_AdpcmDecodeBody)
@@ -79,6 +82,7 @@ void BM_IterativeSelection_Fig11Benchmarks(benchmark::State& state) {
   request.constraints.branch_and_bound = true;
   request.constraints.prune_permanent_inputs = true;
   request.num_instructions = 16;
+  request.use_cache = false;  // time the searches, not memo hits
   request.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     double total = 0;
@@ -92,6 +96,49 @@ BENCHMARK(BM_IterativeSelection_Fig11Benchmarks)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Full constraint sweep (profile + extract + identify + select per cell)
+// through one Explorer, cold vs. warm: arg 0 opts every request out of the
+// ResultCache, arg 1 runs through it. Warm iterations hit the extraction
+// cache on every cell and the identification memo after the first sweep, so
+// the warm/cold ratio is the headline speedup of the caching layer; the
+// selections are byte-identical (asserted in tests/cache/).
+void BM_ConstraintSweep_ColdVsWarm(benchmark::State& state) {
+  const bool use_cache = state.range(0) != 0;
+  Workload w = find_workload("crc32");
+  const Explorer ex;  // local cache so cold runs are not polluted by others
+  ExplorationRequest request;
+  request.scheme = "iterative";
+  request.num_instructions = 16;
+  request.use_cache = use_cache;
+  double total = 0;
+  const auto sweep = [&] {
+    double merit = 0;
+    for (const int nin : {2, 3, 4, 8}) {
+      for (const int nout : {1, 2}) {
+        request.constraints.max_inputs = nin;
+        request.constraints.max_outputs = nout;
+        merit += ex.run(w, request).total_merit;
+      }
+    }
+    return merit;
+  };
+  // Prime the warm arm outside the timed loop: google-benchmark re-invokes
+  // this function with a fresh Explorer, and the first sweep is by
+  // definition cold — it must not dilute the warm mean.
+  if (use_cache) benchmark::DoNotOptimize(sweep());
+  for (auto _ : state) {
+    total += sweep();
+    benchmark::DoNotOptimize(total);
+  }
+  const CacheCounters c = ex.cache().counters();
+  state.counters["cache_hits"] = static_cast<double>(c.hits);
+  state.counters["dfg_hits"] = static_cast<double>(c.dfg_hits);
+}
+BENCHMARK(BM_ConstraintSweep_ColdVsWarm)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -20,17 +20,21 @@ double ms_since(Clock::time_point start) {
 
 }  // namespace
 
-Explorer::Explorer(LatencyModel latency, SchemeRegistry* registry)
+Explorer::Explorer(LatencyModel latency, SchemeRegistry* registry,
+                   ResultCacheConfig cache_config)
     : latency_(std::move(latency)),
-      registry_(registry != nullptr ? registry : &SchemeRegistry::global()) {}
+      registry_(registry != nullptr ? registry : &SchemeRegistry::global()),
+      cache_(std::make_unique<ResultCache>(cache_config)) {}
 
-SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints) const {
-  return find_best_cut(block, latency_, constraints);
+SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints,
+                                   bool use_cache) const {
+  return cached_single_cut(use_cache ? cache_.get() : nullptr, block, latency_, constraints);
 }
 
 MultiCutResult Explorer::identify_multi(const Dfg& block, const Constraints& constraints,
-                                        int num_cuts) const {
-  return find_best_cuts(block, latency_, constraints, num_cuts);
+                                        int num_cuts, bool use_cache) const {
+  return cached_multi_cut(use_cache ? cache_.get() : nullptr, block, latency_, constraints,
+                          num_cuts);
 }
 
 ExplorationReport Explorer::run(const ExplorationRequest& request) const {
@@ -56,18 +60,49 @@ ExplorationReport Explorer::run_blocks(std::span<const Dfg> blocks,
 ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg> blocks,
                                          const ExplorationRequest& request) const {
   const auto t_start = Clock::now();
+  // Per-request sink: the cache increments it alongside its lifetime
+  // counters, so the report's deltas stay attributable even when other
+  // requests run through this explorer's cache concurrently.
+  CacheCounters local;
   ExplorationReport report;
   report.scheme = request.scheme;
   report.constraints = request.constraints;
   report.num_instructions = request.num_instructions;
+  report.cache.enabled = request.use_cache;
 
   // --- profile + extract ---------------------------------------------------
   std::vector<Dfg> extracted;
+  std::shared_ptr<const std::vector<Dfg>> cached_graphs;
   if (workload != nullptr) {
     report.workload = workload->name();
-    workload->preprocess();
-    extracted = workload->extract_dfgs(request.dfg_options, &report.base_cycles);
-    blocks = extracted;
+    // A rewrite mutates the module the graphs are extracted from, so it
+    // neither consumes nor feeds the extraction cache; an already-mutated
+    // instance must never feed it either (its graphs no longer describe the
+    // pristine kernel of that name).
+    const bool use_dfg_cache =
+        request.use_cache && !request.rewrite && !workload->mutated();
+    if (use_dfg_cache &&
+        (cached_graphs = cache_->lookup_dfgs(workload->name(), request.dfg_options,
+                                             &report.base_cycles, &local))) {
+      // AFU construction reads the module, which a fresh workload instance
+      // only has in shape after preprocessing (idempotent when already done).
+      if (request.build_afus || request.emit_verilog) workload->preprocess();
+      blocks = *cached_graphs;
+    } else {
+      workload->preprocess();
+      extracted = workload->extract_dfgs(request.dfg_options, &report.base_cycles);
+      if (use_dfg_cache) {
+        // Move the extraction into the shared snapshot and keep reading
+        // through it — the cache and this pipeline share one copy.
+        cached_graphs =
+            std::make_shared<const std::vector<Dfg>>(std::move(extracted));
+        cache_->store_dfgs(workload->name(), request.dfg_options, cached_graphs,
+                           report.base_cycles, &local);
+        blocks = *cached_graphs;
+      } else {
+        blocks = extracted;
+      }
+    }
   } else {
     for (const Dfg& g : blocks) report.base_cycles += block_static_cycles(g, latency_);
   }
@@ -85,8 +120,14 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   }
   report.num_threads = executor->num_threads();
 
-  SchemeInputs inputs{blocks,       latency_,     request.constraints,
-                      request.num_instructions, request.area, executor};
+  SchemeInputs inputs{blocks,
+                      latency_,
+                      request.constraints,
+                      request.num_instructions,
+                      request.area,
+                      executor,
+                      request.use_cache ? cache_.get() : nullptr,
+                      &local};
   report.selection = scheme.select(inputs);
   report.timings.identify_ms = ms_since(t_identify);
 
@@ -122,6 +163,12 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     };
 
     if (request.rewrite) {
+      // Flag the instance before touching the module: if the rewrite throws
+      // midway, the half-transformed module must already count as mutated or
+      // a later run on this instance could poison the name-keyed extraction
+      // cache. Cached pristine extractions stay valid — future by-name
+      // requests build fresh pristine instances — so nothing is invalidated.
+      workload->mark_mutated();
       Function& fn = *module.find_function(workload->entry().name());
       const RewriteReport rewrite =
           rewrite_selection(module, fn, blocks, report.selection, latency_,
@@ -152,6 +199,8 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
       }
     }
   }
+
+  report.cache.counters = local;
 
   report.timings.total_ms = ms_since(t_start);
   return report;

@@ -19,12 +19,14 @@
 //   std::cout << report.to_json_string();
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "api/report.hpp"
 #include "api/scheme.hpp"
+#include "cache/result_cache.hpp"
 #include "core/multi_cut.hpp"
 #include "core/single_cut.hpp"
 #include "dfg/dfg.hpp"
@@ -57,6 +59,12 @@ struct ExplorationRequest {
   /// 0 = hardware concurrency. Results are identical for any value.
   int num_threads = 1;
 
+  /// Route this request through the Explorer's ResultCache (identification
+  /// memo + DFG-extraction cache). Results are byte-identical either way;
+  /// opt out to benchmark cold searches or to explore graphs the cache
+  /// should not retain. report.cache records what the cache did.
+  bool use_cache = true;
+
   /// Snapshot an AFU per selected cut (ports, latency, area) into the report.
   bool build_afus = false;
   /// Rewrite the selection into the workload's module and validate that the
@@ -72,12 +80,17 @@ struct ExplorationRequest {
 class Explorer {
  public:
   /// `registry` defaults to SchemeRegistry::global(); the latency/area model
-  /// applies to every request run through this explorer.
+  /// applies to every request run through this explorer, and `cache_config`
+  /// sizes the explorer-owned ResultCache.
   explicit Explorer(LatencyModel latency = LatencyModel::standard_018um(),
-                    SchemeRegistry* registry = nullptr);
+                    SchemeRegistry* registry = nullptr,
+                    ResultCacheConfig cache_config = {});
 
   const LatencyModel& latency() const { return latency_; }
   SchemeRegistry& registry() const { return *registry_; }
+  /// The explorer-owned memoization layer. Internally synchronized; use it
+  /// to inspect counters, clear state, or save/load a warm-start file.
+  ResultCache& cache() const { return *cache_; }
 
   /// Runs the whole pipeline. Resolves request.workload against the workload
   /// registry, or explores request.graphs when the name is empty.
@@ -95,11 +108,15 @@ class Explorer {
                                const ExplorationRequest& request) const;
 
   // --- single-block identification (paper Problem 1) ----------------------
-  /// Best single cut of one block under `constraints`.
-  SingleCutResult identify(const Dfg& block, const Constraints& constraints) const;
-  /// Best set of up to `num_cuts` disjoint cuts of one block.
+  /// Best single cut of one block under `constraints`. Memoized through the
+  /// explorer's cache unless `use_cache` is false (identical result either
+  /// way — a hit replays the cold search byte-for-byte).
+  SingleCutResult identify(const Dfg& block, const Constraints& constraints,
+                           bool use_cache = true) const;
+  /// Best set of up to `num_cuts` disjoint cuts of one block (memoized like
+  /// identify()).
   MultiCutResult identify_multi(const Dfg& block, const Constraints& constraints,
-                                int num_cuts) const;
+                                int num_cuts, bool use_cache = true) const;
 
  private:
   ExplorationReport run_pipeline(Workload* workload, std::span<const Dfg> blocks,
@@ -107,6 +124,7 @@ class Explorer {
 
   LatencyModel latency_;
   SchemeRegistry* registry_;
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace isex

@@ -1,56 +1,10 @@
 #include "api/report.hpp"
 
+#include "core/serialize.hpp"
+
 namespace isex {
 
 namespace {
-
-Json constraints_to_json(const Constraints& c) {
-  Json j = Json::object();
-  j.set("max_inputs", c.max_inputs);
-  j.set("max_outputs", c.max_outputs);
-  j.set("enable_pruning", c.enable_pruning);
-  j.set("prune_permanent_inputs", c.prune_permanent_inputs);
-  j.set("branch_and_bound", c.branch_and_bound);
-  j.set("search_budget", c.search_budget);
-  return j;
-}
-
-Constraints constraints_from_json(const Json& j) {
-  Constraints c;
-  c.max_inputs = static_cast<int>(j.at("max_inputs").as_int());
-  c.max_outputs = static_cast<int>(j.at("max_outputs").as_int());
-  c.enable_pruning = j.at("enable_pruning").as_bool();
-  c.prune_permanent_inputs = j.at("prune_permanent_inputs").as_bool();
-  c.branch_and_bound = j.at("branch_and_bound").as_bool();
-  c.search_budget = j.at("search_budget").as_uint();
-  return c;
-}
-
-Json stats_to_json(const EnumerationStats& s) {
-  Json j = Json::object();
-  j.set("cuts_considered", s.cuts_considered);
-  j.set("passed_checks", s.passed_checks);
-  j.set("failed_output", s.failed_output);
-  j.set("failed_convex", s.failed_convex);
-  j.set("pruned_inputs", s.pruned_inputs);
-  j.set("pruned_bound", s.pruned_bound);
-  j.set("best_updates", s.best_updates);
-  j.set("budget_exhausted", s.budget_exhausted);
-  return j;
-}
-
-EnumerationStats stats_from_json(const Json& j) {
-  EnumerationStats s;
-  s.cuts_considered = j.at("cuts_considered").as_uint();
-  s.passed_checks = j.at("passed_checks").as_uint();
-  s.failed_output = j.at("failed_output").as_uint();
-  s.failed_convex = j.at("failed_convex").as_uint();
-  s.pruned_inputs = j.at("pruned_inputs").as_uint();
-  s.pruned_bound = j.at("pruned_bound").as_uint();
-  s.best_updates = j.at("best_updates").as_uint();
-  s.budget_exhausted = j.at("budget_exhausted").as_bool();
-  return s;
-}
 
 Json cut_to_json(const CutReport& c) {
   Json j = Json::object();
@@ -110,7 +64,7 @@ Json ExplorationReport::to_json() const {
   Json j = Json::object();
   j.set("workload", workload);
   j.set("scheme", scheme);
-  j.set("constraints", constraints_to_json(constraints));
+  j.set("constraints", isex::to_json(constraints));
   j.set("num_instructions", num_instructions);
   j.set("num_threads", num_threads);
   j.set("num_blocks", num_blocks);
@@ -118,7 +72,7 @@ Json ExplorationReport::to_json() const {
   j.set("total_merit", total_merit);
   j.set("estimated_speedup", estimated_speedup);
   j.set("identification_calls", identification_calls);
-  j.set("stats", stats_to_json(stats));
+  j.set("stats", isex::to_json(stats));
 
   Json cut_array = Json::array();
   for (const CutReport& c : cuts) cut_array.push_back(cut_to_json(c));
@@ -142,6 +96,15 @@ Json ExplorationReport::to_json() const {
   t.set("identify_ms", timings.identify_ms);
   t.set("total_ms", timings.total_ms);
   j.set("timings", std::move(t));
+
+  Json c = Json::object();
+  c.set("enabled", cache.enabled);
+  c.set("hits", cache.counters.hits);
+  c.set("misses", cache.counters.misses);
+  c.set("dfg_hits", cache.counters.dfg_hits);
+  c.set("dfg_misses", cache.counters.dfg_misses);
+  c.set("evictions", cache.counters.evictions);
+  j.set("cache", std::move(c));
   return j;
 }
 
@@ -171,6 +134,13 @@ ExplorationReport ExplorationReport::from_json(const Json& j) {
   r.timings.extract_ms = t.at("extract_ms").as_double();
   r.timings.identify_ms = t.at("identify_ms").as_double();
   r.timings.total_ms = t.at("total_ms").as_double();
+  const Json& c = j.at("cache");
+  r.cache.enabled = c.at("enabled").as_bool();
+  r.cache.counters.hits = c.at("hits").as_uint();
+  r.cache.counters.misses = c.at("misses").as_uint();
+  r.cache.counters.dfg_hits = c.at("dfg_hits").as_uint();
+  r.cache.counters.dfg_misses = c.at("dfg_misses").as_uint();
+  r.cache.counters.evictions = c.at("evictions").as_uint();
   return r;
 }
 

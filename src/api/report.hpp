@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/counters.hpp"
 #include "core/constraints.hpp"
 #include "core/selection.hpp"
 #include "support/json.hpp"
@@ -47,6 +48,13 @@ struct ReportTimings {
   double total_ms = 0.0;
 };
 
+/// What the Explorer's ResultCache did for this run (counter deltas, not
+/// lifetime totals).
+struct CacheReport {
+  bool enabled = true;  // false when the request opted out (use_cache = false)
+  CacheCounters counters;
+};
+
 struct ExplorationReport {
   std::string workload;  // empty for user-provided graphs
   std::string scheme;
@@ -68,6 +76,7 @@ struct ExplorationReport {
 
   ValidationReport validation;
   ReportTimings timings;
+  CacheReport cache;
 
   /// Verilog of each synthesized AFU (request.emit_verilog); not serialized.
   std::vector<std::string> verilog;

@@ -36,19 +36,21 @@ void register_builtin_schemes(SchemeRegistry& registry) {
       "iterative", "single-cut identification + collapse (paper Section 6.3)",
       [](const SchemeInputs& in) {
         return select_iterative(in.blocks, in.latency, in.constraints, in.num_instructions,
-                                in.executor);
+                                in.executor, in.cache, in.cache_counters);
       }));
   registry.add(std::make_unique<FunctionScheme>(
       "optimal", "greedy best(b, m) increments over multiple-cut tables (Section 6.2)",
       [](const SchemeInputs& in) {
         return select_optimal(in.blocks, in.latency, in.constraints, in.num_instructions,
-                              OptimalMode::greedy_increments, in.executor);
+                              OptimalMode::greedy_increments, in.executor, in.cache,
+                              in.cache_counters);
       }));
   registry.add(std::make_unique<FunctionScheme>(
       "optimal-dp", "exact DP allocation over the best(b, m) tables",
       [](const SchemeInputs& in) {
         return select_optimal(in.blocks, in.latency, in.constraints, in.num_instructions,
-                              OptimalMode::exact_dp, in.executor);
+                              OptimalMode::exact_dp, in.executor, in.cache,
+                              in.cache_counters);
       }));
   registry.add(std::make_unique<FunctionScheme>(
       "clubbing", "Clubbing baseline, candidates ranked by merit",
@@ -68,7 +70,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
         AreaSelectOptions options = in.area;
         options.num_instructions = in.num_instructions;
         return select_area_constrained(in.blocks, in.latency, in.constraints, options,
-                                       in.executor);
+                                       in.executor, in.cache, in.cache_counters);
       }));
 }
 

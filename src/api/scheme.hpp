@@ -21,9 +21,13 @@
 
 namespace isex {
 
+class ResultCache;
+struct CacheCounters;
+
 /// Everything a scheme may consume. Schemes must be pure functions of these
 /// inputs (no hidden state): the Explorer relies on that for determinism
-/// across thread counts.
+/// across thread counts, and the memoization layer relies on it for
+/// correctness of cached identification results.
 struct SchemeInputs {
   std::span<const Dfg> blocks;
   const LatencyModel& latency;
@@ -34,6 +38,14 @@ struct SchemeInputs {
   AreaSelectOptions area;
   /// Never null; per-block identification should run through it.
   Executor* executor = nullptr;
+  /// Identification memo table; null when the request opted out. Schemes
+  /// route their find_best_cut(s) calls through cached_single_cut /
+  /// cached_multi_cut so hits skip the enumeration.
+  ResultCache* cache = nullptr;
+  /// Per-request counter sink accompanying `cache` (may be null): passed to
+  /// the cached_* helpers so the report attributes this request's hits and
+  /// misses even when other requests share the cache concurrently.
+  CacheCounters* cache_counters = nullptr;
 };
 
 class SelectionScheme {

@@ -1,0 +1,21 @@
+// Cache activity counters, split out of result_cache.hpp so report-surface
+// headers can carry per-run deltas without pulling in the cache machinery
+// (mutex, LRU lists, hash maps).
+#pragma once
+
+#include <cstdint>
+
+namespace isex {
+
+/// Cache activity counters: the cache keeps one monotonic lifetime instance,
+/// and callers may pass their own zero-initialised instance as the `local`
+/// sink of any lookup/store to collect per-request deltas.
+struct CacheCounters {
+  std::uint64_t hits = 0;        // identification memo hits (single + multi)
+  std::uint64_t misses = 0;      // identification memo misses
+  std::uint64_t dfg_hits = 0;    // extraction-cache hits
+  std::uint64_t dfg_misses = 0;  // extraction-cache misses
+  std::uint64_t evictions = 0;   // LRU evictions across both tables
+};
+
+}  // namespace isex

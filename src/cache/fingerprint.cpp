@@ -1,0 +1,123 @@
+#include "cache/fingerprint.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace isex {
+
+namespace {
+
+/// Everything node-local that influences identification: kind, the opcode
+/// (op nodes), the literal (constants), and the candidate/ROM flags.
+std::uint64_t node_content_hash(const DfgNode& n) {
+  std::uint64_t h = hash_combine(kHashSeed, static_cast<std::uint64_t>(n.kind));
+  if (n.kind == NodeKind::op) h = hash_combine(h, static_cast<std::uint64_t>(n.op));
+  if (n.kind == NodeKind::constant) {
+    h = hash_combine(h, static_cast<std::uint64_t>(n.imm));
+  }
+  h = hash_combine(h, n.forbidden ? 1u : 0u);
+  h = hash_combine(h, n.rom_load ? 1u : 0u);
+  h = hash_combine(h, n.rom_words);
+  return h;
+}
+
+/// Order-invariant digest of neighbour labels tagged with their edge kind.
+std::uint64_t neighbour_digest(const std::vector<std::uint64_t>& labels,
+                               const std::vector<NodeId>& neighbours,
+                               const std::vector<std::uint8_t>& is_data,
+                               std::uint64_t tag) {
+  std::vector<std::uint64_t> xs;
+  xs.reserve(neighbours.size());
+  for (std::size_t k = 0; k < neighbours.size(); ++k) {
+    xs.push_back(hash_combine(labels[neighbours[k].index], is_data[k]));
+  }
+  std::sort(xs.begin(), xs.end());
+  return hash_span(xs, tag);
+}
+
+std::size_t count_distinct(std::vector<std::uint64_t> labels) {
+  std::sort(labels.begin(), labels.end());
+  return static_cast<std::size_t>(
+      std::unique(labels.begin(), labels.end()) - labels.begin());
+}
+
+std::uint64_t structural_hash(const Dfg& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint64_t> label(n), next(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = node_content_hash(g.node(NodeId(i)));
+
+  // Refine until the partition into label classes stops growing. A DAG's WL
+  // colouring stabilises within its depth; the distinct-count test detects
+  // that without tracking the partition explicitly.
+  std::size_t distinct = count_distinct(label);
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const DfgNode& node = g.node(NodeId(i));
+      std::uint64_t h = label[i];
+      h = hash_combine(h, neighbour_digest(label, node.preds, node.pred_is_data, 1));
+      h = hash_combine(h, neighbour_digest(label, node.succs, node.succ_is_data, 2));
+      next[i] = h;
+    }
+    label.swap(next);
+    const std::size_t refined = count_distinct(label);
+    if (refined == distinct) break;
+    distinct = refined;
+  }
+
+  std::sort(label.begin(), label.end());
+  std::uint64_t h = hash_span(label, hash_combine(kHashSeed, n));
+  return hash_combine(h, hash_double(g.exec_freq()));
+}
+
+std::uint64_t exact_hash(const Dfg& g) {
+  std::uint64_t h = hash_combine(kHashSeed ^ 0xE8AC7ull, g.num_nodes());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const DfgNode& node = g.node(NodeId(i));
+    h = hash_combine(h, node_content_hash(node));
+    h = hash_combine(h, node.preds.size());
+    for (std::size_t k = 0; k < node.preds.size(); ++k) {
+      h = hash_combine(h, hash_combine(node.preds[k].index, node.pred_is_data[k]));
+    }
+  }
+  return hash_combine(h, hash_double(g.exec_freq()));
+}
+
+}  // namespace
+
+DfgFingerprint dfg_fingerprint(const Dfg& g) {
+  DfgFingerprint fp;
+  fp.structural = structural_hash(g);
+  fp.exact = exact_hash(g);
+  return fp;
+}
+
+std::uint64_t constraints_signature(const Constraints& c) {
+  std::uint64_t h = hash_combine(kHashSeed, static_cast<std::uint64_t>(c.max_inputs));
+  h = hash_combine(h, static_cast<std::uint64_t>(c.max_outputs));
+  h = hash_combine(h, c.enable_pruning ? 1u : 0u);
+  h = hash_combine(h, c.prune_permanent_inputs ? 1u : 0u);
+  h = hash_combine(h, c.branch_and_bound ? 1u : 0u);
+  h = hash_combine(h, c.search_budget);
+  return h;
+}
+
+std::uint64_t latency_signature(const LatencyModel& m) {
+  std::uint64_t h = kHashSeed ^ 0x1A7ull;
+  for (std::size_t i = 0; i < opcode_count; ++i) {
+    const OpCost& cost = m.cost(static_cast<Opcode>(i));
+    h = hash_combine(h, static_cast<std::uint64_t>(cost.sw_cycles));
+    h = hash_combine(h, hash_double(cost.hw_delay));
+    h = hash_combine(h, hash_double(cost.area_macs));
+  }
+  h = hash_combine(h, hash_double(m.rom_hw_delay()));
+  h = hash_combine(h, hash_double(m.rom_area_per_word()));
+  return h;
+}
+
+std::uint64_t dfg_options_signature(const DfgOptions& o) {
+  return hash_combine(kHashSeed ^ 0xD46ull, o.allow_rom_loads ? 1u : 0u);
+}
+
+}  // namespace isex

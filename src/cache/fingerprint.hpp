@@ -1,0 +1,51 @@
+// Canonical DFG fingerprints and model signatures — the key material of the
+// ResultCache (identification on a (block, constraints, latency-model)
+// triple is pure, so equal keys may share one memoised result).
+//
+// `structural` is a Weisfeiler-Leman style refinement hash: it is invariant
+// under node-id permutations (the same logical graph built in any insertion
+// order hashes equal) and separates structurally distinct graphs with
+// 64-bit collision probability. Because identification results are expressed
+// as bit vectors *over node ids*, a structural match alone must never serve
+// a cached cut to a merely-isomorphic graph whose ids are permuted — the
+// bits would point at the wrong nodes. The `exact` component guards that: it
+// hashes the concrete id-ordered representation, so permuted isomorphs miss
+// instead of receiving a misindexed result.
+//
+// Cosmetic state (node labels, the graph name) is excluded from both hashes;
+// everything that influences an identification result — topology, opcodes,
+// constant values, forbidden/ROM flags and the execution frequency that
+// weights merits — is included.
+#pragma once
+
+#include <cstdint>
+
+#include "core/constraints.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+struct DfgFingerprint {
+  /// Node-id-permutation-invariant structure hash.
+  std::uint64_t structural = 0;
+  /// Hash of the concrete (id-ordered) representation.
+  std::uint64_t exact = 0;
+
+  friend bool operator==(const DfgFingerprint&, const DfgFingerprint&) = default;
+};
+
+/// Fingerprints a finalized graph.
+DfgFingerprint dfg_fingerprint(const Dfg& g);
+
+/// Hash of every search-relevant Constraints field.
+std::uint64_t constraints_signature(const Constraints& c);
+
+/// Hash of the full cost table (per-opcode sw/hw/area plus the ROM figures);
+/// two models with equal signatures price every cut identically.
+std::uint64_t latency_signature(const LatencyModel& m);
+
+/// Hash of the DFG-extraction options (keys the per-workload DFG cache).
+std::uint64_t dfg_options_signature(const DfgOptions& o);
+
+}  // namespace isex

@@ -1,0 +1,298 @@
+#include "cache/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/serialize.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace isex {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  ISEX_CHECK(!s.empty() && s.size() <= 16, "malformed cache hash '" + s + "'");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw Error("malformed cache hash '" + s + "'");
+    }
+  }
+  return v;
+}
+
+/// Extraction-cache map key; '\x1f' cannot occur in a workload name.
+std::string dfg_key(const std::string& workload, const DfgOptions& options) {
+  return workload + '\x1f' + hex64(dfg_options_signature(options));
+}
+
+}  // namespace
+
+std::size_t ResultCache::MemoKeyHash::operator()(const MemoKey& k) const {
+  std::uint64_t h = hash_combine(k.fingerprint.structural, k.fingerprint.exact);
+  h = hash_combine(h, k.latency_sig);
+  h = hash_combine(h, constraints_signature(k.constraints));
+  h = hash_combine(h, static_cast<std::uint64_t>(k.num_cuts));
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::ResultCache(ResultCacheConfig config) : config_(config) {
+  ISEX_CHECK(config_.max_entries >= 1, "cache capacity must be >= 1");
+  ISEX_CHECK(config_.max_dfg_entries >= 1, "DFG cache capacity must be >= 1");
+}
+
+std::optional<ResultCache::MemoEntry> ResultCache::lookup_memo(const MemoKey& key,
+                                                               CacheCounters* local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    ++counters_.misses;
+    if (local != nullptr) ++local->misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  if (local != nullptr) ++local->hits;
+  memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
+  return it->second;  // two shared_ptr copies, never a result copy
+}
+
+void ResultCache::insert_memo_locked(const MemoKey& key, MemoEntry entry,
+                                     CacheCounters* local) {
+  if (memo_.find(key) != memo_.end()) return;  // a racing miss computed it first
+  memo_lru_.push_front(key);
+  entry.lru = memo_lru_.begin();
+  memo_.emplace(key, std::move(entry));
+  while (memo_.size() > config_.max_entries) {
+    memo_.erase(memo_lru_.back());
+    memo_lru_.pop_back();
+    ++counters_.evictions;
+    if (local != nullptr) ++local->evictions;
+  }
+}
+
+void ResultCache::insert_memo(const MemoKey& key, MemoEntry entry, CacheCounters* local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_memo_locked(key, std::move(entry), local);
+}
+
+SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latency,
+                                        const Constraints& constraints,
+                                        CacheCounters* local) {
+  MemoKey key{dfg_fingerprint(g), latency_signature(latency), constraints, 0};
+  if (std::optional<MemoEntry> hit = lookup_memo(key, local)) {
+    ISEX_ASSERT(hit->single != nullptr, "memo entry kind mismatch");
+    return *hit->single;  // result copied outside the lock
+  }
+  auto result = std::make_shared<const SingleCutResult>(
+      find_best_cut(g, latency, constraints));  // computed outside the lock
+  MemoEntry entry;
+  entry.single = result;
+  insert_memo(key, std::move(entry), local);
+  return *result;
+}
+
+MultiCutResult ResultCache::multi_cut(const Dfg& g, const LatencyModel& latency,
+                                      const Constraints& constraints, int num_cuts,
+                                      CacheCounters* local) {
+  ISEX_CHECK(num_cuts >= 1, "multi-cut memo needs num_cuts >= 1");
+  MemoKey key{dfg_fingerprint(g), latency_signature(latency), constraints, num_cuts};
+  if (std::optional<MemoEntry> hit = lookup_memo(key, local)) {
+    ISEX_ASSERT(hit->multi != nullptr, "memo entry kind mismatch");
+    return *hit->multi;
+  }
+  auto result = std::make_shared<const MultiCutResult>(
+      find_best_cuts(g, latency, constraints, num_cuts));
+  MemoEntry entry;
+  entry.multi = result;
+  insert_memo(key, std::move(entry), local);
+  return *result;
+}
+
+std::shared_ptr<const std::vector<Dfg>> ResultCache::lookup_dfgs(const std::string& workload,
+                                                                 const DfgOptions& options,
+                                                                 double* base_cycles,
+                                                                 CacheCounters* local) {
+  ISEX_CHECK(base_cycles != nullptr, "null extraction output");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = dfgs_.find(dfg_key(workload, options));
+  if (it == dfgs_.end()) {
+    ++counters_.dfg_misses;
+    if (local != nullptr) ++local->dfg_misses;
+    return nullptr;
+  }
+  ++counters_.dfg_hits;
+  if (local != nullptr) ++local->dfg_hits;
+  dfg_lru_.splice(dfg_lru_.begin(), dfg_lru_, it->second.lru);
+  *base_cycles = it->second.base_cycles;
+  return it->second.graphs;
+}
+
+void ResultCache::store_dfgs(const std::string& workload, const DfgOptions& options,
+                             std::shared_ptr<const std::vector<Dfg>> graphs,
+                             double base_cycles, CacheCounters* local) {
+  ISEX_CHECK(graphs != nullptr, "null extraction snapshot");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = dfg_key(workload, options);
+  if (dfgs_.find(key) != dfgs_.end()) return;
+  dfg_lru_.push_front(key);
+  DfgEntry entry{std::move(graphs), base_cycles, dfg_lru_.begin()};
+  dfgs_.emplace(key, std::move(entry));
+  while (dfgs_.size() > config_.max_dfg_entries) {
+    dfgs_.erase(dfg_lru_.back());
+    dfg_lru_.pop_back();
+    ++counters_.evictions;
+    if (local != nullptr) ++local->evictions;
+  }
+}
+
+void ResultCache::invalidate_workload(const std::string& workload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = workload + '\x1f';
+  for (auto it = dfgs_.begin(); it != dfgs_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      dfg_lru_.erase(it->second.lru);
+      it = dfgs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+CacheCounters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t ResultCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+std::size_t ResultCache::num_dfg_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dfgs_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  memo_.clear();
+  memo_lru_.clear();
+  dfgs_.clear();
+  dfg_lru_.clear();
+}
+
+Json ResultCache::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  j.set("version", 1);  // file format
+  j.set("algorithm", kIdentificationAlgorithmVersion);
+  Json entries = Json::array();
+  // Serialize least-recent first so merge_json rebuilds the same recency
+  // order (later inserts end up more recent).
+  for (auto it = memo_lru_.rbegin(); it != memo_lru_.rend(); ++it) {
+    const MemoKey& key = *it;
+    const MemoEntry& entry = memo_.at(key);
+    Json e = Json::object();
+    e.set("structural", hex64(key.fingerprint.structural));
+    e.set("exact", hex64(key.fingerprint.exact));
+    e.set("latency", hex64(key.latency_sig));
+    e.set("constraints", isex::to_json(key.constraints));
+    e.set("num_cuts", key.num_cuts);
+    if (key.num_cuts == 0) {
+      e.set("single", isex::to_json(*entry.single));
+    } else {
+      e.set("multi", isex::to_json(*entry.multi));
+    }
+    entries.push_back(std::move(e));
+  }
+  j.set("entries", std::move(entries));
+  return j;
+}
+
+void ResultCache::merge_json(const Json& json) {
+  ISEX_CHECK(json.at("version").as_int() == 1, "unsupported cache file version");
+  ISEX_CHECK(json.at("algorithm").as_int() == kIdentificationAlgorithmVersion,
+             "cache file was produced by a different identification algorithm "
+             "version; discard it and start cold");
+  // Parse everything before touching the table, so a malformed entry leaves
+  // the memo unchanged rather than partially merged.
+  std::vector<std::pair<MemoKey, MemoEntry>> parsed;
+  for (const Json& e : json.at("entries").as_array()) {
+    MemoKey key;
+    key.fingerprint.structural = parse_hex64(e.at("structural").as_string());
+    key.fingerprint.exact = parse_hex64(e.at("exact").as_string());
+    key.latency_sig = parse_hex64(e.at("latency").as_string());
+    key.constraints = constraints_from_json(e.at("constraints"));
+    key.num_cuts = static_cast<int>(e.at("num_cuts").as_int());
+    MemoEntry entry;
+    if (key.num_cuts == 0) {
+      entry.single =
+          std::make_shared<const SingleCutResult>(single_cut_from_json(e.at("single")));
+    } else {
+      entry.multi =
+          std::make_shared<const MultiCutResult>(multi_cut_from_json(e.at("multi")));
+    }
+    parsed.emplace_back(std::move(key), std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : parsed) insert_memo_locked(key, std::move(entry), nullptr);
+}
+
+void ResultCache::save_file(const std::string& path) const {
+  // Write-then-rename so an interrupted save never leaves a truncated file
+  // behind (load_file throws on malformed files rather than starting cold).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    ISEX_CHECK(out.good(), "cannot write cache file '" + tmp + "'");
+    out << to_json().dump(-1) << "\n";
+    out.flush();
+    ISEX_CHECK(out.good(), "failed writing cache file '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  ISEX_CHECK(!ec, "failed moving cache file into place: " + ec.message());
+}
+
+bool ResultCache::load_file(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;  // a cold start is fine
+  std::ifstream in(path);
+  // An existing but unreadable file is an error the user should see, not a
+  // silent cold start that re-pays the full enumeration cost.
+  ISEX_CHECK(in.good(), "cannot read cache file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  merge_json(Json::parse(text.str()));
+  return true;
+}
+
+SingleCutResult cached_single_cut(ResultCache* cache, const Dfg& g,
+                                  const LatencyModel& latency, const Constraints& constraints,
+                                  CacheCounters* local) {
+  if (cache == nullptr) return find_best_cut(g, latency, constraints);
+  return cache->single_cut(g, latency, constraints, local);
+}
+
+MultiCutResult cached_multi_cut(ResultCache* cache, const Dfg& g, const LatencyModel& latency,
+                                const Constraints& constraints, int num_cuts,
+                                CacheCounters* local) {
+  if (cache == nullptr) return find_best_cuts(g, latency, constraints, num_cuts);
+  return cache->multi_cut(g, latency, constraints, num_cuts, local);
+}
+
+}  // namespace isex

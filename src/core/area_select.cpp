@@ -12,7 +12,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const LatencyModel& latency,
                                         const Constraints& constraints,
                                         const AreaSelectOptions& options,
-                                        Executor* executor) {
+                                        Executor* executor, ResultCache* cache,
+                                        CacheCounters* cache_counters) {
   ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
   ISEX_CHECK(options.num_instructions >= 1, "need at least one instruction slot");
   ISEX_CHECK(options.area_grid_macs > 0, "area grid must be positive");
@@ -20,7 +21,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
   // Candidate pool: more slots than the final cap so the knapsack can trade
   // one large candidate for several small ones.
   SelectionResult pool =
-      select_iterative(blocks, latency, constraints, options.num_instructions * 2, executor);
+      select_iterative(blocks, latency, constraints, options.num_instructions * 2,
+                       executor, cache, cache_counters);
 
   const auto grid = [&](double area) {
     return static_cast<int>(std::ceil(area / options.area_grid_macs - 1e-12));

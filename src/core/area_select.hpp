@@ -18,6 +18,9 @@
 
 namespace isex {
 
+class ResultCache;
+struct CacheCounters;
+
 struct AreaSelectOptions {
   double max_area_macs = 1.0;  // silicon budget in 32-bit MAC equivalents
   int num_instructions = 16;   // opcode-space cap
@@ -29,6 +32,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const LatencyModel& latency,
                                         const Constraints& constraints,
                                         const AreaSelectOptions& options,
-                                        Executor* executor = nullptr);
+                                        Executor* executor = nullptr,
+                                        ResultCache* cache = nullptr,
+                                        CacheCounters* cache_counters = nullptr);
 
 }  // namespace isex

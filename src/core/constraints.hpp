@@ -30,6 +30,10 @@ struct Constraints {
   /// exhausted the best cut found so far is returned and the stats carry
   /// `budget_exhausted = true`.
   std::uint64_t search_budget = 0;
+
+  /// Every field influences the search, so equality means "same answer for
+  /// the same graph and latency model" — the cache keys rely on that.
+  friend bool operator==(const Constraints&, const Constraints&) = default;
 };
 
 struct EnumerationStats {

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "cache/result_cache.hpp"
 #include "dfg/collapse.hpp"
 
 namespace isex {
@@ -18,7 +19,8 @@ struct BlockState {
 
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
                                  const Constraints& constraints, int num_instructions,
-                                 Executor* executor) {
+                                 Executor* executor, ResultCache* cache,
+                                 CacheCounters* cache_counters) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
   if (executor == nullptr) executor = &serial_executor();
   SelectionResult result;
@@ -44,7 +46,7 @@ SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel
     }
     executor->parallel_for(pending.size(), [&](std::size_t i) {
       BlockState& s = state[pending[i]];
-      s.cached = find_best_cut(s.current, latency, constraints);
+      s.cached = cached_single_cut(cache, s.current, latency, constraints, cache_counters);
     });
     for (const std::size_t b : pending) {
       ++result.identification_calls;

@@ -12,14 +12,19 @@
 
 namespace isex {
 
+class ResultCache;
+struct CacheCounters;
+
 /// `blocks` are the (finalized) G+ graphs of all basic blocks, frequency
 /// weighted. Returned cuts are expressed over each block's original node ids.
 ///
 /// Per-block identification calls within a round are independent; when an
 /// `executor` is given they run through it, and results are merged in block
-/// order so the output is identical to the serial run.
+/// order so the output is identical to the serial run. A non-null `cache`
+/// memoizes the identification searches (same output, hits skip the search).
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
                                  const Constraints& constraints, int num_instructions,
-                                 Executor* executor = nullptr);
+                                 Executor* executor = nullptr, ResultCache* cache = nullptr,
+                                 CacheCounters* cache_counters = nullptr);
 
 }  // namespace isex

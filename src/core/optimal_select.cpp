@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "cache/result_cache.hpp"
+
 namespace isex {
 
 namespace {
@@ -67,7 +69,8 @@ SelectionResult assemble(std::span<const Dfg> blocks, const std::vector<BlockTab
 
 SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
                                const Constraints& constraints, int num_instructions,
-                               OptimalMode mode, Executor* executor) {
+                               OptimalMode mode, Executor* executor, ResultCache* cache,
+                               CacheCounters* cache_counters) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
   if (executor == nullptr) executor = &serial_executor();
   const int max_per_block = std::min(num_instructions, 8);
@@ -83,7 +86,7 @@ SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& 
     std::vector<MultiCutResult> found(pending.size());
     executor->parallel_for(pending.size(), [&](std::size_t i) {
       const auto& [b, m] = pending[i];
-      found[i] = find_best_cuts(blocks[b], latency, constraints, m);
+      found[i] = cached_multi_cut(cache, blocks[b], latency, constraints, m, cache_counters);
     });
     for (std::size_t i = 0; i < pending.size(); ++i) {
       apply(tables[pending[i].first], std::move(found[i]), pending[i].second, accounting);
@@ -127,7 +130,7 @@ SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& 
     executor->parallel_for(blocks.size(), [&](std::size_t b) {
       for (int m = 1; m <= max_per_block; ++m) {
         if (!needs_fill(filled[b], m)) break;
-        MultiCutResult r = find_best_cuts(blocks[b], latency, constraints, m);
+        MultiCutResult r = cached_multi_cut(cache, blocks[b], latency, constraints, m, cache_counters);
         if (!apply(filled[b], std::move(r), m, local[b])) break;
       }
     });

@@ -20,6 +20,9 @@
 
 namespace isex {
 
+class ResultCache;
+struct CacheCounters;
+
 enum class OptimalMode {
   greedy_increments,  // the paper's algorithm
   exact_dp,           // exhaustive allocation over the best(b, m) tables
@@ -27,10 +30,12 @@ enum class OptimalMode {
 
 /// Per-block best(b, m) table extensions within a round are independent;
 /// when an `executor` is given they run through it, merged in block order —
-/// the output is identical to the serial run.
+/// the output is identical to the serial run. A non-null `cache` memoizes
+/// the multiple-cut searches (same output, hits skip the search).
 SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
                                const Constraints& constraints, int num_instructions,
                                OptimalMode mode = OptimalMode::greedy_increments,
-                               Executor* executor = nullptr);
+                               Executor* executor = nullptr, ResultCache* cache = nullptr,
+                               CacheCounters* cache_counters = nullptr);
 
 }  // namespace isex

@@ -20,6 +20,13 @@
 
 namespace isex {
 
+/// Version of the identification algorithms' observable behaviour (results
+/// AND statistics, single- and multiple-cut). Bump it whenever a change to
+/// the search could alter any output for some input — persisted memo files
+/// carry it, so stale warm-start caches are rejected instead of silently
+/// replaying the old algorithm's answers.
+inline constexpr int kIdentificationAlgorithmVersion = 1;
+
 struct SingleCutResult {
   BitVector cut;        // best cut (empty if no cut has positive merit)
   double merit = 0.0;   // freq-weighted estimated cycles saved

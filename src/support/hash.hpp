@@ -1,0 +1,31 @@
+// Deterministic 64-bit hashing primitives shared by the cache fingerprints.
+// Streams are stable across platforms and standard libraries (no std::hash),
+// so persisted cache files hash-match across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace isex {
+
+/// Golden-ratio seed used as the starting state of every hash chain.
+inline constexpr std::uint64_t kHashSeed = 0x9E3779B97F4A7C15ULL;
+
+/// splitmix64 finalizer: a full-avalanche bijective mixer.
+std::uint64_t hash_mix(std::uint64_t x);
+
+/// Folds `value` into `seed` (order-dependent).
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+/// FNV-1a over the bytes, finished through hash_mix.
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed = kHashSeed);
+
+/// Bit-pattern hash with -0.0 canonicalised to +0.0 and every NaN collapsed
+/// to one value, so equal-comparing doubles hash equal.
+std::uint64_t hash_double(double v);
+
+/// Order-dependent hash of a word sequence.
+std::uint64_t hash_span(std::span<const std::uint64_t> xs, std::uint64_t seed = kHashSeed);
+
+}  // namespace isex

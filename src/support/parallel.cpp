@@ -23,10 +23,14 @@ Executor& serial_executor() {
   return exec;
 }
 
+int ThreadPool::resolved_thread_count(int requested, unsigned hardware) {
+  if (requested >= 1) return requested;
+  if (hardware == 0) return 1;  // hardware_concurrency() may be "not computable"
+  return static_cast<int>(std::min(hardware, 1u << 16));
+}
+
 ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads <= 0) {
-    num_threads = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  }
+  num_threads = resolved_thread_count(num_threads, std::thread::hardware_concurrency());
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 1; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -33,8 +33,16 @@ Executor& serial_executor();
 /// each parallel_for, so `ThreadPool(1)` spawns no workers at all.
 class ThreadPool : public Executor {
  public:
-  /// `num_threads <= 0` uses std::thread::hardware_concurrency().
+  /// `num_threads <= 0` uses std::thread::hardware_concurrency(), falling
+  /// back to a single thread when the runtime cannot report one.
   explicit ThreadPool(int num_threads);
+
+  /// Maps a requested thread count onto the count the pool actually uses:
+  /// `requested >= 1` is taken as-is; `requested <= 0` asks for `hardware`
+  /// threads. std::thread::hardware_concurrency() is allowed to return 0
+  /// ("not computable"), so a zero `hardware` resolves to 1 rather than an
+  /// empty pool. Exposed as the unit-testable seam of that policy.
+  static int resolved_thread_count(int requested, unsigned hardware);
   ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;

@@ -50,6 +50,13 @@ class Workload {
   /// Measured single-issue base cycles of one run (after preprocess()).
   double base_cycles() const;
 
+  /// True once the module was transformed beyond the standard preprocessing
+  /// (e.g. a selection was rewritten into it): extraction results no longer
+  /// describe the pristine registry kernel of this name, so caches keyed by
+  /// the name must not be fed from this instance.
+  bool mutated() const { return mutated_; }
+  void mark_mutated() { mutated_ = true; }
+
  private:
   std::string name_;
   std::unique_ptr<Module> module_;
@@ -58,6 +65,7 @@ class Workload {
   std::function<std::vector<std::int32_t>(const Module&, const Memory&)> read_outputs_;
   std::vector<std::int32_t> expected_;
   bool preprocessed_ = false;
+  bool mutated_ = false;
 };
 
 // --- kernel builders -------------------------------------------------------

@@ -1,0 +1,196 @@
+// Golden-value pins for the paper-facing numbers that flow into the
+// fig7_trace and fig11_speedup reports. The exact counts, merits and cut
+// memberships below were produced by the seed (pre-cache) pipeline; the
+// memoization layer — or any future change — must reproduce them bit for
+// bit, warm or cold, or these tests fail. Drift here means the paper's
+// figures drifted.
+#include <gtest/gtest.h>
+
+#include "api/explorer.hpp"
+
+namespace isex {
+namespace {
+
+/// The Fig. 4 four-node example exactly as bench/fig7_trace.cpp builds it.
+Dfg fig4_graph() {
+  Dfg g;
+  const NodeId in_a = g.add_input("a");
+  const NodeId in_b = g.add_input("b");
+  const NodeId in_c = g.add_input("c");
+  const NodeId in_d = g.add_input("d");
+  const NodeId c2 = g.add_constant(2);
+  const NodeId n3 = g.add_op(Opcode::mul, "3:mul");
+  const NodeId n2 = g.add_op(Opcode::shr_s, "2:shr");
+  const NodeId n1 = g.add_op(Opcode::add, "1:add");
+  const NodeId n0 = g.add_op(Opcode::add, "0:add");
+  g.add_edge(in_a, n3);
+  g.add_edge(in_b, n3);
+  g.add_edge(n3, n2);
+  g.add_edge(c2, n2);
+  g.add_edge(n3, n1);
+  g.add_edge(in_c, n1);
+  g.add_edge(n2, n0);
+  g.add_edge(in_d, n0);
+  g.add_output(n0, "out0");
+  g.add_output(n1, "out1");
+  g.finalize();
+  return g;
+}
+
+struct GoldenCut {
+  int block_index;
+  double merit;
+  int num_ops;
+  int inputs;
+  int outputs;
+  const char* nodes;
+};
+
+struct GoldenRun {
+  const char* workload;
+  int num_blocks;
+  double base_cycles;
+  double total_merit;
+  double estimated_speedup;
+  std::uint64_t identification_calls;
+  std::uint64_t cuts_considered;
+  std::uint64_t passed_checks;
+  std::uint64_t failed_output;
+  std::uint64_t failed_convex;
+  std::vector<GoldenCut> cuts;
+};
+
+// Iterative scheme, Nin = 4 / Nout = 2, Ninstr = 16, with the
+// result-preserving accelerations on — the fig11_speedup configuration.
+const GoldenRun kGolden[] = {
+    {"adpcmdecode", 3, 3943.0, 2304.0, 2.4057352043929225, 6, 26398, 4718, 20568, 1112,
+     {{2, 2112.0, 25, 4, 2,
+       "{9, 11, 12, 14, 15, 17, 19, 22, 24, 25, 26, 28, 30, 31, 32, 33, 34, 35, 36, "
+       "38, 39, 40, 42, 43, 45}"},
+      {2, 96.0, 2, 2, 2, "{46, 52}"},
+      {2, 96.0, 2, 3, 2, "{7, 49}"}}},
+    {"crc32", 2, 3140.0, 2496.0, 4.8757763975155282, 3, 2694, 234, 2034, 426,
+     {{1, 2496.0, 42, 3, 2,
+       "{2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, "
+       "26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, "
+       "45, 46, 50}"}}},
+};
+
+void expect_matches_golden(const ExplorationReport& report, const GoldenRun& golden,
+                           const std::string& label) {
+  EXPECT_EQ(report.num_blocks, golden.num_blocks) << label;
+  EXPECT_EQ(report.base_cycles, golden.base_cycles) << label;
+  EXPECT_EQ(report.total_merit, golden.total_merit) << label;
+  EXPECT_NEAR(report.estimated_speedup, golden.estimated_speedup, 1e-12) << label;
+  EXPECT_EQ(report.identification_calls, golden.identification_calls) << label;
+  EXPECT_EQ(report.stats.cuts_considered, golden.cuts_considered) << label;
+  EXPECT_EQ(report.stats.passed_checks, golden.passed_checks) << label;
+  EXPECT_EQ(report.stats.failed_output, golden.failed_output) << label;
+  EXPECT_EQ(report.stats.failed_convex, golden.failed_convex) << label;
+  ASSERT_EQ(report.cuts.size(), golden.cuts.size()) << label;
+  for (std::size_t i = 0; i < golden.cuts.size(); ++i) {
+    const CutReport& cut = report.cuts[i];
+    const GoldenCut& want = golden.cuts[i];
+    EXPECT_EQ(cut.block_index, want.block_index) << label << " cut " << i;
+    EXPECT_EQ(cut.merit, want.merit) << label << " cut " << i;
+    EXPECT_EQ(cut.metrics.num_ops, want.num_ops) << label << " cut " << i;
+    EXPECT_EQ(cut.metrics.inputs, want.inputs) << label << " cut " << i;
+    EXPECT_EQ(cut.metrics.outputs, want.outputs) << label << " cut " << i;
+    EXPECT_EQ(cut.nodes, want.nodes) << label << " cut " << i;
+  }
+}
+
+ExplorationRequest fig11_request(const std::string& workload, bool use_cache) {
+  ExplorationRequest request;
+  request.workload = workload;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 16;
+  request.use_cache = use_cache;
+  return request;
+}
+
+TEST(GoldenReport, Fig11WorkloadsMatchTheSeedNumbersWarmAndCold) {
+  const Explorer explorer;
+  for (const GoldenRun& golden : kGolden) {
+    const ExplorationReport disabled =
+        explorer.run(fig11_request(golden.workload, /*use_cache=*/false));
+    expect_matches_golden(disabled, golden, std::string(golden.workload) + " uncached");
+
+    const ExplorationReport cold = explorer.run(fig11_request(golden.workload, true));
+    expect_matches_golden(cold, golden, std::string(golden.workload) + " cold");
+
+    const ExplorationReport warm = explorer.run(fig11_request(golden.workload, true));
+    expect_matches_golden(warm, golden, std::string(golden.workload) + " warm");
+    EXPECT_GT(warm.cache.counters.hits + warm.cache.counters.dfg_hits, 0u) << golden.workload;
+
+    // The serialized reports agree on everything but the wall-clock timings
+    // and the cache counters themselves.
+    const auto stable_dump = [](const ExplorationReport& report) {
+      const Json serialized = report.to_json();
+      Json filtered = Json::object();
+      for (const auto& [key, value] : serialized.as_object()) {
+        if (key != "timings" && key != "cache") filtered.set(key, value);
+      }
+      return filtered.dump();
+    };
+    EXPECT_EQ(stable_dump(cold), stable_dump(warm)) << golden.workload;
+    EXPECT_EQ(stable_dump(cold), stable_dump(disabled)) << golden.workload;
+  }
+}
+
+TEST(GoldenReport, Fig7TraceCountsMatchThePaper) {
+  // Paper Fig. 7 on the Fig. 4 example with Nout = 1: 16 possible cuts, 11
+  // considered, 5 passing both checks, 6 failing one, 4 eliminated by
+  // subtree pruning — regenerated through the Explorer identification seam.
+  const Explorer explorer;
+  const Dfg g = fig4_graph();
+  Constraints cons;
+  cons.max_inputs = 100;
+  cons.max_outputs = 1;
+
+  const SingleCutResult pruned = explorer.identify(g, cons);
+  EXPECT_EQ(pruned.stats.cuts_considered, 11u);
+  EXPECT_EQ(pruned.stats.passed_checks, 5u);
+  EXPECT_EQ(pruned.stats.failed_output + pruned.stats.failed_convex, 6u);
+  EXPECT_EQ(pruned.cut.to_string(), "{6, 8}");
+  EXPECT_EQ(pruned.metrics.inputs, 2);
+  EXPECT_EQ(pruned.metrics.outputs, 1);
+  EXPECT_DOUBLE_EQ(pruned.merit, 1.0);
+
+  Constraints no_prune = cons;
+  no_prune.enable_pruning = false;
+  const SingleCutResult full = explorer.identify(g, no_prune);
+  // The full tree visits every non-empty cut: 2^4 - 1 (the "considered"
+  // count tallies 1-branches, which excludes the empty cut).
+  EXPECT_EQ(full.stats.cuts_considered, 15u);
+  EXPECT_EQ(full.stats.cuts_considered - pruned.stats.cuts_considered, 4u);
+  // Pruning changes the trace, never the answer.
+  EXPECT_EQ(full.cut, pruned.cut);
+  EXPECT_EQ(full.merit, pruned.merit);
+}
+
+TEST(GoldenReport, Fig7PipelineJsonReportStaysParseable) {
+  // The CI smoke contract: `fig7_trace --json` emits a report that parses
+  // and round-trips; pin the same path in-process.
+  const Explorer explorer;
+  ExplorationRequest request;
+  request.graphs.push_back(fig4_graph());
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 100;
+  request.constraints.max_outputs = 1;
+  request.num_instructions = 2;
+  const ExplorationReport report = explorer.run(request);
+  const Json parsed = Json::parse(report.to_json_string());
+  const ExplorationReport back = ExplorationReport::from_json(parsed);
+  EXPECT_EQ(back.to_json_string(), report.to_json_string());
+  EXPECT_EQ(back.num_blocks, 1);
+  ASSERT_FALSE(back.cuts.empty());
+  EXPECT_EQ(back.cuts[0].nodes, "{6, 8}");
+}
+
+}  // namespace
+}  // namespace isex

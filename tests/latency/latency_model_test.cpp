@@ -1,0 +1,78 @@
+// Dedicated coverage for the latency/area model (paper Section 7): table
+// sanity of the standard 0.18 µm instance, the configuration seam, and the
+// ROM extension figures.
+#include "latency/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex {
+namespace {
+
+TEST(LatencyModel, StandardTableCoversEveryOpcodeSanely) {
+  const LatencyModel m = LatencyModel::standard_018um();
+  for (std::size_t i = 0; i < opcode_count; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_GE(m.sw_cycles(op), 0) << i;
+    EXPECT_GE(m.hw_delay(op), 0.0) << i;
+    EXPECT_GE(m.area_macs(op), 0.0) << i;
+    // Normalisation: nothing is slower than the iterative dividers, and no
+    // single operator exceeds a MAC's area.
+    EXPECT_LE(m.hw_delay(op), 6.0) << i;
+    EXPECT_LE(m.area_macs(op), 1.0) << i;
+  }
+}
+
+TEST(LatencyModel, ConstantsAreFreeInBothDomains) {
+  const LatencyModel m = LatencyModel::standard_018um();
+  EXPECT_EQ(m.sw_cycles(Opcode::konst), 0);
+  EXPECT_EQ(m.hw_delay(Opcode::konst), 0.0);
+  EXPECT_EQ(m.area_macs(Opcode::konst), 0.0);
+}
+
+TEST(LatencyModel, RelativeDelaysFollowTheSynthesisOrdering) {
+  // Only relative hardware delays influence the algorithms; pin the
+  // orderings the paper's reasoning depends on.
+  const LatencyModel m = LatencyModel::standard_018um();
+  EXPECT_LT(m.hw_delay(Opcode::and_), m.hw_delay(Opcode::add));   // logic < adder
+  EXPECT_LT(m.hw_delay(Opcode::add), m.hw_delay(Opcode::mul));    // adder < multiplier
+  EXPECT_LT(m.hw_delay(Opcode::mul), 1.0);    // everything combinational < one MAC
+  EXPECT_GT(m.hw_delay(Opcode::div_s), 1.0);  // except iterative division
+  EXPECT_LT(m.hw_delay(Opcode::shl), m.hw_delay(Opcode::mul));    // shifter < multiplier
+  // Software: multiply is multi-cycle on the single-issue baseline.
+  EXPECT_GT(m.sw_cycles(Opcode::mul), m.sw_cycles(Opcode::add));
+  EXPECT_GT(m.sw_cycles(Opcode::div_u), m.sw_cycles(Opcode::mul));
+}
+
+TEST(LatencyModel, SetCostRoundTrips) {
+  LatencyModel m = LatencyModel::standard_018um();
+  const OpCost original = m.cost(Opcode::xor_);
+  m.set_cost(Opcode::xor_, OpCost{4, 1.25, 0.5});
+  EXPECT_EQ(m.sw_cycles(Opcode::xor_), 4);
+  EXPECT_DOUBLE_EQ(m.hw_delay(Opcode::xor_), 1.25);
+  EXPECT_DOUBLE_EQ(m.area_macs(Opcode::xor_), 0.5);
+  // Other entries are untouched.
+  EXPECT_EQ(m.sw_cycles(Opcode::add), 1);
+  m.set_cost(Opcode::xor_, original);
+  EXPECT_DOUBLE_EQ(m.hw_delay(Opcode::xor_), original.hw_delay);
+}
+
+TEST(LatencyModel, RomExtensionFiguresAreConfiguredAndCheap) {
+  const LatencyModel m = LatencyModel::standard_018um();
+  EXPECT_GT(m.rom_hw_delay(), 0.0);
+  EXPECT_LT(m.rom_hw_delay(), 1.0);  // a lookup beats recomputing in sw
+  EXPECT_GT(m.rom_area_per_word(), 0.0);
+  EXPECT_LT(m.rom_area_per_word(), 0.01);  // a word is far below a MAC
+}
+
+TEST(LatencyModel, DefaultConstructedModelUsesTheOpCostDefaults) {
+  // A default LatencyModel is a blank table (every entry the OpCost default:
+  // one software cycle, zero hardware delay/area) that users fill via
+  // set_cost.
+  const LatencyModel m;
+  EXPECT_EQ(m.sw_cycles(Opcode::add), 1);
+  EXPECT_EQ(m.hw_delay(Opcode::mul), 0.0);
+  EXPECT_EQ(m.area_macs(Opcode::mul), 0.0);
+}
+
+}  // namespace
+}  // namespace isex

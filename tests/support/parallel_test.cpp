@@ -1,0 +1,85 @@
+// Executor / ThreadPool behaviour, including the regression for
+// num_threads = 0 when std::thread::hardware_concurrency() is unknown (it
+// is allowed to return 0, which must resolve to one thread, not an empty
+// pool).
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace isex {
+namespace {
+
+TEST(ThreadPool, ResolvedThreadCountHonoursExplicitRequests) {
+  EXPECT_EQ(ThreadPool::resolved_thread_count(1, 0), 1);
+  EXPECT_EQ(ThreadPool::resolved_thread_count(3, 0), 3);
+  EXPECT_EQ(ThreadPool::resolved_thread_count(7, 16), 7);
+}
+
+TEST(ThreadPool, ResolvedThreadCountUsesHardwareConcurrency) {
+  EXPECT_EQ(ThreadPool::resolved_thread_count(0, 8), 8);
+  EXPECT_EQ(ThreadPool::resolved_thread_count(-1, 4), 4);
+}
+
+TEST(ThreadPool, ResolvedThreadCountFallsBackWhenHardwareUnknown) {
+  // std::thread::hardware_concurrency() may return 0 ("not computable");
+  // the pool must fall back to a single thread instead of zero workers.
+  EXPECT_EQ(ThreadPool::resolved_thread_count(0, 0), 1);
+  EXPECT_EQ(ThreadPool::resolved_thread_count(-5, 0), 1);
+}
+
+TEST(ThreadPool, HardwareConcurrencyRequestConstructsAndRuns) {
+  ThreadPool pool(0);  // whatever this host reports, including 0
+  EXPECT_GE(pool.num_threads(), 1);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(17, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 17);
+}
+
+TEST(ThreadPool, InvokesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsWorkerExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw Error("boom");
+                                 }),
+               Error);
+  // The pool stays usable after an exceptional job.
+  std::atomic<int> calls{0};
+  pool.parallel_for(8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(SerialExecutor, RunsInlineInOrder) {
+  std::vector<std::size_t> seen;
+  serial_executor().parallel_for(5, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(serial_executor().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace isex

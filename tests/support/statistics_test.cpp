@@ -43,6 +43,53 @@ TEST(Statistics, LogLogSlopeSkipsNonPositive) {
   EXPECT_NEAR(log_log_slope(xs, ys), 2.0, 1e-9);
 }
 
+TEST(Statistics, MeanOfSingleElementAndConstants) {
+  std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(mean(one), 7.5);
+  std::vector<double> flat{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(flat), 3.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(flat), 3.0);
+}
+
+TEST(Statistics, MeanRejectsEmptySpans) {
+  std::vector<double> none;
+  EXPECT_THROW(mean(none), Error);
+  EXPECT_THROW(geometric_mean(none), Error);
+}
+
+TEST(Statistics, MeanDominatesGeometricMean) {
+  // AM >= GM on positive data; speedup aggregation relies on the geometric
+  // mean being the conservative one.
+  std::vector<double> xs{1.0, 2.0, 8.0, 32.0};
+  EXPECT_GT(mean(xs), geometric_mean(xs));
+}
+
+TEST(Statistics, LogLogSlopeDegenerateInputsReturnZero) {
+  std::vector<double> empty;
+  EXPECT_EQ(log_log_slope(empty, empty), 0.0);
+  std::vector<double> x1{2.0}, y1{4.0};
+  EXPECT_EQ(log_log_slope(x1, y1), 0.0);  // fewer than two usable points
+  // All x equal: the log-log fit has no horizontal spread.
+  std::vector<double> xc{3.0, 3.0, 3.0}, yc{1.0, 2.0, 4.0};
+  EXPECT_EQ(log_log_slope(xc, yc), 0.0);
+}
+
+TEST(Statistics, LogLogSlopeSizeMismatchThrows) {
+  std::vector<double> xs{1.0, 2.0};
+  std::vector<double> ys{1.0};
+  EXPECT_THROW(log_log_slope(xs, ys), Error);
+}
+
+TEST(Statistics, LogLogSlopeNegativeExponent) {
+  // y = 10 / x has slope -1 in log-log space.
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 32; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(10.0 / x);
+  }
+  EXPECT_NEAR(log_log_slope(xs, ys), -1.0, 1e-9);
+}
+
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
