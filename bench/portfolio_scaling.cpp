@@ -1,0 +1,75 @@
+// Portfolio-size scaling of the multi-application selection strategies:
+// grows the portfolio one workload at a time and reports, per strategy, the
+// weighted portfolio speedup, the selected instruction count, the
+// identification effort and the wall clock — cold and warm, so the
+// cross-workload/warm-start value of the ResultCache is visible at the
+// portfolio level.
+//
+// Usage: portfolio_scaling [max-portfolio-size]   (default: 6)
+#include <chrono>
+#include <iostream>
+
+#include "api/explorer.hpp"
+#include "support/table.hpp"
+
+using namespace isex;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Registry kernels in a fixed order; weights emphasise the decoders the
+  // way a deployment profile would.
+  const std::vector<std::pair<std::string, double>> mix = {
+      {"adpcmdecode", 2.0}, {"crc32", 1.0}, {"gsm", 1.0},
+      {"adpcmencode", 1.0}, {"sha1", 1.0},  {"fir", 1.0},
+  };
+  std::size_t max_size = 6;
+  if (argc > 1) max_size = static_cast<std::size_t>(std::stoi(argv[1]));
+  max_size = std::min(max_size, mix.size());
+
+  MultiExplorationRequest request;
+  request.num_instructions = 8;
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+
+  TextTable table({"apps", "scheme", "weighted speedup", "cuts", "ident calls",
+                   "cross hits", "cold ms", "warm ms"});
+  for (std::size_t size = 1; size <= max_size; ++size) {
+    request.workloads.clear();
+    for (std::size_t i = 0; i < size; ++i) {
+      request.workloads.push_back({.workload = mix[i].first, .weight = mix[i].second});
+    }
+    for (const std::string scheme : {"joint-iterative", "merge-then-select"}) {
+      request.scheme = scheme;
+      const Explorer explorer;  // fresh cache per cell: cold is really cold
+      const auto t_cold = Clock::now();
+      const PortfolioReport cold = explorer.run_portfolio(request);
+      const double cold_ms = ms_since(t_cold);
+      const auto t_warm = Clock::now();
+      const PortfolioReport warm = explorer.run_portfolio(request);
+      const double warm_ms = ms_since(t_warm);
+      if (warm.weighted_speedup != cold.weighted_speedup) {
+        std::cerr << "warm run diverged from cold on " << scheme << " size " << size << "\n";
+        return 1;
+      }
+      table.add_row({TextTable::num(static_cast<int>(size)), scheme,
+                     TextTable::num(cold.weighted_speedup, 3) + "x",
+                     TextTable::num(static_cast<int>(cold.cuts.size())),
+                     TextTable::num(cold.identification_calls),
+                     TextTable::num(cold.sharing.cross_workload_hits),
+                     TextTable::num(cold_ms, 1), TextTable::num(warm_ms, 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -47,14 +47,18 @@ int main(int argc, char** argv) {
 
   const Explorer explorer;
   if (!cache_file.empty()) {
+    // A corrupt or version-mismatched warm-start file is worth a loud
+    // warning — the sweep re-pays the full enumeration cost — but not an
+    // abort: the sweep itself is still perfectly computable cold, and the
+    // save at the end replaces the bad file.
     try {
       if (explorer.cache().load_file(cache_file)) {
         std::cout << "warm start: " << explorer.cache().num_entries()
                   << " memoized identifications from " << cache_file << "\n";
       }
     } catch (const Error& e) {
-      std::cerr << "cannot load cache file: " << e.what() << "\n";
-      return 1;
+      std::cerr << "warning: ignoring cache file " << cache_file << ": " << e.what()
+                << " (starting cold)\n";
     }
   }
 

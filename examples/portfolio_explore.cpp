@@ -1,0 +1,157 @@
+// Multi-application exploration: one instruction set serving a weighted
+// portfolio of workloads under a shared opcode budget — the deployment
+// shape of real ASIP extensions, where a single AFU ships for a whole
+// workload mix.
+//
+// Runs a MultiExplorationRequest through the Explorer and prints the
+// per-application speedup table, the selected instructions with the
+// applications each one serves, and the cross-workload cache sharing. With
+// `--json` the structured PortfolioReport is emitted instead (it
+// round-trips through PortfolioReport::from_json).
+//
+// Usage: portfolio_explore [--scheme NAME] [--ninstr N] [--nin N] [--nout N]
+//                          [--area MACS] [--json] [workload[:weight] ...]
+//        (default portfolio: adpcmdecode:2 adpcmencode:1 crc32:1 gsm:1)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/explorer.hpp"
+#include "support/table.hpp"
+
+using namespace isex;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scheme NAME] [--ninstr N] [--nin N] [--nout N] [--area MACS]"
+               " [--json] [workload[:weight] ...]\n"
+               "schemes: ";
+  bool first = true;
+  for (const std::string& name : SchemeRegistry::global().portfolio_names()) {
+    std::cerr << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cerr << "\nworkloads: ";
+  first = true;
+  for (const std::string& name : workload_names()) {
+    std::cerr << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cerr << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MultiExplorationRequest request;
+  request.scheme = "joint-iterative";
+  request.num_instructions = 8;
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  // Result-preserving accelerations (identical selections, faster search).
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  bool json = false;
+
+  const auto next_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs an argument\n";
+      std::exit(usage(argv[0]));
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scheme") {
+      request.scheme = next_arg(i, "--scheme");
+    } else if (arg == "--ninstr") {
+      request.num_instructions = std::stoi(next_arg(i, "--ninstr"));
+    } else if (arg == "--nin") {
+      request.constraints.max_inputs = std::stoi(next_arg(i, "--nin"));
+    } else if (arg == "--nout") {
+      request.constraints.max_outputs = std::stoi(next_arg(i, "--nout"));
+    } else if (arg == "--area") {
+      request.max_area_macs = std::stod(next_arg(i, "--area"));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      PortfolioWorkloadRequest w;
+      const std::size_t colon = arg.rfind(':');
+      if (colon == std::string::npos) {
+        w.workload = arg;
+      } else {
+        w.workload = arg.substr(0, colon);
+        w.weight = std::stod(arg.substr(colon + 1));
+      }
+      request.workloads.push_back(std::move(w));
+    }
+  }
+  if (request.workloads.empty()) {
+    request.workloads = {{.workload = "adpcmdecode", .weight = 2.0},
+                         {.workload = "adpcmencode"},
+                         {.workload = "crc32"},
+                         {.workload = "gsm"}};
+  }
+
+  const Explorer explorer;
+  PortfolioReport report;
+  try {
+    report = explorer.run_portfolio(request);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
+  }
+
+  if (json) {
+    std::cout << report.to_json_string() << "\n";
+    return 0;
+  }
+
+  std::cout << "portfolio of " << report.workloads.size() << " workloads, scheme "
+            << report.scheme << ", shared Ninstr = " << report.num_instructions << ", Nin = "
+            << report.constraints.max_inputs << ", Nout = " << report.constraints.max_outputs;
+  if (report.max_area_macs > 0) std::cout << ", area budget " << report.max_area_macs;
+  std::cout << "\n\n";
+
+  TextTable apps({"workload", "weight", "blocks", "base cycles", "saved", "speedup"});
+  for (const PortfolioWorkloadReport& w : report.workloads) {
+    apps.add_row({w.workload, TextTable::num(w.weight, 2),
+                  std::to_string(w.num_blocks), TextTable::num(w.base_cycles, 0),
+                  TextTable::num(w.saved_cycles, 0),
+                  TextTable::num(w.estimated_speedup, 3) + "x"});
+  }
+  apps.print(std::cout);
+  std::cout << "\nweighted speedup " << TextTable::num(report.weighted_speedup, 3)
+            << "x over the portfolio (weighted merit "
+            << TextTable::num(report.total_weighted_merit, 0) << ")\n\n";
+
+  TextTable cuts({"instr", "found in", "ops", "in", "out", "merit", "weighted", "serves"});
+  int index = 0;
+  for (const PortfolioCutReport& c : report.cuts) {
+    std::string serves;
+    for (const PortfolioCutReport::Instance& inst : c.served) {
+      if (!serves.empty()) serves += " ";
+      serves += report.workloads[static_cast<std::size_t>(inst.workload_index)].workload;
+    }
+    cuts.add_row({"isex" + std::to_string(index++),
+                  report.workloads[static_cast<std::size_t>(c.workload_index)].workload + "/" +
+                      c.block,
+                  std::to_string(c.metrics.num_ops), std::to_string(c.metrics.inputs),
+                  std::to_string(c.metrics.outputs), TextTable::num(c.merit, 0),
+                  TextTable::num(c.weighted_merit, 0), serves});
+  }
+  cuts.print(std::cout);
+
+  std::cout << "\nsharing: " << report.sharing.shared_kernels
+            << " kernels appear in several workloads, " << report.sharing.cross_workload_hits
+            << " identifications served across workloads (cache hits="
+            << report.cache.counters.hits << " misses=" << report.cache.counters.misses
+            << ")\n";
+  return 0;
+}

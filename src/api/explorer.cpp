@@ -57,6 +57,34 @@ ExplorationReport Explorer::run_blocks(std::span<const Dfg> blocks,
   return run_pipeline(nullptr, blocks, request);
 }
 
+Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
+                                                     const DfgOptions& options,
+                                                     bool use_dfg_cache, bool need_module,
+                                                     CacheCounters* local) const {
+  ExtractedBlocks out;
+  if (use_dfg_cache && (out.snapshot = cache_->lookup_dfgs(workload.name(), options,
+                                                           &out.base_cycles, local))) {
+    // AFU construction reads the module, which a fresh workload instance
+    // only has in shape after preprocessing (idempotent when already done).
+    if (need_module) workload.preprocess();
+    out.blocks = *out.snapshot;
+    return out;
+  }
+  workload.preprocess();
+  out.owned = workload.extract_dfgs(options, &out.base_cycles);
+  if (use_dfg_cache) {
+    // Move the extraction into the shared snapshot and keep reading through
+    // it — the cache and this pipeline share one copy.
+    out.snapshot = std::make_shared<const std::vector<Dfg>>(std::move(out.owned));
+    out.owned.clear();
+    cache_->store_dfgs(workload.name(), options, out.snapshot, out.base_cycles, local);
+    out.blocks = *out.snapshot;
+  } else {
+    out.blocks = out.owned;
+  }
+  return out;
+}
+
 ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg> blocks,
                                          const ExplorationRequest& request) const {
   const auto t_start = Clock::now();
@@ -71,8 +99,7 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   report.cache.enabled = request.use_cache;
 
   // --- profile + extract ---------------------------------------------------
-  std::vector<Dfg> extracted;
-  std::shared_ptr<const std::vector<Dfg>> cached_graphs;
+  ExtractedBlocks extracted;
   if (workload != nullptr) {
     report.workload = workload->name();
     // A rewrite mutates the module the graphs are extracted from, so it
@@ -81,28 +108,10 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     // pristine kernel of that name).
     const bool use_dfg_cache =
         request.use_cache && !request.rewrite && !workload->mutated();
-    if (use_dfg_cache &&
-        (cached_graphs = cache_->lookup_dfgs(workload->name(), request.dfg_options,
-                                             &report.base_cycles, &local))) {
-      // AFU construction reads the module, which a fresh workload instance
-      // only has in shape after preprocessing (idempotent when already done).
-      if (request.build_afus || request.emit_verilog) workload->preprocess();
-      blocks = *cached_graphs;
-    } else {
-      workload->preprocess();
-      extracted = workload->extract_dfgs(request.dfg_options, &report.base_cycles);
-      if (use_dfg_cache) {
-        // Move the extraction into the shared snapshot and keep reading
-        // through it — the cache and this pipeline share one copy.
-        cached_graphs =
-            std::make_shared<const std::vector<Dfg>>(std::move(extracted));
-        cache_->store_dfgs(workload->name(), request.dfg_options, cached_graphs,
-                           report.base_cycles, &local);
-        blocks = *cached_graphs;
-      } else {
-        blocks = extracted;
-      }
-    }
+    extracted = extract_workload(*workload, request.dfg_options, use_dfg_cache,
+                                 request.build_afus || request.emit_verilog, &local);
+    blocks = extracted.blocks;
+    report.base_cycles = extracted.base_cycles;
   } else {
     for (const Dfg& g : blocks) report.base_cycles += block_static_cycles(g, latency_);
   }
@@ -110,6 +119,10 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   report.timings.extract_ms = ms_since(t_start);
 
   // --- identify + select ---------------------------------------------------
+  // The single-workload pipeline is a one-bundle portfolio: the scheme sees
+  // the same per-portfolio SchemeInputs as a batched request, and the
+  // selection converts back losslessly (weight 1 — golden-pinned to the
+  // pre-portfolio results).
   const auto t_identify = Clock::now();
   const SelectionScheme& scheme = registry_->get(request.scheme);
   std::unique_ptr<ThreadPool> pool;
@@ -120,7 +133,12 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   }
   report.num_threads = executor->num_threads();
 
-  SchemeInputs inputs{blocks,
+  WorkloadBundle bundle;
+  bundle.name = report.workload;
+  bundle.blocks = blocks;
+  bundle.weight = 1.0;
+  bundle.base_cycles = report.base_cycles;
+  SchemeInputs inputs{std::span<const WorkloadBundle>(&bundle, 1),
                       latency_,
                       request.constraints,
                       request.num_instructions,
@@ -128,7 +146,7 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
                       executor,
                       request.use_cache ? cache_.get() : nullptr,
                       &local};
-  report.selection = scheme.select(inputs);
+  report.selection = portfolio_to_single(scheme.select(inputs));
   report.timings.identify_ms = ms_since(t_identify);
 
   report.total_merit = report.selection.total_merit;
@@ -202,6 +220,129 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
 
   report.cache.counters = local;
 
+  report.timings.total_ms = ms_since(t_start);
+  return report;
+}
+
+PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) const {
+  const auto t_start = Clock::now();
+  ISEX_CHECK(!request.workloads.empty(),
+             "MultiExplorationRequest needs at least one workload");
+  CacheCounters local;
+  PortfolioReport report;
+  report.scheme = request.scheme;
+  report.constraints = request.constraints;
+  report.num_instructions = request.num_instructions;
+  report.max_area_macs = request.max_area_macs;
+  report.cache.enabled = request.use_cache;
+
+  const SelectionScheme& scheme = registry_->get(request.scheme);
+  if (!scheme.supports_portfolio() && request.workloads.size() > 1) {
+    throw Error("scheme '" + request.scheme +
+                "' selects for a single application but the request carries " +
+                std::to_string(request.workloads.size()) + " workloads (portfolio-capable: " +
+                join_scheme_names(registry_->portfolio_names()) + ")");
+  }
+
+  // --- profile + extract every application ---------------------------------
+  std::vector<ExtractedBlocks> extracted(request.workloads.size());
+  std::vector<WorkloadBundle> bundles(request.workloads.size());
+  for (std::size_t i = 0; i < request.workloads.size(); ++i) {
+    const PortfolioWorkloadRequest& wr = request.workloads[i];
+    ISEX_CHECK(wr.weight > 0, "portfolio workload " + std::to_string(i) +
+                                  " needs a positive weight");
+    WorkloadBundle& bundle = bundles[i];
+    bundle.weight = wr.weight;
+    if (!wr.workload.empty()) {
+      Workload w = find_workload(wr.workload);
+      extracted[i] = extract_workload(w, wr.dfg_options, request.use_cache,
+                                      /*need_module=*/false, &local);
+      bundle.name = wr.workload;
+      bundle.blocks = extracted[i].blocks;
+      bundle.base_cycles = extracted[i].base_cycles;
+    } else {
+      ISEX_CHECK(!wr.graphs.empty(), "portfolio workload " + std::to_string(i) +
+                                         " needs a workload name or graphs");
+      bundle.name = wr.label.empty() ? "workload" + std::to_string(i) : wr.label;
+      bundle.blocks = wr.graphs;
+      for (const Dfg& g : wr.graphs) bundle.base_cycles += block_static_cycles(g, latency_);
+    }
+  }
+  report.timings.extract_ms = ms_since(t_start);
+
+  // --- joint identification + selection ------------------------------------
+  const auto t_identify = Clock::now();
+  std::unique_ptr<ThreadPool> pool;
+  Executor* executor = &serial_executor();
+  if (request.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(request.num_threads);
+    executor = pool.get();
+  }
+  report.num_threads = executor->num_threads();
+
+  AreaSelectOptions area;
+  area.max_area_macs = request.max_area_macs;
+  area.num_instructions = request.num_instructions;
+  area.area_grid_macs = request.area_grid_macs;
+  SchemeInputs inputs{bundles,
+                      latency_,
+                      request.constraints,
+                      request.num_instructions,
+                      area,
+                      executor,
+                      request.use_cache ? cache_.get() : nullptr,
+                      &local};
+  report.selection = scheme.select(inputs);
+  report.timings.identify_ms = ms_since(t_identify);
+
+  // --- aggregate -----------------------------------------------------------
+  report.total_weighted_merit = report.selection.total_weighted_merit;
+  report.identification_calls = report.selection.identification_calls;
+  report.stats = report.selection.stats;
+  report.sharing.shared_kernels = report.selection.shared_kernels;
+  ISEX_ASSERT(report.selection.saved_per_bundle.size() == bundles.size(),
+              "scheme returned a malformed per-bundle savings vector");
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    PortfolioWorkloadReport w;
+    w.workload = bundles[i].name;
+    w.weight = bundles[i].weight;
+    w.num_blocks = static_cast<int>(bundles[i].blocks.size());
+    w.base_cycles = bundles[i].base_cycles;
+    w.saved_cycles = report.selection.saved_per_bundle[i];
+    if (w.base_cycles > w.saved_cycles) {
+      w.estimated_speedup = application_speedup(w.base_cycles, w.saved_cycles);
+    }
+    report.workloads.push_back(std::move(w));
+  }
+  report.weighted_speedup =
+      portfolio_weighted_speedup(bundles, report.selection.saved_per_bundle);
+
+  for (const PortfolioSelectedCut& sc : report.selection.cuts) {
+    PortfolioCutReport cr;
+    cr.workload_index = sc.origin.bundle_index;
+    cr.block_index = sc.origin.block_index;
+    cr.block = bundles[static_cast<std::size_t>(sc.origin.bundle_index)]
+                   .blocks[static_cast<std::size_t>(sc.origin.block_index)]
+                   .name();
+    cr.merit = sc.merit;
+    cr.weighted_merit = sc.weighted_merit;
+    cr.metrics = sc.metrics;
+    cr.nodes = sc.cut.to_string();
+    for (std::size_t k = 0; k < sc.served.size(); ++k) {
+      PortfolioCutReport::Instance inst;
+      inst.workload_index = sc.served[k].bundle_index;
+      inst.block_index = sc.served[k].block_index;
+      inst.block = bundles[static_cast<std::size_t>(sc.served[k].bundle_index)]
+                       .blocks[static_cast<std::size_t>(sc.served[k].block_index)]
+                       .name();
+      inst.nodes = sc.served_cuts[k].to_string();
+      cr.served.push_back(std::move(inst));
+    }
+    report.cuts.push_back(std::move(cr));
+  }
+
+  report.cache.counters = local;
+  report.sharing.cross_workload_hits = local.cross_workload_hits;
   report.timings.total_ms = ms_since(t_start);
   return report;
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "api/portfolio.hpp"
 #include "api/report.hpp"
 #include "api/scheme.hpp"
 #include "cache/result_cache.hpp"
@@ -107,6 +108,15 @@ class Explorer {
   ExplorationReport run_blocks(std::span<const Dfg> blocks,
                                const ExplorationRequest& request) const;
 
+  /// Runs a batched multi-application exploration: extracts every workload
+  /// (through the extraction cache), hands the weighted bundles to a
+  /// portfolio-capable scheme under the shared budgets, and reports
+  /// per-application speedups, instruction attribution and cross-workload
+  /// cache sharing. Requests naming a single-application scheme are
+  /// accepted only for portfolios of exactly one workload (throws an
+  /// isex::Error listing the portfolio-capable names otherwise).
+  PortfolioReport run_portfolio(const MultiExplorationRequest& request) const;
+
   // --- single-block identification (paper Problem 1) ----------------------
   /// Best single cut of one block under `constraints`. Memoized through the
   /// explorer's cache unless `use_cache` is false (identical result either
@@ -119,6 +129,24 @@ class Explorer {
                                 int num_cuts, bool use_cache = true) const;
 
  private:
+  /// Profiled, frequency-weighted block graphs of one application, with the
+  /// storage keeping the `blocks` span alive (a shared cache snapshot or a
+  /// freshly extracted vector — vector/shared_ptr moves do not move the
+  /// heap buffers the span points into).
+  struct ExtractedBlocks {
+    std::span<const Dfg> blocks;
+    double base_cycles = 0.0;
+    std::shared_ptr<const std::vector<Dfg>> snapshot;  // set on a cache hit/store
+    std::vector<Dfg> owned;                            // set when uncached
+  };
+  /// Profiles `workload` and extracts its DFGs through the extraction cache
+  /// (unless `use_dfg_cache` is false — rewriting requests and mutated
+  /// instances must bypass it). With `need_module` the workload is
+  /// preprocessed even on a cache hit, so AFU construction can read it.
+  ExtractedBlocks extract_workload(Workload& workload, const DfgOptions& options,
+                                   bool use_dfg_cache, bool need_module,
+                                   CacheCounters* local) const;
+
   ExplorationReport run_pipeline(Workload* workload, std::span<const Dfg> blocks,
                                  const ExplorationRequest& request) const;
 

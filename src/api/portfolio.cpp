@@ -1,0 +1,166 @@
+#include "api/portfolio.hpp"
+
+#include "core/serialize.hpp"
+
+namespace isex {
+
+namespace {
+
+Json workload_to_json(const PortfolioWorkloadReport& w) {
+  Json j = Json::object();
+  j.set("workload", w.workload);
+  j.set("weight", w.weight);
+  j.set("num_blocks", w.num_blocks);
+  j.set("base_cycles", w.base_cycles);
+  j.set("saved_cycles", w.saved_cycles);
+  j.set("estimated_speedup", w.estimated_speedup);
+  return j;
+}
+
+PortfolioWorkloadReport workload_from_json(const Json& j) {
+  PortfolioWorkloadReport w;
+  w.workload = j.at("workload").as_string();
+  w.weight = j.at("weight").as_double();
+  w.num_blocks = static_cast<int>(j.at("num_blocks").as_int());
+  w.base_cycles = j.at("base_cycles").as_double();
+  w.saved_cycles = j.at("saved_cycles").as_double();
+  w.estimated_speedup = j.at("estimated_speedup").as_double();
+  return w;
+}
+
+Json cut_to_json(const PortfolioCutReport& c) {
+  Json j = Json::object();
+  j.set("workload_index", c.workload_index);
+  j.set("block_index", c.block_index);
+  j.set("block", c.block);
+  j.set("merit", c.merit);
+  j.set("weighted_merit", c.weighted_merit);
+  j.set("num_ops", c.metrics.num_ops);
+  j.set("inputs", c.metrics.inputs);
+  j.set("outputs", c.metrics.outputs);
+  j.set("sw_cycles", c.metrics.sw_cycles);
+  j.set("hw_cycles", c.metrics.hw_cycles);
+  j.set("hw_critical", c.metrics.hw_critical);
+  j.set("area_macs", c.metrics.area_macs);
+  j.set("nodes", c.nodes);
+  Json served = Json::array();
+  for (const PortfolioCutReport::Instance& inst : c.served) {
+    Json e = Json::object();
+    e.set("workload_index", inst.workload_index);
+    e.set("block_index", inst.block_index);
+    e.set("block", inst.block);
+    e.set("nodes", inst.nodes);
+    served.push_back(std::move(e));
+  }
+  j.set("served", std::move(served));
+  return j;
+}
+
+PortfolioCutReport cut_from_json(const Json& j) {
+  PortfolioCutReport c;
+  c.workload_index = static_cast<int>(j.at("workload_index").as_int());
+  c.block_index = static_cast<int>(j.at("block_index").as_int());
+  c.block = j.at("block").as_string();
+  c.merit = j.at("merit").as_double();
+  c.weighted_merit = j.at("weighted_merit").as_double();
+  c.metrics.num_ops = static_cast<int>(j.at("num_ops").as_int());
+  c.metrics.inputs = static_cast<int>(j.at("inputs").as_int());
+  c.metrics.outputs = static_cast<int>(j.at("outputs").as_int());
+  c.metrics.sw_cycles = static_cast<int>(j.at("sw_cycles").as_int());
+  c.metrics.hw_cycles = static_cast<int>(j.at("hw_cycles").as_int());
+  c.metrics.hw_critical = j.at("hw_critical").as_double();
+  c.metrics.area_macs = j.at("area_macs").as_double();
+  c.nodes = j.at("nodes").as_string();
+  for (const Json& e : j.at("served").as_array()) {
+    PortfolioCutReport::Instance inst;
+    inst.workload_index = static_cast<int>(e.at("workload_index").as_int());
+    inst.block_index = static_cast<int>(e.at("block_index").as_int());
+    inst.block = e.at("block").as_string();
+    inst.nodes = e.at("nodes").as_string();
+    c.served.push_back(std::move(inst));
+  }
+  return c;
+}
+
+}  // namespace
+
+Json PortfolioReport::to_json() const {
+  Json j = Json::object();
+  j.set("scheme", scheme);
+  j.set("constraints", isex::to_json(constraints));
+  j.set("num_instructions", num_instructions);
+  j.set("max_area_macs", max_area_macs);
+  j.set("num_threads", num_threads);
+
+  Json workload_array = Json::array();
+  for (const PortfolioWorkloadReport& w : workloads) {
+    workload_array.push_back(workload_to_json(w));
+  }
+  j.set("workloads", std::move(workload_array));
+
+  Json cut_array = Json::array();
+  for (const PortfolioCutReport& c : cuts) cut_array.push_back(cut_to_json(c));
+  j.set("cuts", std::move(cut_array));
+
+  j.set("total_weighted_merit", total_weighted_merit);
+  j.set("weighted_speedup", weighted_speedup);
+  j.set("identification_calls", identification_calls);
+  j.set("stats", isex::to_json(stats));
+
+  Json s = Json::object();
+  s.set("shared_kernels", sharing.shared_kernels);
+  s.set("cross_workload_hits", sharing.cross_workload_hits);
+  j.set("sharing", std::move(s));
+
+  Json t = Json::object();
+  t.set("extract_ms", timings.extract_ms);
+  t.set("identify_ms", timings.identify_ms);
+  t.set("total_ms", timings.total_ms);
+  j.set("timings", std::move(t));
+
+  Json c = Json::object();
+  c.set("enabled", cache.enabled);
+  c.set("hits", cache.counters.hits);
+  c.set("misses", cache.counters.misses);
+  c.set("dfg_hits", cache.counters.dfg_hits);
+  c.set("dfg_misses", cache.counters.dfg_misses);
+  c.set("evictions", cache.counters.evictions);
+  c.set("cross_workload_hits", cache.counters.cross_workload_hits);
+  j.set("cache", std::move(c));
+  return j;
+}
+
+PortfolioReport PortfolioReport::from_json(const Json& j) {
+  PortfolioReport r;
+  r.scheme = j.at("scheme").as_string();
+  r.constraints = constraints_from_json(j.at("constraints"));
+  r.num_instructions = static_cast<int>(j.at("num_instructions").as_int());
+  r.max_area_macs = j.at("max_area_macs").as_double();
+  r.num_threads = static_cast<int>(j.at("num_threads").as_int());
+  for (const Json& w : j.at("workloads").as_array()) {
+    r.workloads.push_back(workload_from_json(w));
+  }
+  for (const Json& c : j.at("cuts").as_array()) r.cuts.push_back(cut_from_json(c));
+  r.total_weighted_merit = j.at("total_weighted_merit").as_double();
+  r.weighted_speedup = j.at("weighted_speedup").as_double();
+  r.identification_calls = j.at("identification_calls").as_uint();
+  r.stats = stats_from_json(j.at("stats"));
+  const Json& s = j.at("sharing");
+  r.sharing.shared_kernels = static_cast<int>(s.at("shared_kernels").as_int());
+  r.sharing.cross_workload_hits = s.at("cross_workload_hits").as_uint();
+  const Json& t = j.at("timings");
+  r.timings.extract_ms = t.at("extract_ms").as_double();
+  r.timings.identify_ms = t.at("identify_ms").as_double();
+  r.timings.total_ms = t.at("total_ms").as_double();
+  const Json& c = j.at("cache");
+  r.cache.enabled = c.at("enabled").as_bool();
+  r.cache.counters.hits = c.at("hits").as_uint();
+  r.cache.counters.misses = c.at("misses").as_uint();
+  r.cache.counters.dfg_hits = c.at("dfg_hits").as_uint();
+  r.cache.counters.dfg_misses = c.at("dfg_misses").as_uint();
+  r.cache.counters.evictions = c.at("evictions").as_uint();
+  r.cache.counters.cross_workload_hits = c.at("cross_workload_hits").as_uint();
+  return r;
+}
+
+}  // namespace isex

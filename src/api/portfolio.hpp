@@ -1,0 +1,151 @@
+// Multi-application exploration: a batched request carrying N weighted
+// workloads that share one opcode (and optionally area) budget, and the
+// portfolio-level report aggregating per-application speedups, attributing
+// every selected instruction to the applications it serves, and surfacing
+// the cross-workload cache sharing — JSON-round-trippable like
+// ExplorationReport.
+//
+//   Explorer ex;
+//   MultiExplorationRequest req;
+//   req.workloads = {{.workload = "adpcmdecode", .weight = 2.0},
+//                    {.workload = "adpcmencode"},
+//                    {.workload = "crc32"}};
+//   req.scheme = "joint-iterative";
+//   req.num_instructions = 8;              // shared across all three
+//   PortfolioReport report = ex.run_portfolio(req);
+//   std::cout << report.weighted_speedup << "x weighted, "
+//             << report.to_json_string();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "core/portfolio_select.hpp"
+#include "dfg/dfg.hpp"
+
+namespace isex {
+
+/// One application of a portfolio request.
+struct PortfolioWorkloadRequest {
+  /// Workload registry name; leave empty to explore `graphs` instead.
+  std::string workload;
+  /// User-provided per-block DFGs (used when `workload` is empty); the base
+  /// cycle count then falls back to the blocks' static estimate.
+  std::vector<Dfg> graphs;
+  /// Display/attribution label for graph-based entries (defaults to
+  /// "workload<i>"); ignored when `workload` names a registry kernel.
+  std::string label;
+  /// Relative importance (> 0): cycles saved here count `weight` times in
+  /// the joint objective and in the portfolio weighted speedup.
+  double weight = 1.0;
+  /// DFG extraction options for this application.
+  DfgOptions dfg_options;
+};
+
+/// A batched exploration request: N weighted workloads, one shared
+/// constraint set, one shared opcode budget (and optionally one shared AFU
+/// area budget) — the instruction set that comes out serves them all.
+struct MultiExplorationRequest {
+  std::vector<PortfolioWorkloadRequest> workloads;
+
+  /// Portfolio-capable scheme name ("joint-iterative", "merge-then-select",
+  /// or user-added); single-application schemes are accepted only for
+  /// portfolios of exactly one workload.
+  std::string scheme = "joint-iterative";
+  Constraints constraints;
+  /// Ninstr: the *joint* opcode budget shared by every application.
+  int num_instructions = 16;
+  /// Joint AFU silicon budget in MAC equivalents; <= 0 means unlimited.
+  /// Honoured by merge-then-select (knapsack); joint-iterative applies the
+  /// opcode budget only.
+  double max_area_macs = 0.0;
+  /// Knapsack area resolution when `max_area_macs` is set.
+  double area_grid_macs = 0.002;
+
+  /// Threads for per-block identification: 1 = serial (default),
+  /// 0 = hardware concurrency. Results are identical for any value.
+  int num_threads = 1;
+  /// Route the request through the Explorer's ResultCache. Identical
+  /// kernels appearing in several applications are then identified once and
+  /// surfaced as cross-workload hits in the report.
+  bool use_cache = true;
+};
+
+/// Per-application outcome within a portfolio run.
+struct PortfolioWorkloadReport {
+  std::string workload;  // registry name or label
+  double weight = 1.0;
+  int num_blocks = 0;
+  double base_cycles = 0.0;
+  /// Raw cycles saved in this application by the shared instruction set.
+  double saved_cycles = 0.0;
+  /// base_cycles / (base_cycles - saved_cycles).
+  double estimated_speedup = 1.0;
+};
+
+/// One selected instruction, flattened for serialization. `served` names
+/// every (workload, block) instance the instruction applies to — the
+/// attribution demanded by a shared opcode budget.
+struct PortfolioCutReport {
+  /// One serving instance.
+  struct Instance {
+    int workload_index = 0;
+    int block_index = 0;
+    std::string block;   // DFG name of the block
+    std::string nodes;   // cut over that block's original node ids
+  };
+
+  int workload_index = 0;  // defining (origin) instance
+  int block_index = 0;
+  std::string block;
+  double merit = 0.0;          // raw cycles saved per serving instance
+  double weighted_merit = 0.0; // sum over instances of weight * merit
+  CutMetrics metrics;
+  std::string nodes;
+  std::vector<Instance> served;  // origin first
+};
+
+/// What the portfolio gained from cross-workload sharing.
+struct SharingReport {
+  /// Distinct block fingerprints appearing in more than one application.
+  int shared_kernels = 0;
+  /// Identification memo hits served across applications (the entry was
+  /// stored while exploring a different workload of this run or a previous
+  /// one).
+  std::uint64_t cross_workload_hits = 0;
+};
+
+struct PortfolioReport {
+  std::string scheme;
+  Constraints constraints;
+  int num_instructions = 0;
+  double max_area_macs = 0.0;
+  int num_threads = 1;
+
+  std::vector<PortfolioWorkloadReport> workloads;
+  std::vector<PortfolioCutReport> cuts;
+
+  double total_weighted_merit = 0.0;
+  /// Portfolio figure of merit: sum_i w_i * base_i over
+  /// sum_i w_i * (base_i - saved_i).
+  double weighted_speedup = 1.0;
+
+  std::uint64_t identification_calls = 0;
+  EnumerationStats stats;  // aggregated over every identification call
+
+  SharingReport sharing;
+  ReportTimings timings;
+  CacheReport cache;
+
+  /// The raw selection (bit vectors usable against the extracted DFGs); not
+  /// serialized.
+  PortfolioSelectionResult selection;
+
+  Json to_json() const;
+  std::string to_json_string(int indent = 2) const { return to_json().dump(indent); }
+  /// Inverse of to_json(); throws isex::Error on missing/mistyped fields.
+  static PortfolioReport from_json(const Json& json);
+};
+
+}  // namespace isex

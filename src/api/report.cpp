@@ -104,6 +104,7 @@ Json ExplorationReport::to_json() const {
   c.set("dfg_hits", cache.counters.dfg_hits);
   c.set("dfg_misses", cache.counters.dfg_misses);
   c.set("evictions", cache.counters.evictions);
+  c.set("cross_workload_hits", cache.counters.cross_workload_hits);
   j.set("cache", std::move(c));
   return j;
 }
@@ -141,6 +142,11 @@ ExplorationReport ExplorationReport::from_json(const Json& j) {
   r.cache.counters.dfg_hits = c.at("dfg_hits").as_uint();
   r.cache.counters.dfg_misses = c.at("dfg_misses").as_uint();
   r.cache.counters.evictions = c.at("evictions").as_uint();
+  // Absent in reports serialized before the portfolio API introduced the
+  // counter; default to 0 so archived report files stay loadable.
+  if (const Json* cross = c.find("cross_workload_hits")) {
+    r.cache.counters.cross_workload_hits = cross->as_uint();
+  }
   return r;
 }
 

@@ -1,11 +1,16 @@
 // Pluggable instruction-selection schemes behind one interface, plus the
 // name-keyed registry the Explorer facade resolves requests against.
 //
-// The four schemes of the reproduction (the paper's Iterative and Optimal,
-// the Clubbing/MaxMISO baselines, and the Section 9 area-constrained
-// extension) are pre-registered; users add their own with
+// The interface speaks *portfolios*: SchemeInputs carries one
+// WorkloadBundle (block graphs, weight, base cycles) per application, and a
+// scheme returns a PortfolioSelectionResult attributing every selected
+// instruction to the applications it serves. Single-application schemes —
+// the paper's Iterative and Optimal, the Clubbing/MaxMISO baselines and the
+// Section 9 area extension — accept exactly one bundle and are wrapped
+// through portfolio_from_single; the portfolio strategies (joint-iterative,
+// merge-then-select) consume any number. Users add their own with
 // `SchemeRegistry::global().add(...)` and select them by name through an
-// ExplorationRequest.
+// ExplorationRequest or MultiExplorationRequest.
 #pragma once
 
 #include <memory>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "core/area_select.hpp"
+#include "core/portfolio_select.hpp"
 #include "core/selection.hpp"
 #include "latency/latency_model.hpp"
 #include "support/parallel.hpp"
@@ -29,12 +35,17 @@ struct CacheCounters;
 /// across thread counts, and the memoization layer relies on it for
 /// correctness of cached identification results.
 struct SchemeInputs {
-  std::span<const Dfg> blocks;
+  /// One bundle per application. Single-workload requests arrive as a
+  /// portfolio of one bundle with weight 1.
+  std::span<const WorkloadBundle> bundles;
   const LatencyModel& latency;
   const Constraints& constraints;
-  /// Ninstr: maximum number of special instructions to select.
+  /// Ninstr: maximum number of special instructions, shared across the
+  /// whole portfolio (the joint opcode budget).
   int num_instructions = 16;
-  /// Extra options for area-aware schemes (ignored by the others).
+  /// Extra options for area-aware schemes (ignored by the others). For
+  /// portfolio schemes `area.max_area_macs <= 0` means "no joint area
+  /// budget"; the single-workload "area" scheme keeps its own semantics.
   AreaSelectOptions area;
   /// Never null; per-block identification should run through it.
   Executor* executor = nullptr;
@@ -45,7 +56,14 @@ struct SchemeInputs {
   /// Per-request counter sink accompanying `cache` (may be null): passed to
   /// the cached_* helpers so the report attributes this request's hits and
   /// misses even when other requests share the cache concurrently.
+  /// Portfolio schemes fan it out into per-bundle scoped sinks so
+  /// cross-workload sharing is counted.
   CacheCounters* cache_counters = nullptr;
+
+  /// The blocks of the portfolio's only bundle. Single-application schemes
+  /// call this first: it throws an isex::Error naming `scheme` when the
+  /// portfolio holds more than one bundle.
+  std::span<const Dfg> single_workload_blocks(const std::string& scheme) const;
 };
 
 class SelectionScheme {
@@ -55,17 +73,40 @@ class SelectionScheme {
   virtual const std::string& name() const = 0;
   /// One-line human description for listings and reports.
   virtual const std::string& description() const = 0;
-  virtual SelectionResult select(const SchemeInputs& inputs) const = 0;
+  /// True when the scheme selects jointly over portfolios of any size;
+  /// false when it requires exactly one bundle.
+  virtual bool supports_portfolio() const { return false; }
+  virtual PortfolioSelectionResult select(const SchemeInputs& inputs) const = 0;
+};
+
+/// Unknown-name lookup failure of a SchemeRegistry: carries the requested
+/// name and the registered names so callers (CLIs, services) can render a
+/// structured "did you mean" without parsing the message.
+class SchemeNotFoundError : public Error {
+ public:
+  SchemeNotFoundError(std::string requested, std::vector<std::string> registered);
+
+  const std::string& requested() const { return requested_; }
+  /// Registered names at lookup time, sorted.
+  const std::vector<std::string>& registered() const { return registered_; }
+
+ private:
+  std::string requested_;
+  std::vector<std::string> registered_;
 };
 
 /// Thread-safe name-keyed scheme registry. The global() instance comes with
 /// the built-in schemes:
-///   iterative   — paper Section 6.3 (single-cut identification + collapse)
-///   optimal     — paper Section 6.2/Fig. 10 (greedy best(b, m) increments)
-///   optimal-dp  — exact DP allocation over the same best(b, m) tables
-///   clubbing    — Clubbing baseline ranked by merit
-///   maxmiso     — MaxMISO baseline ranked by merit
-///   area        — Section 9 extension: knapsack under an AFU area budget
+///   iterative         — paper Section 6.3 (single-cut identification + collapse)
+///   optimal           — paper Section 6.2/Fig. 10 (greedy best(b, m) increments)
+///   optimal-dp        — exact DP allocation over the same best(b, m) tables
+///   clubbing          — Clubbing baseline ranked by merit
+///   maxmiso           — MaxMISO baseline ranked by merit
+///   area              — Section 9 extension: knapsack under an AFU area budget
+///   joint-iterative   — portfolio: Iterative generalized across weighted
+///                       applications under the shared opcode budget
+///   merge-then-select — portfolio: per-application candidates, fingerprint
+///                       dedup, shared knapsack-style selection
 class SchemeRegistry {
  public:
   /// The process-wide registry (built-ins pre-registered).
@@ -76,11 +117,15 @@ class SchemeRegistry {
 
   /// Registers a scheme under scheme->name(); throws on duplicates.
   void add(std::unique_ptr<SelectionScheme> scheme);
-  /// Throws isex::Error listing the registered names if `name` is unknown.
+  /// Throws SchemeNotFoundError (listing the registered names) when `name`
+  /// is unknown.
   const SelectionScheme& get(const std::string& name) const;
   const SelectionScheme* find(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+  /// Names of the registered schemes that support portfolios of any size,
+  /// sorted.
+  std::vector<std::string> portfolio_names() const;
 
  private:
   mutable std::mutex mu_;
@@ -90,5 +135,9 @@ class SchemeRegistry {
 /// Registers the built-in schemes into `registry` (used by global(); exposed
 /// so tests can build isolated registries with the standard contents).
 void register_builtin_schemes(SchemeRegistry& registry);
+
+/// Comma-joins scheme names ("a, b, c") — the one formatter behind every
+/// scheme-listing error message and usage line.
+std::string join_scheme_names(const std::vector<std::string>& names);
 
 }  // namespace isex

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace isex {
 
@@ -16,6 +17,29 @@ struct CacheCounters {
   std::uint64_t dfg_hits = 0;    // extraction-cache hits
   std::uint64_t dfg_misses = 0;  // extraction-cache misses
   std::uint64_t evictions = 0;   // LRU evictions across both tables
+  /// Memo hits whose entry was first stored under a different scope — the
+  /// cross-workload sharing signal of portfolio exploration (an identical
+  /// kernel of another application had already been identified).
+  std::uint64_t cross_workload_hits = 0;
+
+  /// Attribution tag, not a counter: when a lookup's local sink carries a
+  /// non-empty scope (typically the workload name), memo stores stamp the
+  /// entry with it and later hits from a sink with a *different* non-empty
+  /// scope count into cross_workload_hits (lifetime and local). Scopes are
+  /// not persisted, so warm-started entries never count as cross-workload.
+  std::string scope;
+
+  /// Accumulates the counters of another sink (per-bundle sinks of one
+  /// portfolio run are merged into the report's delta); `scope` is kept.
+  CacheCounters& operator+=(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    dfg_hits += o.dfg_hits;
+    dfg_misses += o.dfg_misses;
+    evictions += o.evictions;
+    cross_workload_hits += o.cross_workload_hits;
+    return *this;
+  }
 };
 
 }  // namespace isex

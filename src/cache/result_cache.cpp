@@ -65,7 +65,17 @@ std::optional<ResultCache::MemoEntry> ResultCache::lookup_memo(const MemoKey& ke
     return std::nullopt;
   }
   ++counters_.hits;
-  if (local != nullptr) ++local->hits;
+  if (local != nullptr) {
+    ++local->hits;
+    // Cross-workload sharing: the entry was stored while exploring a
+    // different (non-empty) scope — typically another application of a
+    // portfolio whose identical kernel was identified first.
+    if (!local->scope.empty() && !it->second.origin_scope.empty() &&
+        it->second.origin_scope != local->scope) {
+      ++counters_.cross_workload_hits;
+      ++local->cross_workload_hits;
+    }
+  }
   memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second.lru);
   return it->second;  // two shared_ptr copies, never a result copy
 }
@@ -101,6 +111,7 @@ SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latenc
       find_best_cut(g, latency, constraints));  // computed outside the lock
   MemoEntry entry;
   entry.single = result;
+  if (local != nullptr) entry.origin_scope = local->scope;
   insert_memo(key, std::move(entry), local);
   return *result;
 }
@@ -118,6 +129,7 @@ MultiCutResult ResultCache::multi_cut(const Dfg& g, const LatencyModel& latency,
       find_best_cuts(g, latency, constraints, num_cuts));
   MemoEntry entry;
   entry.multi = result;
+  if (local != nullptr) entry.origin_scope = local->scope;
   insert_memo(key, std::move(entry), local);
   return *result;
 }

@@ -128,6 +128,10 @@ class ResultCache {
     // a hit copies two pointers under the lock, never a result.
     std::shared_ptr<const SingleCutResult> single;
     std::shared_ptr<const MultiCutResult> multi;
+    /// Scope of the sink that stored the entry (empty = untagged, e.g. a
+    /// warm-start load): hits from a different non-empty scope count as
+    /// cross-workload sharing.
+    std::string origin_scope;
     std::list<MemoKey>::iterator lru;
   };
   struct DfgEntry {

@@ -8,30 +8,22 @@
 
 namespace isex {
 
-SelectionResult select_area_constrained(std::span<const Dfg> blocks,
-                                        const LatencyModel& latency,
-                                        const Constraints& constraints,
-                                        const AreaSelectOptions& options,
-                                        Executor* executor, ResultCache* cache,
-                                        CacheCounters* cache_counters) {
-  ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
-  ISEX_CHECK(options.num_instructions >= 1, "need at least one instruction slot");
-  ISEX_CHECK(options.area_grid_macs > 0, "area grid must be positive");
-
-  // Candidate pool: more slots than the final cap so the knapsack can trade
-  // one large candidate for several small ones.
-  SelectionResult pool =
-      select_iterative(blocks, latency, constraints, options.num_instructions * 2,
-                       executor, cache, cache_counters);
+std::vector<std::size_t> knapsack_select_indices(std::span<const double> values,
+                                                 std::span<const double> areas,
+                                                 double max_area_macs,
+                                                 double area_grid_macs, int max_count) {
+  ISEX_CHECK(values.size() == areas.size(), "one area per value required");
+  ISEX_CHECK(max_area_macs >= 0, "negative area budget");
+  ISEX_CHECK(max_count >= 1, "need at least one instruction slot");
+  ISEX_CHECK(area_grid_macs > 0, "area grid must be positive");
 
   const auto grid = [&](double area) {
-    return static_cast<int>(std::ceil(area / options.area_grid_macs - 1e-12));
+    return static_cast<int>(std::ceil(area / area_grid_macs - 1e-12));
   };
-  const int capacity = std::max(0, grid(options.max_area_macs));
-  const int max_count = options.num_instructions;
-  const std::size_t n = pool.cuts.size();
+  const int capacity = std::max(0, grid(max_area_macs));
+  const std::size_t n = values.size();
 
-  // dp[i][w][k] = best merit from the first i items with area weight <= w
+  // dp[i][w][k] = best value from the first i items with area weight <= w
   // and <= k instructions. Full staged table for exact reconstruction.
   const std::size_t ws = static_cast<std::size_t>(capacity) + 1;
   const std::size_t ks = static_cast<std::size_t>(max_count) + 1;
@@ -41,8 +33,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
   };
 
   for (std::size_t i = 1; i <= n; ++i) {
-    const int w_i = grid(pool.cuts[i - 1].metrics.area_macs);
-    const double v_i = pool.cuts[i - 1].merit;
+    const int w_i = grid(areas[i - 1]);
+    const double v_i = values[i - 1];
     for (int w = 0; w <= capacity; ++w) {
       for (int k = 0; k <= max_count; ++k) {
         double best = at(i - 1, w, k);
@@ -54,22 +46,55 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
     }
   }
 
-  SelectionResult result;
-  result.identification_calls = pool.identification_calls;
-  result.stats = pool.stats;
-
   int w = capacity;
   int k = max_count;
   std::vector<bool> selected(n, false);
   for (std::size_t i = n; i >= 1; --i) {
     if (at(i, w, k) > at(i - 1, w, k) + 1e-12) {
       selected[i - 1] = true;
-      w -= grid(pool.cuts[i - 1].metrics.area_macs);
+      w -= grid(areas[i - 1]);
       k -= 1;
     }
   }
+  std::vector<std::size_t> chosen;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!selected[i]) continue;
+    if (selected[i]) chosen.push_back(i);
+  }
+  return chosen;
+}
+
+SelectionResult select_area_constrained(std::span<const Dfg> blocks,
+                                        const LatencyModel& latency,
+                                        const Constraints& constraints,
+                                        const AreaSelectOptions& options,
+                                        Executor* executor, ResultCache* cache,
+                                        CacheCounters* cache_counters) {
+  // Fail fast on malformed options (knapsack_select_indices re-checks, but
+  // only after the expensive candidate generation below).
+  ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
+  ISEX_CHECK(options.num_instructions >= 1, "need at least one instruction slot");
+  ISEX_CHECK(options.area_grid_macs > 0, "area grid must be positive");
+
+  // Candidate pool: more slots than the final cap so the knapsack can trade
+  // one large candidate for several small ones.
+  SelectionResult pool =
+      select_iterative(blocks, latency, constraints, options.num_instructions * 2,
+                       executor, cache, cache_counters);
+
+  std::vector<double> values;
+  std::vector<double> areas;
+  for (const SelectedCut& sc : pool.cuts) {
+    values.push_back(sc.merit);
+    areas.push_back(sc.metrics.area_macs);
+  }
+  const std::vector<std::size_t> chosen =
+      knapsack_select_indices(values, areas, options.max_area_macs,
+                              options.area_grid_macs, options.num_instructions);
+
+  SelectionResult result;
+  result.identification_calls = pool.identification_calls;
+  result.stats = pool.stats;
+  for (const std::size_t i : chosen) {
     result.total_merit += pool.cuts[i].merit;
     result.cuts.push_back(std::move(pool.cuts[i]));
   }

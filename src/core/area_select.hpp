@@ -36,4 +36,15 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         ResultCache* cache = nullptr,
                                         CacheCounters* cache_counters = nullptr);
 
+/// The Section 9 selection core, exposed for every area-budgeted scheme
+/// (single-application "area", portfolio merge-then-select): 0/1 knapsack
+/// over parallel (value, area) items with an instruction-count cap.
+/// Returns the indices (ascending) of the subset maximizing total value
+/// with gridded total area within `max_area_macs` and at most `max_count`
+/// items.
+std::vector<std::size_t> knapsack_select_indices(std::span<const double> values,
+                                                 std::span<const double> areas,
+                                                 double max_area_macs,
+                                                 double area_grid_macs, int max_count);
+
 }  // namespace isex

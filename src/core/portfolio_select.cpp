@@ -1,0 +1,421 @@
+#include "core/portfolio_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/fingerprint.hpp"
+#include "cache/result_cache.hpp"
+#include "core/area_select.hpp"
+#include "core/iterative_select.hpp"
+#include "dfg/collapse.hpp"
+#include "support/hash.hpp"
+
+namespace isex {
+
+namespace {
+
+struct FingerprintHash {
+  std::size_t operator()(const DfgFingerprint& fp) const {
+    return static_cast<std::size_t>(hash_combine(fp.structural, fp.exact));
+  }
+};
+
+/// Per-bundle counter sinks carrying the bundle name as the cache
+/// attribution scope, merged into `total` on destruction. With no caller
+/// sink there is nothing to attribute into, so lookups pass nullptr and the
+/// cache counts only its lifetime totals.
+class ScopedSinks {
+ public:
+  ScopedSinks(std::span<const WorkloadBundle> bundles, CacheCounters* total) : total_(total) {
+    if (total_ == nullptr) return;
+    sinks_.resize(bundles.size());
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      sinks_[i].scope =
+          bundles[i].name.empty() ? "bundle-" + std::to_string(i) : bundles[i].name;
+    }
+  }
+  ~ScopedSinks() {
+    if (total_ == nullptr) return;
+    for (const CacheCounters& sink : sinks_) *total_ += sink;
+  }
+
+  CacheCounters* for_bundle(std::size_t i) {
+    return total_ == nullptr ? nullptr : &sinks_[i];
+  }
+
+ private:
+  CacheCounters* total_;
+  std::vector<CacheCounters> sinks_;
+};
+
+/// Merge-then-select dedup key: identical kernels yield identical candidate
+/// cuts, which merge into one opcode.
+struct DedupKey {
+  DfgFingerprint fp;
+  std::string cut;
+
+  friend bool operator==(const DedupKey&, const DedupKey&) = default;
+};
+struct DedupKeyHash {
+  std::size_t operator()(const DedupKey& k) const {
+    return static_cast<std::size_t>(hash_combine(hash_combine(k.fp.structural, k.fp.exact),
+                                                 std::hash<std::string>{}(k.cut)));
+  }
+};
+
+int count_shared_kernels(std::span<const DfgFingerprint> fps, std::span<const int> bundle_of) {
+  // fp -> (first bundle seen, already counted as shared).
+  std::unordered_map<DfgFingerprint, std::pair<int, bool>, FingerprintHash> seen;
+  int shared = 0;
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    auto [it, inserted] = seen.emplace(fps[i], std::make_pair(bundle_of[i], false));
+    if (inserted) continue;
+    if (!it->second.second && it->second.first != bundle_of[i]) {
+      it->second.second = true;
+      ++shared;
+    }
+  }
+  return shared;
+}
+
+void check_bundles(std::span<const WorkloadBundle> bundles, int num_instructions) {
+  ISEX_CHECK(!bundles.empty(), "portfolio selection needs at least one workload bundle");
+  ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
+  for (const WorkloadBundle& b : bundles) {
+    ISEX_CHECK(b.weight > 0, "workload weight must be positive ('" + b.name + "')");
+  }
+}
+
+/// Maps a cut over a collapsed graph back to original node ids.
+BitVector map_to_original(const BitVector& cut, std::size_t original_nodes,
+                          const std::vector<std::vector<std::size_t>>& origin) {
+  BitVector mapped(original_nodes);
+  cut.for_each([&](std::size_t i) {
+    for (std::size_t orig : origin[i]) mapped.set(orig);
+  });
+  return mapped;
+}
+
+}  // namespace
+
+PortfolioSelectionResult select_portfolio_iterative(
+    std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
+    const Constraints& constraints, int num_instructions, Executor* executor,
+    ResultCache* cache, CacheCounters* cache_counters) {
+  check_bundles(bundles, num_instructions);
+  if (executor == nullptr) executor = &serial_executor();
+
+  struct BlockState {
+    int bundle = 0;
+    int block = 0;
+    Dfg current;                                   // graph with accepted cuts collapsed
+    std::vector<std::vector<std::size_t>> origin;  // current node -> original ids
+    DfgFingerprint fp;                             // fingerprint of `current`
+    bool fp_dirty = false;
+    std::optional<SingleCutResult> cached;         // best cut on `current`
+  };
+
+  PortfolioSelectionResult result;
+  result.saved_per_bundle.assign(bundles.size(), 0.0);
+  ScopedSinks sinks(bundles, cache_counters);
+
+  std::vector<BlockState> state;
+  std::vector<DfgFingerprint> initial_fps;
+  std::vector<int> bundle_of;
+  for (std::size_t bi = 0; bi < bundles.size(); ++bi) {
+    for (std::size_t k = 0; k < bundles[bi].blocks.size(); ++k) {
+      BlockState s;
+      s.bundle = static_cast<int>(bi);
+      s.block = static_cast<int>(k);
+      s.current = bundles[bi].blocks[k];
+      s.origin.resize(s.current.num_nodes());
+      for (std::size_t i = 0; i < s.current.num_nodes(); ++i) s.origin[i] = {i};
+      s.fp = dfg_fingerprint(s.current);
+      initial_fps.push_back(s.fp);
+      bundle_of.push_back(s.bundle);
+      state.push_back(std::move(s));
+    }
+  }
+  result.shared_kernels = count_shared_kernels(initial_fps, bundle_of);
+
+  for (int round = 0; round < num_instructions; ++round) {
+    // Identify on every block whose memo was invalidated by a collapse (all
+    // of them in round 0). The searches are independent; stats merge in
+    // (bundle, block) order so the output is identical for any thread count.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      BlockState& s = state[i];
+      if (s.cached) continue;
+      if (s.fp_dirty) {
+        s.fp = dfg_fingerprint(s.current);  // linear, dwarfed by the search
+        s.fp_dirty = false;
+      }
+      pending.push_back(i);
+    }
+    // Shared kernels cost one enumeration: with a cache the duplicates are
+    // O(1) hits (and feed the cross-workload counters); without one, search
+    // a single representative per fingerprint and copy its result — what a
+    // hit would have returned — to the other instances.
+    std::vector<std::size_t> work;
+    std::unordered_map<DfgFingerprint, std::size_t, FingerprintHash> representative;
+    if (cache != nullptr) {
+      work = pending;
+    } else {
+      for (const std::size_t i : pending) {
+        if (representative.emplace(state[i].fp, i).second) work.push_back(i);
+      }
+    }
+    executor->parallel_for(work.size(), [&](std::size_t i) {
+      BlockState& s = state[work[i]];
+      s.cached = cached_single_cut(cache, s.current, latency, constraints,
+                                   sinks.for_bundle(static_cast<std::size_t>(s.bundle)));
+    });
+    for (const std::size_t i : pending) {
+      if (!state[i].cached) state[i].cached = state[representative.at(state[i].fp)].cached;
+      ++result.identification_calls;
+      result.stats += state[i].cached->stats;
+    }
+
+    // Group fingerprint-identical blocks: a cut found on one instance of a
+    // shared kernel applies to every instance, so the group's joint score is
+    // the weight-scaled merit summed over its members.
+    struct Group {
+      double score = 0.0;
+      std::vector<std::size_t> members;
+    };
+    std::unordered_map<DfgFingerprint, Group, FingerprintHash> groups;
+    std::vector<std::size_t> group_order;  // first member of each group, in order
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      auto [it, inserted] = groups.emplace(state[i].fp, Group{});
+      if (inserted) group_order.push_back(i);
+      it->second.members.push_back(i);
+      it->second.score +=
+          bundles[static_cast<std::size_t>(state[i].bundle)].weight * state[i].cached->merit;
+    }
+
+    // Accept the best-scoring group (first wins ties, like the
+    // single-application Iterative scheme).
+    const Group* best = nullptr;
+    double best_score = 0.0;
+    for (const std::size_t first : group_order) {
+      const Group& g = groups.at(state[first].fp);
+      if (g.score > best_score) {
+        best_score = g.score;
+        best = &g;
+      }
+    }
+    if (best == nullptr) break;  // no remaining cut has positive merit
+
+    const SingleCutResult& found = *state[best->members.front()].cached;
+    PortfolioSelectedCut chosen;
+    chosen.origin = {state[best->members.front()].bundle, state[best->members.front()].block};
+    chosen.merit = found.merit;
+    chosen.weighted_merit = best_score;
+    chosen.metrics = found.metrics;
+    for (const std::size_t m : best->members) {
+      BlockState& s = state[m];
+      const std::size_t original_nodes =
+          bundles[static_cast<std::size_t>(s.bundle)].blocks[static_cast<std::size_t>(s.block)]
+              .num_nodes();
+      // Members share one fingerprint, hence one graph shape and one best
+      // cut; each maps it through its own collapse history.
+      chosen.served.push_back({s.bundle, s.block});
+      chosen.served_cuts.push_back(map_to_original(s.cached->cut, original_nodes, s.origin));
+      result.saved_per_bundle[static_cast<std::size_t>(s.bundle)] += s.cached->merit;
+
+      const CollapseResult collapsed =
+          collapse(s.current, s.cached->cut, "isex" + std::to_string(round));
+      std::vector<std::vector<std::size_t>> new_origin(collapsed.graph.num_nodes());
+      for (std::size_t i = 0; i < s.origin.size(); ++i) {
+        const NodeId to = collapsed.old_to_new[i];
+        ISEX_ASSERT(to.valid(), "collapse dropped a node");
+        auto& dst = new_origin[to.index];
+        dst.insert(dst.end(), s.origin[i].begin(), s.origin[i].end());
+      }
+      s.current = std::move(collapsed.graph);
+      s.origin = std::move(new_origin);
+      s.fp_dirty = true;
+      s.cached.reset();
+    }
+    chosen.cut = chosen.served_cuts.front();
+    result.total_weighted_merit += best_score;
+    result.cuts.push_back(std::move(chosen));
+  }
+  return result;
+}
+
+PortfolioSelectionResult select_portfolio_merge(
+    std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
+    const Constraints& constraints, int num_instructions, double max_area_macs,
+    double area_grid_macs, Executor* executor, ResultCache* cache,
+    CacheCounters* cache_counters) {
+  check_bundles(bundles, num_instructions);
+  const bool area_budgeted = max_area_macs > 0;
+  ISEX_CHECK(!area_budgeted || area_grid_macs > 0, "area grid must be positive");
+
+  PortfolioSelectionResult result;
+  result.saved_per_bundle.assign(bundles.size(), 0.0);
+  ScopedSinks sinks(bundles, cache_counters);
+
+  // Initial-block fingerprints: the dedup key material and the
+  // shared-kernel counter.
+  std::vector<std::vector<DfgFingerprint>> block_fp(bundles.size());
+  std::vector<DfgFingerprint> flat_fps;
+  std::vector<int> bundle_of;
+  for (std::size_t bi = 0; bi < bundles.size(); ++bi) {
+    for (const Dfg& g : bundles[bi].blocks) {
+      block_fp[bi].push_back(dfg_fingerprint(g));
+      flat_fps.push_back(block_fp[bi].back());
+      bundle_of.push_back(static_cast<int>(bi));
+    }
+  }
+  result.shared_kernels = count_shared_kernels(flat_fps, bundle_of);
+
+  // Per-application candidate generation. Under an area budget the pool is
+  // generated with twice the slot count (like the single-application area
+  // scheme) so the knapsack can trade one large candidate for several small
+  // ones.
+  const int pool_slots = area_budgeted ? num_instructions * 2 : num_instructions;
+  struct Candidate {
+    double merit = 0.0;          // raw per-instance cycles saved
+    double weighted = 0.0;       // sum over instances of weight * merit
+    CutMetrics metrics;
+    std::vector<PortfolioBlockRef> served;
+    std::vector<BitVector> cuts;
+  };
+  std::vector<Candidate> candidates;
+  // (block fingerprint, cut bits) -> candidate index: identical kernels
+  // yield identical candidate cuts, which merge into one opcode.
+  std::unordered_map<DedupKey, std::size_t, DedupKeyHash> dedup;
+
+  for (std::size_t bi = 0; bi < bundles.size(); ++bi) {
+    SelectionResult pool =
+        select_iterative(bundles[bi].blocks, latency, constraints, pool_slots, executor,
+                         cache, sinks.for_bundle(bi));
+    result.identification_calls += pool.identification_calls;
+    result.stats += pool.stats;
+    for (SelectedCut& sc : pool.cuts) {
+      const DedupKey key{block_fp[bi][static_cast<std::size_t>(sc.block_index)],
+                         sc.cut.to_string()};
+      const PortfolioBlockRef ref{static_cast<int>(bi), sc.block_index};
+      const auto [it, inserted] = dedup.emplace(key, candidates.size());
+      if (inserted) {
+        Candidate c;
+        c.merit = sc.merit;
+        c.weighted = bundles[bi].weight * sc.merit;
+        c.metrics = sc.metrics;
+        c.served.push_back(ref);
+        c.cuts.push_back(std::move(sc.cut));
+        candidates.push_back(std::move(c));
+      } else {
+        Candidate& c = candidates[it->second];
+        c.weighted += bundles[bi].weight * sc.merit;
+        c.served.push_back(ref);
+        c.cuts.push_back(std::move(sc.cut));
+      }
+    }
+  }
+
+  // Shared selection: maximize weight-scaled merit under the joint opcode
+  // budget (and the joint area budget when one is set).
+  std::vector<std::size_t> chosen_order;
+  if (!area_budgeted) {
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return candidates[a].weighted > candidates[b].weighted;
+    });
+    for (const std::size_t i : order) {
+      if (chosen_order.size() >= static_cast<std::size_t>(num_instructions)) break;
+      chosen_order.push_back(i);
+    }
+  } else {
+    // The Section 9 knapsack on (weighted merit, AFU area) with the
+    // instruction-count cap, shared across the whole portfolio.
+    std::vector<double> values;
+    std::vector<double> areas;
+    for (const Candidate& c : candidates) {
+      values.push_back(c.weighted);
+      areas.push_back(c.metrics.area_macs);
+    }
+    chosen_order = knapsack_select_indices(values, areas, max_area_macs, area_grid_macs,
+                                           num_instructions);
+  }
+
+  for (const std::size_t i : chosen_order) {
+    Candidate& c = candidates[i];
+    PortfolioSelectedCut cut;
+    cut.origin = c.served.front();
+    cut.cut = c.cuts.front();
+    cut.merit = c.merit;
+    cut.weighted_merit = c.weighted;
+    cut.metrics = c.metrics;
+    cut.served = std::move(c.served);
+    cut.served_cuts = std::move(c.cuts);
+    for (const PortfolioBlockRef& ref : cut.served) {
+      result.saved_per_bundle[static_cast<std::size_t>(ref.bundle_index)] += cut.merit;
+    }
+    result.total_weighted_merit += cut.weighted_merit;
+    result.cuts.push_back(std::move(cut));
+  }
+  return result;
+}
+
+PortfolioSelectionResult portfolio_from_single(SelectionResult single, double weight) {
+  PortfolioSelectionResult result;
+  result.saved_per_bundle = {single.total_merit};
+  result.identification_calls = single.identification_calls;
+  result.stats = single.stats;
+  for (SelectedCut& sc : single.cuts) {
+    PortfolioSelectedCut cut;
+    cut.origin = {0, sc.block_index};
+    cut.merit = sc.merit;
+    cut.weighted_merit = weight * sc.merit;
+    cut.metrics = sc.metrics;
+    cut.served.push_back(cut.origin);
+    cut.cut = sc.cut;
+    cut.served_cuts.push_back(std::move(sc.cut));
+    result.total_weighted_merit += cut.weighted_merit;
+    result.cuts.push_back(std::move(cut));
+  }
+  return result;
+}
+
+SelectionResult portfolio_to_single(const PortfolioSelectionResult& result) {
+  SelectionResult single;
+  single.identification_calls = result.identification_calls;
+  single.stats = result.stats;
+  single.total_merit = result.saved_per_bundle.empty() ? 0.0 : result.saved_per_bundle[0];
+  for (const PortfolioSelectedCut& cut : result.cuts) {
+    for (std::size_t k = 0; k < cut.served.size(); ++k) {
+      ISEX_CHECK(cut.served[k].bundle_index == 0,
+                 "portfolio selection spans several workloads; it has no "
+                 "single-workload view");
+      SelectedCut sc;
+      sc.block_index = cut.served[k].block_index;
+      sc.cut = cut.served_cuts[k];
+      sc.merit = cut.merit;
+      sc.metrics = cut.metrics;
+      single.cuts.push_back(std::move(sc));
+    }
+  }
+  return single;
+}
+
+double portfolio_weighted_speedup(std::span<const WorkloadBundle> bundles,
+                                  std::span<const double> saved_per_bundle) {
+  ISEX_CHECK(bundles.size() == saved_per_bundle.size(),
+             "one saved-cycles entry per bundle required");
+  double before = 0.0;
+  double after = 0.0;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    before += bundles[i].weight * bundles[i].base_cycles;
+    after += bundles[i].weight * (bundles[i].base_cycles - saved_per_bundle[i]);
+  }
+  if (before <= 0 || after <= 0) return 1.0;
+  return before / after;
+}
+
+}  // namespace isex

@@ -1,0 +1,137 @@
+// Portfolio selection (multi-application extension of paper Problem 2): one
+// instruction set serving N weighted applications under a shared opcode
+// budget — the deployment reality of ASIPs, where a single extension ships
+// for a whole workload mix (cf. Ragel et al., "Instruction-set Selection for
+// Multi-application based ASIP Design").
+//
+// Two strategies are provided:
+//   * joint-iterative — the paper's Iterative scheme (Section 6.3)
+//     generalized across applications: every round identifies the best cut
+//     of every live block of every application, groups fingerprint-identical
+//     blocks so a kernel shared by several applications is scored (and,
+//     through the ResultCache, enumerated) once, accepts the group
+//     maximizing the *weight-scaled* total cycles saved, and collapses it in
+//     every application it serves.
+//   * merge-then-select — per-application candidate generation (Iterative,
+//     generous slot count), fingerprint-keyed deduplication of identical
+//     (block, cut) candidates across applications, then a shared
+//     knapsack-style selection under the joint opcode budget and an
+//     optional joint AFU-area budget.
+//
+// Selections attribute every chosen instruction to the (application, block)
+// instances it serves, and report per-application cycles saved so the
+// portfolio-level weighted speedup is reconstructible.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "support/parallel.hpp"
+
+namespace isex {
+
+class ResultCache;
+struct CacheCounters;
+
+/// One application of a portfolio, as the selection schemes consume it: its
+/// finalized, frequency-weighted G+ block graphs plus the portfolio weight
+/// that scales its cycle savings in joint decisions.
+struct WorkloadBundle {
+  /// Workload name or caller label; used as the cache attribution scope.
+  std::string name;
+  std::span<const Dfg> blocks;
+  /// Relative importance (> 0); a merit of m cycles saved in this
+  /// application contributes weight * m to joint objectives.
+  double weight = 1.0;
+  /// Measured (or statically estimated) base cycle count of one run.
+  double base_cycles = 0.0;
+};
+
+/// Position of one block instance inside a portfolio.
+struct PortfolioBlockRef {
+  int bundle_index = 0;
+  int block_index = 0;
+
+  friend bool operator==(const PortfolioBlockRef&, const PortfolioBlockRef&) = default;
+};
+
+/// One selected instruction. A single instruction may serve several block
+/// instances — the same kernel appearing in several applications (or twice
+/// in one) — so the serving instances and their per-instance cuts are
+/// carried alongside the defining (origin) instance.
+struct PortfolioSelectedCut {
+  /// Where the cut was found (always the first serving instance).
+  PortfolioBlockRef origin;
+  /// The cut over the origin block's original node ids.
+  BitVector cut;
+  /// Raw freq-weighted cycles saved in *one* serving block (identical for
+  /// every instance: they are fingerprint-identical graphs).
+  double merit = 0.0;
+  /// Portfolio objective contribution: sum over serving instances of
+  /// bundle-weight * merit.
+  double weighted_merit = 0.0;
+  CutMetrics metrics;
+  /// Every (bundle, block) instance this instruction serves, origin first.
+  std::vector<PortfolioBlockRef> served;
+  /// Parallel to `served`: the cut over that instance's original node ids.
+  std::vector<BitVector> served_cuts;
+};
+
+struct PortfolioSelectionResult {
+  std::vector<PortfolioSelectedCut> cuts;
+  /// Sum of weighted_merit over `cuts` — the joint objective value.
+  double total_weighted_merit = 0.0;
+  /// Raw (unweighted) cycles saved per bundle, indexed like the input span.
+  std::vector<double> saved_per_bundle;
+  std::uint64_t identification_calls = 0;
+  EnumerationStats stats;
+  /// Distinct block fingerprints appearing in more than one bundle of the
+  /// input portfolio (counted before any selection round).
+  int shared_kernels = 0;
+};
+
+/// Joint-iterative strategy. Each round runs single-cut identification on
+/// every live block — identical kernels cost one enumeration either way:
+/// through `cache` as O(1) hits (counted as cross-workload hits in the
+/// `cache_counters` sink), or uncached by searching one representative per
+/// fingerprint — scores fingerprint-identical groups by
+/// weight-scaled total merit, accepts the best group and collapses its cut
+/// in every member. Stops after `num_instructions` rounds (the shared
+/// opcode budget) or when no cut has positive merit. Deterministic for any
+/// executor thread count.
+PortfolioSelectionResult select_portfolio_iterative(
+    std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
+    const Constraints& constraints, int num_instructions, Executor* executor = nullptr,
+    ResultCache* cache = nullptr, CacheCounters* cache_counters = nullptr);
+
+/// Merge-then-select strategy: per-bundle Iterative candidate generation,
+/// fingerprint-keyed dedup of identical (block, cut) candidates, then a
+/// selection maximizing weight-scaled merit under the shared
+/// `num_instructions` budget. `max_area_macs > 0` additionally applies a
+/// joint AFU silicon budget via a 0/1 knapsack (grid resolution
+/// `area_grid_macs`); `max_area_macs <= 0` means unlimited area.
+PortfolioSelectionResult select_portfolio_merge(
+    std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
+    const Constraints& constraints, int num_instructions, double max_area_macs = 0.0,
+    double area_grid_macs = 0.002, Executor* executor = nullptr, ResultCache* cache = nullptr,
+    CacheCounters* cache_counters = nullptr);
+
+/// Wraps a single-application SelectionResult as a one-bundle portfolio
+/// selection (weight-scaled); the Explorer uses it to route the legacy
+/// schemes through the per-portfolio SelectionScheme interface.
+PortfolioSelectionResult portfolio_from_single(SelectionResult single, double weight);
+
+/// Inverse view for a portfolio selection whose cuts all live in bundle 0:
+/// expands every serving instance into a SelectedCut (so rewriting applies
+/// the instruction at every site). Exact round-trip of
+/// portfolio_from_single. Throws when a cut serves another bundle.
+SelectionResult portfolio_to_single(const PortfolioSelectionResult& result);
+
+/// Portfolio figure of merit: weighted base cycles over weighted remaining
+/// cycles, sum_i w_i * base_i / sum_i w_i * (base_i - saved_i).
+double portfolio_weighted_speedup(std::span<const WorkloadBundle> bundles,
+                                  std::span<const double> saved_per_bundle);
+
+}  // namespace isex

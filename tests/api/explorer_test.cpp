@@ -114,13 +114,33 @@ TEST(SchemeRegistry, BuiltinsRegistered) {
   }
 }
 
-TEST(SchemeRegistry, UnknownSchemeThrowsWithListing) {
+TEST(SchemeRegistry, UnknownSchemeThrowsStructuredErrorListingEveryName) {
   try {
     SchemeRegistry::global().get("does-not-exist");
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("iterative"), std::string::npos);
+    FAIL() << "expected SchemeNotFoundError";
+  } catch (const SchemeNotFoundError& e) {
+    // The structured fields carry the failed name and the full (sorted)
+    // listing, so callers need not parse the message...
+    EXPECT_EQ(e.requested(), "does-not-exist");
+    EXPECT_EQ(e.registered(), SchemeRegistry::global().names());
+    // ...but the message also names every registered scheme for humans.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does-not-exist"), std::string::npos);
+    for (const std::string& name : SchemeRegistry::global().names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
   }
+  // SchemeNotFoundError stays catchable as the library-wide Error.
+  EXPECT_THROW(SchemeRegistry::global().get(""), Error);
+}
+
+TEST(SchemeRegistry, PortfolioCapabilityIsDiscoverable) {
+  const std::vector<std::string> portfolio = SchemeRegistry::global().portfolio_names();
+  EXPECT_EQ(portfolio, (std::vector<std::string>{"joint-iterative", "merge-then-select"}));
+  for (const std::string& name : portfolio) {
+    EXPECT_TRUE(SchemeRegistry::global().get(name).supports_portfolio()) << name;
+  }
+  EXPECT_FALSE(SchemeRegistry::global().get("iterative").supports_portfolio());
 }
 
 namespace {
@@ -135,9 +155,10 @@ class FirstChainScheme : public SelectionScheme {
     static const std::string d = "test scheme: best single cut of block 0";
     return d;
   }
-  SelectionResult select(const SchemeInputs& in) const override {
+  PortfolioSelectionResult select(const SchemeInputs& in) const override {
+    const std::span<const Dfg> blocks = in.single_workload_blocks(name());
     SelectionResult r;
-    const SingleCutResult best = find_best_cut(in.blocks[0], in.latency, in.constraints);
+    const SingleCutResult best = find_best_cut(blocks[0], in.latency, in.constraints);
     if (best.merit > 0) {
       SelectedCut sc;
       sc.block_index = 0;
@@ -149,7 +170,7 @@ class FirstChainScheme : public SelectionScheme {
     }
     r.identification_calls = 1;
     r.stats = best.stats;
-    return r;
+    return portfolio_from_single(std::move(r), in.bundles[0].weight);
   }
 };
 
@@ -344,9 +365,67 @@ TEST(ExplorationReport, JsonRoundTripsByteIdentically) {
   EXPECT_EQ(back.validation.rewritten, report.validation.rewritten);
 }
 
+TEST(ExplorationReport, JsonRoundTripsForEveryRegisteredSchemeWithNonDefaultFields) {
+  // Property-style sweep: every scheme the registry knows (including the
+  // portfolio-capable ones running as one-bundle portfolios) must produce a
+  // report that serializes byte-stably with non-default request fields —
+  // cache opt-out, explicit thread count, tweaked constraints — preserved.
+  const Explorer explorer(kLat);
+  std::vector<Dfg> blocks;
+  blocks.push_back(chains_block(10.0, 2));
+  blocks.push_back(chains_block(25.0, 3));
+  for (const std::string& scheme : SchemeRegistry::global().names()) {
+    ExplorationRequest request;
+    request.graphs = blocks;
+    request.scheme = scheme;
+    request.constraints = cons(3, 2);
+    request.constraints.prune_permanent_inputs = true;
+    request.constraints.search_budget = 999999;
+    request.num_instructions = 3;
+    request.num_threads = 2;
+    request.use_cache = false;
+
+    const ExplorationReport report = explorer.run(request);
+    const std::string text = report.to_json_string();
+    const ExplorationReport back = ExplorationReport::from_json(Json::parse(text));
+    EXPECT_EQ(back.to_json_string(), text) << scheme;
+
+    EXPECT_EQ(back.scheme, scheme);
+    EXPECT_EQ(back.num_threads, 2) << scheme;
+    EXPECT_FALSE(back.cache.enabled) << scheme;
+    EXPECT_EQ(back.cache.counters.hits, 0u) << scheme;
+    EXPECT_TRUE(back.constraints.prune_permanent_inputs) << scheme;
+    EXPECT_EQ(back.constraints.search_budget, 999999u) << scheme;
+    EXPECT_EQ(back.num_instructions, 3) << scheme;
+    EXPECT_EQ(back.cuts.size(), report.cuts.size()) << scheme;
+  }
+}
+
 TEST(ExplorationReport, FromJsonRejectsMissingFields) {
   EXPECT_THROW(ExplorationReport::from_json(Json::parse("{}")), Error);
   EXPECT_THROW(ExplorationReport::from_json(Json::parse("{\"workload\": \"x\"}")), Error);
+}
+
+TEST(ExplorationReport, FromJsonAcceptsReportsSavedBeforeCrossWorkloadCounters) {
+  // Report files archived before the portfolio API have no
+  // cache.cross_workload_hits key; they must stay loadable (counter 0).
+  const Explorer explorer(kLat);
+  ExplorationRequest request;
+  request.graphs.push_back(chains_block(10.0, 2));
+  const Json serialized = explorer.run(request).to_json();
+
+  Json old_cache = Json::object();
+  for (const auto& [key, value] : serialized.at("cache").as_object()) {
+    if (key != "cross_workload_hits") old_cache.set(key, value);
+  }
+  Json old_report = Json::object();
+  for (const auto& [key, value] : serialized.as_object()) {
+    old_report.set(key, key == "cache" ? old_cache : value);
+  }
+
+  const ExplorationReport back = ExplorationReport::from_json(old_report);
+  EXPECT_EQ(back.cache.counters.cross_workload_hits, 0u);
+  EXPECT_FALSE(back.cuts.empty());
 }
 
 }  // namespace

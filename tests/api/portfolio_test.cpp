@@ -1,0 +1,301 @@
+// The multi-application Explorer surface: batched requests over weighted
+// workloads, the portfolio-level report (JSON round-trip, attribution,
+// sharing counters), equivalence of one-workload portfolios with the
+// single-workload pipeline, and the headline acceptance property — a shared
+// instruction set must beat every single application's set on the whole
+// portfolio.
+#include "api/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex {
+namespace {
+
+/// A block with `chains` independent profitable mul+add chains.
+Dfg chains_block(double freq, int chains) {
+  Dfg g;
+  for (int i = 0; i < chains; ++i) {
+    const NodeId a = g.add_input();
+    const NodeId b = g.add_input();
+    const NodeId m = g.add_op(Opcode::mul);
+    const NodeId s = g.add_op(Opcode::add);
+    g.add_edge(a, m);
+    g.add_edge(b, m);
+    g.add_edge(m, s);
+    g.add_edge(a, s);
+    g.add_output(s);
+  }
+  g.set_exec_freq(freq);
+  g.finalize();
+  return g;
+}
+
+MultiExplorationRequest three_app_request(const std::string& scheme) {
+  MultiExplorationRequest request;
+  request.workloads = {{.workload = "adpcmdecode", .weight = 2.0},
+                       {.workload = "crc32", .weight = 1.0},
+                       {.workload = "gsm", .weight = 1.0}};
+  request.scheme = scheme;
+  request.num_instructions = 4;  // shared opcode budget
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  return request;
+}
+
+const std::vector<std::string> kPortfolioSchemes = {"joint-iterative", "merge-then-select"};
+
+// --- acceptance: shared set beats every single-application set ---------------
+
+TEST(Portfolio, SharedSetBeatsEverySingleApplicationSetOnThePortfolio) {
+  const Explorer explorer;
+  const MultiExplorationRequest request = three_app_request("joint-iterative");
+
+  // Weighted portfolio speedup achieved by the set selected for application
+  // i alone: only application i benefits (these three kernels share no
+  // blocks, which the portfolio run asserts below).
+  double weighted_base = 0.0;
+  std::vector<double> single_speedups;
+  std::vector<double> bases;
+  for (const PortfolioWorkloadRequest& w : request.workloads) {
+    ExplorationRequest single;
+    single.workload = w.workload;
+    single.scheme = "iterative";
+    single.constraints = request.constraints;
+    single.num_instructions = request.num_instructions;
+    const ExplorationReport report = explorer.run(single);
+    bases.push_back(report.base_cycles);
+    weighted_base += w.weight * report.base_cycles;
+    single_speedups.push_back(report.total_merit);  // raw saved, fixed below
+  }
+  std::vector<double> single_on_portfolio;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    double weighted_after = 0.0;
+    for (std::size_t j = 0; j < bases.size(); ++j) {
+      const double saved = i == j ? single_speedups[j] : 0.0;
+      weighted_after += request.workloads[j].weight * (bases[j] - saved);
+    }
+    single_on_portfolio.push_back(weighted_base / weighted_after);
+  }
+  const double best_single =
+      *std::max_element(single_on_portfolio.begin(), single_on_portfolio.end());
+
+  for (const std::string& scheme : kPortfolioSchemes) {
+    MultiExplorationRequest batched = request;
+    batched.scheme = scheme;
+    const PortfolioReport report = explorer.run_portfolio(batched);
+    EXPECT_EQ(report.sharing.shared_kernels, 0) << scheme;
+    EXPECT_GE(report.weighted_speedup, best_single - 1e-12) << scheme;
+    EXPECT_GT(report.weighted_speedup, 1.0) << scheme;
+    // Every application's base cycles match its single-workload profile and
+    // the shared budget is respected.
+    ASSERT_EQ(report.workloads.size(), 3u) << scheme;
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(report.workloads[i].base_cycles, bases[i]) << scheme;
+    }
+    EXPECT_LE(report.cuts.size(), static_cast<std::size_t>(batched.num_instructions))
+        << scheme;
+  }
+}
+
+// --- single-workload adapter equivalence -------------------------------------
+
+TEST(Portfolio, OneWorkloadPortfolioMatchesTheSingleWorkloadPipeline) {
+  const Explorer explorer;
+  ExplorationRequest single;
+  single.workload = "crc32";
+  single.scheme = "iterative";
+  single.constraints.max_inputs = 4;
+  single.constraints.max_outputs = 2;
+  single.num_instructions = 4;
+  const ExplorationReport expected = explorer.run(single);
+
+  MultiExplorationRequest batched;
+  batched.workloads = {{.workload = "crc32"}};
+  batched.scheme = "iterative";  // single-application scheme, one bundle: OK
+  batched.constraints = single.constraints;
+  batched.num_instructions = 4;
+  const PortfolioReport report = explorer.run_portfolio(batched);
+
+  ASSERT_EQ(report.workloads.size(), 1u);
+  EXPECT_EQ(report.workloads[0].base_cycles, expected.base_cycles);
+  EXPECT_EQ(report.workloads[0].saved_cycles, expected.total_merit);
+  EXPECT_EQ(report.workloads[0].estimated_speedup, expected.estimated_speedup);
+  EXPECT_EQ(report.weighted_speedup, expected.estimated_speedup);
+  ASSERT_EQ(report.cuts.size(), expected.cuts.size());
+  for (std::size_t i = 0; i < expected.cuts.size(); ++i) {
+    EXPECT_EQ(report.cuts[i].block_index, expected.cuts[i].block_index);
+    EXPECT_EQ(report.cuts[i].nodes, expected.cuts[i].nodes);
+    EXPECT_EQ(report.cuts[i].merit, expected.cuts[i].merit);
+    EXPECT_EQ(report.cuts[i].served.size(), 1u);
+  }
+  EXPECT_EQ(report.identification_calls, expected.identification_calls);
+  EXPECT_EQ(report.stats.cuts_considered, expected.stats.cuts_considered);
+}
+
+TEST(Portfolio, JointIterativeThroughTheSingleWorkloadPipeline) {
+  // Portfolio-capable schemes are usable from plain ExplorationRequests: a
+  // one-bundle portfolio, converted back without loss.
+  const Explorer explorer;
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.scheme = "joint-iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.num_instructions = 4;
+  const ExplorationReport joint = explorer.run(request);
+  request.scheme = "iterative";
+  const ExplorationReport classic = explorer.run(request);
+  // crc32 has no duplicated blocks, so the generalized scheme degenerates
+  // to the paper's Iterative selection exactly.
+  ASSERT_EQ(joint.cuts.size(), classic.cuts.size());
+  for (std::size_t i = 0; i < classic.cuts.size(); ++i) {
+    EXPECT_EQ(joint.cuts[i].nodes, classic.cuts[i].nodes);
+    EXPECT_EQ(joint.cuts[i].merit, classic.cuts[i].merit);
+  }
+  EXPECT_EQ(joint.total_merit, classic.total_merit);
+}
+
+// --- cross-workload sharing --------------------------------------------------
+
+TEST(Portfolio, SharedKernelsAreServedOnceAndCounted) {
+  const Explorer explorer;
+  MultiExplorationRequest request;
+  PortfolioWorkloadRequest a;
+  a.label = "appA";
+  a.graphs.push_back(chains_block(10.0, 2));
+  PortfolioWorkloadRequest b;
+  b.label = "appB";
+  b.weight = 2.0;
+  b.graphs.push_back(chains_block(10.0, 2));  // identical kernel
+  b.graphs.push_back(chains_block(4.0, 1));   // plus one of its own
+  request.workloads = {a, b};
+  request.scheme = "joint-iterative";
+  request.num_instructions = 3;
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 1;
+
+  const PortfolioReport report = explorer.run_portfolio(request);
+  EXPECT_EQ(report.sharing.shared_kernels, 1);
+  EXPECT_GT(report.sharing.cross_workload_hits, 0u);
+  EXPECT_EQ(report.sharing.cross_workload_hits, report.cache.counters.cross_workload_hits);
+  ASSERT_FALSE(report.cuts.empty());
+  // The shared kernel's instructions serve both applications.
+  bool any_shared_instruction = false;
+  for (const PortfolioCutReport& cut : report.cuts) {
+    if (cut.served.size() == 2u) {
+      any_shared_instruction = true;
+      EXPECT_NE(cut.served[0].workload_index, cut.served[1].workload_index);
+    }
+  }
+  EXPECT_TRUE(any_shared_instruction);
+  EXPECT_EQ(report.workloads[0].workload, "appA");
+  EXPECT_EQ(report.workloads[1].workload, "appB");
+
+  // Opting out of the cache drops the hit counters but not the selection.
+  MultiExplorationRequest uncached = request;
+  uncached.use_cache = false;
+  const PortfolioReport cold = explorer.run_portfolio(uncached);
+  EXPECT_EQ(cold.sharing.cross_workload_hits, 0u);
+  EXPECT_EQ(cold.sharing.shared_kernels, 1);
+  ASSERT_EQ(cold.cuts.size(), report.cuts.size());
+  for (std::size_t i = 0; i < report.cuts.size(); ++i) {
+    EXPECT_EQ(cold.cuts[i].nodes, report.cuts[i].nodes);
+    EXPECT_EQ(cold.cuts[i].weighted_merit, report.cuts[i].weighted_merit);
+  }
+}
+
+// --- parallel determinism ----------------------------------------------------
+
+TEST(Portfolio, ParallelPortfolioMatchesSerial) {
+  const Explorer explorer;
+  for (const std::string& scheme : kPortfolioSchemes) {
+    MultiExplorationRequest request = three_app_request(scheme);
+    request.num_threads = 1;
+    const PortfolioReport serial = explorer.run_portfolio(request);
+    request.num_threads = 4;
+    const PortfolioReport parallel = explorer.run_portfolio(request);
+
+    const auto stable_dump = [](const PortfolioReport& report) {
+      const Json serialized = report.to_json();
+      Json filtered = Json::object();
+      for (const auto& [key, value] : serialized.as_object()) {
+        if (key != "timings" && key != "cache" && key != "num_threads" &&
+            key != "sharing") {
+          filtered.set(key, value);
+        }
+      }
+      return filtered.dump();
+    };
+    EXPECT_EQ(stable_dump(serial), stable_dump(parallel)) << scheme;
+    EXPECT_EQ(parallel.num_threads, 4) << scheme;
+  }
+}
+
+// --- report JSON round-trip --------------------------------------------------
+
+TEST(PortfolioReport, JsonRoundTripsByteIdentically) {
+  const Explorer explorer;
+  for (const std::string& scheme : kPortfolioSchemes) {
+    MultiExplorationRequest request = three_app_request(scheme);
+    request.max_area_macs = scheme == "merge-then-select" ? 8.0 : 0.0;
+    const PortfolioReport report = explorer.run_portfolio(request);
+    ASSERT_FALSE(report.cuts.empty()) << scheme;
+
+    const std::string text = report.to_json_string();
+    const PortfolioReport back = PortfolioReport::from_json(Json::parse(text));
+    EXPECT_EQ(back.to_json_string(), text) << scheme;
+
+    EXPECT_EQ(back.scheme, scheme);
+    EXPECT_EQ(back.workloads.size(), report.workloads.size());
+    EXPECT_EQ(back.cuts.size(), report.cuts.size());
+    EXPECT_EQ(back.weighted_speedup, report.weighted_speedup);
+    EXPECT_EQ(back.sharing.shared_kernels, report.sharing.shared_kernels);
+    EXPECT_EQ(back.cache.counters.cross_workload_hits,
+              report.cache.counters.cross_workload_hits);
+    EXPECT_EQ(back.stats.cuts_considered, report.stats.cuts_considered);
+  }
+}
+
+TEST(PortfolioReport, FromJsonRejectsMissingFields) {
+  EXPECT_THROW(PortfolioReport::from_json(Json::parse("{}")), Error);
+  EXPECT_THROW(PortfolioReport::from_json(Json::parse("{\"scheme\": \"x\"}")), Error);
+}
+
+// --- request validation ------------------------------------------------------
+
+TEST(Portfolio, RejectsMalformedRequests) {
+  const Explorer explorer;
+  MultiExplorationRequest empty;
+  EXPECT_THROW(explorer.run_portfolio(empty), Error);
+
+  MultiExplorationRequest bad_weight;
+  bad_weight.workloads = {{.workload = "crc32", .weight = -1.0}};
+  EXPECT_THROW(explorer.run_portfolio(bad_weight), Error);
+
+  MultiExplorationRequest no_graphs;
+  no_graphs.workloads.emplace_back();  // neither a name nor graphs
+  EXPECT_THROW(explorer.run_portfolio(no_graphs), Error);
+
+  MultiExplorationRequest unknown = three_app_request("no-such-scheme");
+  EXPECT_THROW(explorer.run_portfolio(unknown), SchemeNotFoundError);
+}
+
+TEST(Portfolio, SingleApplicationSchemesRejectRealPortfolios) {
+  const Explorer explorer;
+  const MultiExplorationRequest request = three_app_request("iterative");
+  try {
+    explorer.run_portfolio(request);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("iterative"), std::string::npos);
+    // The failure must name the portfolio-capable alternatives.
+    EXPECT_NE(what.find("joint-iterative"), std::string::npos);
+    EXPECT_NE(what.find("merge-then-select"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace isex

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "api/explorer.hpp"
 #include "dfg/random_dag.hpp"
@@ -187,6 +189,41 @@ TEST(ResultCache, LoadFileReturnsFalseOnMissingFile) {
   ResultCache cache;
   EXPECT_FALSE(cache.load_file(testing::TempDir() + "isex_no_such_cache.json"));
   EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(ResultCache, LoadFileThrowsOnTruncatedFileInsteadOfSilentlyColdStarting) {
+  // Regression for the constraint_sweep --cache contract: a warm-start file
+  // cut short mid-write (disk full, interrupted copy) must fail the load
+  // loudly — callers decide whether to abort or to warn and start cold —
+  // and must leave the table empty rather than partially merged.
+  const std::vector<Dfg> blocks = random_blocks(29, 2, 10);
+  ResultCache cache;
+  for (const Dfg& g : blocks) cache.single_cut(g, kLat, cons(4, 2));
+  const std::string path = testing::TempDir() + "isex_cache_truncated.json";
+  cache.save_file(path);
+
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    full = text.str();
+  }
+  ASSERT_GT(full.size(), 10u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() / 2);  // chop mid-entry
+  }
+
+  ResultCache warm;
+  try {
+    warm.load_file(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("json"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(warm.num_entries(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(ResultCache, MergeJsonRejectsMalformedPayloads) {

@@ -1,0 +1,298 @@
+// Portfolio selection core: the single-workload round-trip must be exact,
+// joint-iterative must degenerate to the paper's Iterative scheme on one
+// application, fingerprint-identical kernels must be grouped/deduped across
+// applications (and identified once through the cache, counted as
+// cross-workload hits), and weights must steer joint decisions.
+#include "core/portfolio_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/result_cache.hpp"
+#include "core/iterative_select.hpp"
+#include "dfg/random_dag.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+Constraints cons(int nin, int nout) {
+  Constraints c;
+  c.max_inputs = nin;
+  c.max_outputs = nout;
+  return c;
+}
+
+/// A block with `chains` independent profitable mul+add chains.
+Dfg chains_block(double freq, int chains) {
+  Dfg g;
+  for (int i = 0; i < chains; ++i) {
+    const NodeId a = g.add_input();
+    const NodeId b = g.add_input();
+    const NodeId m = g.add_op(Opcode::mul);
+    const NodeId s = g.add_op(Opcode::add);
+    g.add_edge(a, m);
+    g.add_edge(b, m);
+    g.add_edge(m, s);
+    g.add_edge(a, s);
+    g.add_output(s);
+  }
+  g.set_exec_freq(freq);
+  g.finalize();
+  return g;
+}
+
+std::vector<Dfg> random_blocks(std::uint64_t seed, int count, int num_ops) {
+  std::vector<Dfg> blocks;
+  for (int b = 0; b < count; ++b) {
+    RandomDagConfig cfg;
+    cfg.num_ops = num_ops;
+    cfg.seed = seed * 977 + static_cast<std::uint64_t>(b);
+    Dfg g = random_dag(cfg);
+    g.set_exec_freq(1.0 + static_cast<double>(b) * 2);
+    blocks.push_back(std::move(g));
+  }
+  return blocks;
+}
+
+void expect_identical(const PortfolioSelectionResult& a, const PortfolioSelectionResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.cuts.size(), b.cuts.size()) << label;
+  for (std::size_t i = 0; i < a.cuts.size(); ++i) {
+    EXPECT_EQ(a.cuts[i].origin, b.cuts[i].origin) << label << " cut " << i;
+    EXPECT_EQ(a.cuts[i].cut.to_string(), b.cuts[i].cut.to_string()) << label << " cut " << i;
+    EXPECT_EQ(a.cuts[i].merit, b.cuts[i].merit) << label << " cut " << i;
+    EXPECT_EQ(a.cuts[i].weighted_merit, b.cuts[i].weighted_merit) << label << " cut " << i;
+    ASSERT_EQ(a.cuts[i].served.size(), b.cuts[i].served.size()) << label << " cut " << i;
+    for (std::size_t k = 0; k < a.cuts[i].served.size(); ++k) {
+      EXPECT_EQ(a.cuts[i].served[k], b.cuts[i].served[k]) << label << " cut " << i;
+      EXPECT_EQ(a.cuts[i].served_cuts[k].to_string(), b.cuts[i].served_cuts[k].to_string())
+          << label << " cut " << i;
+    }
+  }
+  EXPECT_EQ(a.total_weighted_merit, b.total_weighted_merit) << label;
+  EXPECT_EQ(a.saved_per_bundle, b.saved_per_bundle) << label;
+  EXPECT_EQ(a.identification_calls, b.identification_calls) << label;
+  EXPECT_EQ(a.stats.cuts_considered, b.stats.cuts_considered) << label;
+  EXPECT_EQ(a.shared_kernels, b.shared_kernels) << label;
+}
+
+// --- single-workload round-trip ---------------------------------------------
+
+TEST(PortfolioConversions, FromSingleToSingleIsExact) {
+  std::vector<Dfg> blocks;
+  blocks.push_back(chains_block(10.0, 2));
+  blocks.push_back(chains_block(50.0, 1));
+  const SelectionResult single = select_iterative(blocks, kLat, cons(4, 1), 4);
+  ASSERT_FALSE(single.cuts.empty());
+
+  const PortfolioSelectionResult portfolio = portfolio_from_single(single, 1.0);
+  EXPECT_EQ(portfolio.saved_per_bundle.size(), 1u);
+  EXPECT_EQ(portfolio.saved_per_bundle[0], single.total_merit);
+  EXPECT_EQ(portfolio.total_weighted_merit, single.total_merit);  // weight 1
+
+  const SelectionResult back = portfolio_to_single(portfolio);
+  ASSERT_EQ(back.cuts.size(), single.cuts.size());
+  for (std::size_t i = 0; i < single.cuts.size(); ++i) {
+    EXPECT_EQ(back.cuts[i].block_index, single.cuts[i].block_index);
+    EXPECT_EQ(back.cuts[i].cut.to_string(), single.cuts[i].cut.to_string());
+    EXPECT_EQ(back.cuts[i].merit, single.cuts[i].merit);
+  }
+  EXPECT_EQ(back.total_merit, single.total_merit);
+  EXPECT_EQ(back.identification_calls, single.identification_calls);
+  EXPECT_EQ(back.stats.cuts_considered, single.stats.cuts_considered);
+}
+
+TEST(PortfolioConversions, ToSingleRejectsMultiWorkloadSelections) {
+  PortfolioSelectionResult r;
+  PortfolioSelectedCut cut;
+  cut.origin = {1, 0};
+  cut.served.push_back({1, 0});
+  cut.served_cuts.emplace_back(4);
+  r.cuts.push_back(std::move(cut));
+  r.saved_per_bundle = {0.0, 1.0};
+  EXPECT_THROW(portfolio_to_single(r), Error);
+}
+
+// --- joint-iterative ---------------------------------------------------------
+
+TEST(JointIterative, MatchesIterativeOnOneBundle) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::vector<Dfg> blocks = random_blocks(seed, 4, 10);
+    const SelectionResult single = select_iterative(blocks, kLat, cons(3, 2), 4);
+
+    const WorkloadBundle bundle{"app", blocks, 1.0, 1000.0};
+    const PortfolioSelectionResult joint =
+        select_portfolio_iterative({&bundle, 1}, kLat, cons(3, 2), 4);
+
+    ASSERT_EQ(joint.cuts.size(), single.cuts.size()) << seed;
+    for (std::size_t i = 0; i < single.cuts.size(); ++i) {
+      EXPECT_EQ(joint.cuts[i].origin.block_index, single.cuts[i].block_index) << seed;
+      EXPECT_EQ(joint.cuts[i].cut.to_string(), single.cuts[i].cut.to_string()) << seed;
+      EXPECT_EQ(joint.cuts[i].merit, single.cuts[i].merit) << seed;
+    }
+    EXPECT_EQ(joint.saved_per_bundle[0], single.total_merit) << seed;
+    EXPECT_EQ(joint.identification_calls, single.identification_calls) << seed;
+    EXPECT_EQ(joint.stats.cuts_considered, single.stats.cuts_considered) << seed;
+  }
+}
+
+TEST(JointIterative, GroupsIdenticalKernelsAcrossBundles) {
+  // The same kernel (same graph, same profile) appears in two applications:
+  // one selection round must serve both instances with one instruction.
+  const std::vector<Dfg> shared = {chains_block(10.0, 2)};
+  const std::vector<WorkloadBundle> bundles = {{"appA", shared, 1.0, 500.0},
+                                               {"appB", shared, 3.0, 800.0}};
+  const PortfolioSelectionResult r =
+      select_portfolio_iterative(bundles, kLat, cons(4, 1), 2);
+
+  EXPECT_EQ(r.shared_kernels, 1);
+  ASSERT_FALSE(r.cuts.empty());
+  for (const PortfolioSelectedCut& cut : r.cuts) {
+    ASSERT_EQ(cut.served.size(), 2u);
+    EXPECT_EQ(cut.served[0], (PortfolioBlockRef{0, 0}));
+    EXPECT_EQ(cut.served[1], (PortfolioBlockRef{1, 0}));
+    // Identical graphs, identical collapse history: the per-instance cuts
+    // agree, and the joint score is (w_A + w_B) * merit.
+    EXPECT_EQ(cut.served_cuts[0].to_string(), cut.served_cuts[1].to_string());
+    EXPECT_DOUBLE_EQ(cut.weighted_merit, 4.0 * cut.merit);
+  }
+  EXPECT_EQ(r.saved_per_bundle[0], r.saved_per_bundle[1]);
+  EXPECT_GT(r.saved_per_bundle[0], 0.0);
+}
+
+TEST(JointIterative, WeightSteersTheSharedBudget) {
+  // One opcode slot, two applications wanting different cuts: the heavier
+  // application must win.
+  const std::vector<Dfg> big = {chains_block(10.0, 3)};    // more raw merit
+  const std::vector<Dfg> small = {chains_block(6.0, 1)};   // less raw merit
+  std::vector<WorkloadBundle> bundles = {{"big", big, 1.0, 500.0},
+                                         {"small", small, 1.0, 500.0}};
+
+  const PortfolioSelectionResult even =
+      select_portfolio_iterative(bundles, kLat, cons(4, 1), 1);
+  ASSERT_EQ(even.cuts.size(), 1u);
+  EXPECT_EQ(even.cuts[0].origin.bundle_index, 0);
+
+  bundles[1].weight = 100.0;
+  const PortfolioSelectionResult skewed =
+      select_portfolio_iterative(bundles, kLat, cons(4, 1), 1);
+  ASSERT_EQ(skewed.cuts.size(), 1u);
+  EXPECT_EQ(skewed.cuts[0].origin.bundle_index, 1);
+  EXPECT_GT(skewed.saved_per_bundle[1], 0.0);
+  EXPECT_EQ(skewed.saved_per_bundle[0], 0.0);
+}
+
+TEST(JointIterative, DeterministicAcrossThreadCounts) {
+  const std::vector<Dfg> blocks_a = random_blocks(11, 3, 10);
+  const std::vector<Dfg> blocks_b = random_blocks(12, 2, 12);
+  const std::vector<Dfg> blocks_c = blocks_a;  // duplicated application
+  const std::vector<WorkloadBundle> bundles = {{"a", blocks_a, 2.0, 900.0},
+                                               {"b", blocks_b, 1.0, 700.0},
+                                               {"c", blocks_c, 0.5, 900.0}};
+  const PortfolioSelectionResult serial =
+      select_portfolio_iterative(bundles, kLat, cons(3, 2), 4);
+  ThreadPool pool(4);
+  const PortfolioSelectionResult parallel =
+      select_portfolio_iterative(bundles, kLat, cons(3, 2), 4, &pool);
+  expect_identical(serial, parallel, "threads");
+  EXPECT_EQ(serial.shared_kernels, static_cast<int>(blocks_a.size()));
+}
+
+TEST(JointIterative, CacheCountsCrossWorkloadHits) {
+  const std::vector<Dfg> shared = {chains_block(10.0, 2)};
+  const std::vector<WorkloadBundle> bundles = {{"appA", shared, 1.0, 500.0},
+                                               {"appB", shared, 1.0, 500.0}};
+  ResultCache cache;
+  CacheCounters local;
+  const PortfolioSelectionResult cached = select_portfolio_iterative(
+      bundles, kLat, cons(4, 1), 2, nullptr, &cache, &local);
+  EXPECT_GT(local.cross_workload_hits, 0u);
+  EXPECT_GT(local.hits, 0u);
+  // Every distinct (graph, constraints) pair was enumerated exactly once.
+  EXPECT_EQ(local.misses, cache.num_entries());
+
+  // The cache never changes the answer.
+  const PortfolioSelectionResult uncached =
+      select_portfolio_iterative(bundles, kLat, cons(4, 1), 2);
+  expect_identical(cached, uncached, "cache");
+}
+
+// --- merge-then-select -------------------------------------------------------
+
+TEST(MergeThenSelect, DedupsSharedCandidatesAndCapsTheBudget) {
+  const std::vector<Dfg> shared = {chains_block(10.0, 2)};
+  const std::vector<Dfg> other = {chains_block(3.0, 1)};
+  const std::vector<WorkloadBundle> bundles = {{"appA", shared, 1.0, 500.0},
+                                               {"appB", shared, 2.0, 800.0},
+                                               {"appC", other, 1.0, 300.0}};
+  const PortfolioSelectionResult r =
+      select_portfolio_merge(bundles, kLat, cons(4, 1), 2);
+
+  EXPECT_LE(r.cuts.size(), 2u);
+  ASSERT_FALSE(r.cuts.empty());
+  // The shared kernel's candidates merge into instructions serving both A
+  // and B; with two slots the strongest merged candidate must come first.
+  EXPECT_EQ(r.cuts[0].served.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.cuts[0].weighted_merit, 3.0 * r.cuts[0].merit);
+  EXPECT_EQ(r.shared_kernels, 1);
+  EXPECT_EQ(r.saved_per_bundle[0], r.saved_per_bundle[1]);
+  // Ranked by weighted merit, descending.
+  for (std::size_t i = 1; i < r.cuts.size(); ++i) {
+    EXPECT_GE(r.cuts[i - 1].weighted_merit, r.cuts[i].weighted_merit);
+  }
+}
+
+TEST(MergeThenSelect, JointAreaBudgetIsRespected) {
+  const std::vector<Dfg> blocks_a = {chains_block(10.0, 2)};
+  const std::vector<Dfg> blocks_b = {chains_block(8.0, 3)};
+  const std::vector<WorkloadBundle> bundles = {{"a", blocks_a, 1.0, 500.0},
+                                               {"b", blocks_b, 1.0, 500.0}};
+  const PortfolioSelectionResult unlimited =
+      select_portfolio_merge(bundles, kLat, cons(4, 2), 8);
+  ASSERT_GT(unlimited.cuts.size(), 1u);
+  double total_area = 0.0;
+  double min_area = unlimited.cuts[0].metrics.area_macs;
+  for (const PortfolioSelectedCut& cut : unlimited.cuts) {
+    total_area += cut.metrics.area_macs;
+    min_area = std::min(min_area, cut.metrics.area_macs);
+  }
+
+  const double budget = total_area / 2;
+  ASSERT_GE(budget, min_area);
+  const PortfolioSelectionResult capped =
+      select_portfolio_merge(bundles, kLat, cons(4, 2), 8, budget);
+  ASSERT_FALSE(capped.cuts.empty());
+  double capped_area = 0.0;
+  for (const PortfolioSelectedCut& cut : capped.cuts) capped_area += cut.metrics.area_macs;
+  EXPECT_LE(capped_area, budget + 1e-9);
+  EXPECT_LT(capped.total_weighted_merit, unlimited.total_weighted_merit);
+  EXPECT_GT(capped.total_weighted_merit, 0.0);
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+TEST(PortfolioWeightedSpeedup, WeighsApplications) {
+  std::vector<Dfg> none;
+  const std::vector<WorkloadBundle> bundles = {{"a", none, 1.0, 1000.0},
+                                               {"b", none, 3.0, 2000.0}};
+  const std::vector<double> saved = {500.0, 1000.0};
+  // before = 1*1000 + 3*2000 = 7000; after = 1*500 + 3*1000 = 3500.
+  EXPECT_DOUBLE_EQ(portfolio_weighted_speedup(bundles, saved), 2.0);
+  const std::vector<double> nothing = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(portfolio_weighted_speedup(bundles, nothing), 1.0);
+}
+
+TEST(PortfolioSelect, RejectsMalformedPortfolios) {
+  const std::vector<Dfg> blocks = {chains_block(5.0, 1)};
+  std::vector<WorkloadBundle> bundles;
+  EXPECT_THROW(select_portfolio_iterative(bundles, kLat, cons(4, 1), 2), Error);
+  bundles.push_back({"a", blocks, 0.0, 100.0});  // non-positive weight
+  EXPECT_THROW(select_portfolio_iterative(bundles, kLat, cons(4, 1), 2), Error);
+  EXPECT_THROW(select_portfolio_merge(bundles, kLat, cons(4, 1), 2), Error);
+  bundles[0].weight = 1.0;
+  EXPECT_THROW(select_portfolio_iterative(bundles, kLat, cons(4, 1), 0), Error);
+}
+
+}  // namespace
+}  // namespace isex
