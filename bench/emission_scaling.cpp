@@ -1,0 +1,103 @@
+// Cost of the emission layer vs. selected-instruction count: for a growing
+// shared opcode budget over a fixed portfolio, reports the wall clock of
+// selection alone, selection + artifact emission (all four backends), and
+// selection + emission + rewrite-verify, plus the artifact volume — so the
+// new layer's overhead stays visible in the perf trajectory as the
+// instruction count scales.
+//
+// Usage: emission_scaling [max-ninstr]   (default: 16; sweeps 1,2,4,...,max)
+#include <chrono>
+#include <iostream>
+#include <numeric>
+
+#include "api/explorer.hpp"
+#include "support/table.hpp"
+
+using namespace isex;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+MultiExplorationRequest base_request(int ninstr) {
+  MultiExplorationRequest request;
+  request.workloads = {{.workload = "adpcmdecode", .weight = 2.0},
+                       {.workload = "adpcmencode"},
+                       {.workload = "crc32"},
+                       {.workload = "gsm"}};
+  request.scheme = "joint-iterative";
+  request.num_instructions = ninstr;
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_ninstr = 16;
+  if (argc > 1) max_ninstr = std::stoi(argv[1]);
+
+  TextTable table({"ninstr", "cuts", "select ms", "emit ms", "verify+emit ms",
+                   "artifacts", "bytes", "verified"});
+  for (int ninstr = 1; ninstr <= max_ninstr; ninstr *= 2) {
+    // Fresh explorer per configuration so every cell pays the same cold
+    // identification cost and the deltas isolate the emission layer.
+    double select_ms = 0.0;
+    double emit_ms = 0.0;
+    double verify_ms = 0.0;
+    std::size_t cuts = 0;
+    std::size_t artifacts = 0;
+    std::uint64_t bytes = 0;
+    bool verified = true;
+    {
+      const Explorer explorer;
+      const auto t = Clock::now();
+      const PortfolioReport r = explorer.run_portfolio(base_request(ninstr));
+      select_ms = ms_since(t);
+      cuts = r.cuts.size();
+    }
+    {
+      const Explorer explorer;
+      MultiExplorationRequest request = base_request(ninstr);
+      request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+      const auto t = Clock::now();
+      const PortfolioReport r = explorer.run_portfolio(request);
+      emit_ms = ms_since(t) - select_ms;
+      artifacts = r.emission.artifacts.size();
+      bytes = std::accumulate(r.emission.artifacts.begin(), r.emission.artifacts.end(),
+                              std::uint64_t{0},
+                              [](std::uint64_t acc, const ArtifactReport& a) {
+                                return acc + a.bytes;
+                              });
+    }
+    {
+      const Explorer explorer;
+      MultiExplorationRequest request = base_request(ninstr);
+      request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+      request.emission.verify_rewrites = true;
+      const auto t = Clock::now();
+      const PortfolioReport r = explorer.run_portfolio(request);
+      verify_ms = ms_since(t) - select_ms;
+      for (const PortfolioWorkloadReport& w : r.workloads) {
+        verified = verified && w.validation.bit_exact && w.validation.counts_match;
+      }
+    }
+    table.add_row({std::to_string(ninstr), std::to_string(cuts),
+                   TextTable::num(select_ms, 1), TextTable::num(emit_ms, 1),
+                   TextTable::num(verify_ms, 1), std::to_string(artifacts),
+                   std::to_string(bytes), verified ? "yes" : "NO"});
+  }
+  std::cout << "emission + rewrite-verify cost vs. selected-instruction count "
+               "(4-workload portfolio, joint-iterative, Nin=4/Nout=2)\n\n";
+  table.print(std::cout);
+  std::cout << "\n'emit ms' and 'verify+emit ms' are deltas over the selection-only "
+               "run of the same configuration (cold explorer per cell).\n";
+  return 0;
+}

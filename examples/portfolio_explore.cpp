@@ -9,8 +9,16 @@
 // `--json` the structured PortfolioReport is emitted instead (it
 // round-trips through PortfolioReport::from_json).
 //
+// With `--emit-dir DIR` the full artifact tree is written to disk through
+// the emission backends — one Verilog AFU per selected instruction, a
+// per-application wrapper and intrinsics header, cut-highlighted dot graphs
+// and the attribution manifest — and every bundled workload is
+// rewrite-verified (outputs and custom-op invocation counts checked against
+// the baseline).
+//
 // Usage: portfolio_explore [--scheme NAME] [--ninstr N] [--nin N] [--nout N]
-//                          [--area MACS] [--json] [workload[:weight] ...]
+//                          [--area MACS] [--emit-dir DIR] [--json]
+//                          [workload[:weight] ...]
 //        (default portfolio: adpcmdecode:2 adpcmencode:1 crc32:1 gsm:1)
 #include <iostream>
 #include <string>
@@ -26,7 +34,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scheme NAME] [--ninstr N] [--nin N] [--nout N] [--area MACS]"
-               " [--json] [workload[:weight] ...]\n"
+               " [--emit-dir DIR] [--json] [workload[:weight] ...]\n"
                "schemes: ";
   bool first = true;
   for (const std::string& name : SchemeRegistry::global().portfolio_names()) {
@@ -75,6 +83,10 @@ int main(int argc, char** argv) {
       request.constraints.max_outputs = std::stoi(next_arg(i, "--nout"));
     } else if (arg == "--area") {
       request.max_area_macs = std::stod(next_arg(i, "--area"));
+    } else if (arg == "--emit-dir") {
+      request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+      request.emission.out_dir = next_arg(i, "--emit-dir");
+      request.emission.verify_rewrites = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -153,5 +165,26 @@ int main(int argc, char** argv) {
             << " identifications served across workloads (cache hits="
             << report.cache.counters.hits << " misses=" << report.cache.counters.misses
             << ")\n";
+
+  if (!report.emission.targets.empty()) {
+    std::cout << "\nemitted " << report.emission.artifacts.size() << " artifacts to "
+              << report.emission.out_dir << ":\n";
+    for (const ArtifactReport& a : report.emission.artifacts) {
+      std::cout << "  " << a.path << "  (" << a.emitter << ", " << a.bytes << " bytes, "
+                << a.hash << ")\n";
+    }
+    bool all_verified = true;
+    for (const PortfolioWorkloadReport& w : report.workloads) {
+      if (!w.validation.rewritten) continue;
+      const bool ok = w.validation.bit_exact && w.validation.counts_match;
+      all_verified = all_verified && ok;
+      std::cout << "rewrite-verify " << w.workload << ": "
+                << (ok ? "bit-exact, invocation counts match" : "MISMATCH") << " ("
+                << w.validation.cycles_before << " -> " << w.validation.cycles_after
+                << " cycles, " << w.validation.custom_invocations
+                << " custom invocations)\n";
+    }
+    if (!all_verified) return 2;
+  }
   return 0;
 }

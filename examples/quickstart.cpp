@@ -2,8 +2,11 @@
 // constraints through the isex::Explorer facade, and print the structured
 // exploration report as JSON — the three calls every other driver builds on:
 // identify() for one block, run_blocks() for raw graphs, run() for a named
-// workload.
+// workload. With `--emit-dir DIR` the graph-level artifacts (cut-highlighted
+// dot rendering plus the attribution manifest) are written to disk through
+// the emission backends.
 #include <iostream>
+#include <string>
 
 #include "api/explorer.hpp"
 #include "dfg/dot.hpp"
@@ -11,7 +14,13 @@
 
 using namespace isex;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string emit_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--emit-dir" && i + 1 < argc) {
+      emit_dir = argv[++i];
+    }
+  }
   // A tiny multiply-accumulate-saturate kernel:
   //   t = a * b + c;  r = t < 255 ? t : 255
   Dfg g;
@@ -60,14 +69,23 @@ int main() {
   std::cout << "\nGraphviz rendering with the 3-input/1-output cut highlighted:\n\n"
             << to_dot(g, std::span<const BitVector>{&best.cut, 1});
 
-  // The same exploration as one pipeline call, reported as JSON.
+  // The same exploration as one pipeline call, reported as JSON. Graph-only
+  // requests can still emit graph-level artifacts (dot + manifest).
   ExplorationRequest request;
   request.graphs.push_back(g);
   request.scheme = "iterative";
   request.constraints = cons;
   request.num_instructions = 1;
+  if (!emit_dir.empty()) {
+    request.emission.targets = {"dot", "manifest"};
+    request.emission.out_dir = emit_dir;
+  }
   const ExplorationReport report = explorer.run(request);
   std::cout << "\nStructured report of the full pipeline (scheme 'iterative'):\n\n"
             << report.to_json_string() << "\n";
+  if (!emit_dir.empty()) {
+    std::cout << "\nwrote " << report.emission.artifacts.size() << " artifacts to "
+              << emit_dir << "\n";
+  }
   return 0;
 }

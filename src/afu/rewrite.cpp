@@ -130,7 +130,10 @@ void rewrite_one(Module& module, Function& fn, BlockId block,
 
 RewriteReport rewrite_selection(Module& module, Function& fn, std::span<const Dfg> blocks,
                                 const SelectionResult& selection, const LatencyModel& latency,
-                                const std::string& name_prefix) {
+                                const std::string& name_prefix,
+                                std::span<const std::string> cut_names) {
+  ISEX_CHECK(cut_names.empty() || cut_names.size() == selection.cuts.size(),
+             "rewrite_selection: cut_names must name every cut (or none)");
   RewriteReport report;
 
   // Resolve cuts to stable instruction-id sets up front: node ids shift as
@@ -155,8 +158,11 @@ RewriteReport rewrite_selection(Module& module, Function& fn, std::span<const Df
 
   int counter = 0;
   for (const PendingCut& pc : pending) {
-    rewrite_one(module, fn, pc.block, pc.instrs, latency,
-                name_prefix + std::to_string(counter++), report);
+    const std::string name = cut_names.empty()
+                                 ? name_prefix + std::to_string(counter)
+                                 : cut_names[static_cast<std::size_t>(counter)];
+    rewrite_one(module, fn, pc.block, pc.instrs, latency, name, report);
+    ++counter;
   }
   verify_function(module, fn);
   return report;

@@ -26,8 +26,12 @@ struct RewriteReport {
 /// to the function: registers one CustomOp per cut and replaces the member
 /// instructions with custom/extract sequences. Blocks are rescheduled along
 /// a quotient topological order, which the convexity guarantee makes valid.
+/// `cut_names`, when non-empty, must carry one name per cut and overrides
+/// the default name_prefix + counter naming (portfolio emission names every
+/// serving instance after its shared instruction).
 RewriteReport rewrite_selection(Module& module, Function& fn, std::span<const Dfg> blocks,
                                 const SelectionResult& selection, const LatencyModel& latency,
-                                const std::string& name_prefix = "isex");
+                                const std::string& name_prefix = "isex",
+                                std::span<const std::string> cut_names = {});
 
 }  // namespace isex

@@ -1,11 +1,14 @@
 #include "api/explorer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
 #include "afu/afu_builder.hpp"
 #include "afu/rewrite.hpp"
 #include "afu/verilog.hpp"
+#include "emit/plan.hpp"
+#include "emit/verify.hpp"
 #include "support/assert.hpp"
 
 namespace isex {
@@ -18,13 +21,60 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+bool has_target(const EmissionOptions& options, std::string_view target) {
+  return std::find(options.targets.begin(), options.targets.end(), target) !=
+         options.targets.end();
+}
+
+void fill_emission_report(const EmissionOptions& options, const EmissionPlan& plan,
+                          std::span<const EmittedArtifact> artifacts, EmissionReport& out) {
+  out.targets = options.targets;
+  out.out_dir = options.out_dir;
+  out.verify_rewrites = options.verify_rewrites;
+  for (const EmittedArtifact& artifact : artifacts) {
+    ArtifactReport ar;
+    ar.emitter = artifact.emitter;
+    ar.path = artifact.path;
+    ar.bytes = artifact.bytes;
+    ar.hash = artifact_hash_hex(artifact.content_hash);
+    out.artifacts.push_back(std::move(ar));
+  }
+  for (const EmissionApp& app : plan.apps) {
+    out.afu_instantiations.push_back({app.name, static_cast<int>(app.afus.size())});
+  }
+}
+
+void fill_validation(double base_cycles, const RewriteVerification& rv,
+                     ValidationReport& out) {
+  out.rewritten = true;
+  out.bit_exact = rv.bit_exact;
+  out.counts_match = rv.counts_match;
+  out.custom_invocations = rv.custom_invocations;
+  // The profiling run of extract_dfgs already measured the pre-rewrite cycle
+  // count (the interpreter is deterministic).
+  out.cycles_before = static_cast<std::uint64_t>(base_cycles);
+  out.cycles_after = rv.cycles_after;
+  if (rv.cycles_after > 0) {
+    out.measured_speedup = base_cycles / static_cast<double>(rv.cycles_after);
+  }
+}
+
 }  // namespace
 
+EmissionOptions ExplorationRequest::effective_emission() const {
+  EmissionOptions out = emission;
+  if (build_afus) out.build_afus = true;
+  if (rewrite) out.verify_rewrites = true;
+  if (emit_verilog && !has_target(out, "verilog")) out.targets.push_back("verilog");
+  return out;
+}
+
 Explorer::Explorer(LatencyModel latency, SchemeRegistry* registry,
-                   ResultCacheConfig cache_config)
+                   ResultCacheConfig cache_config, EmitterRegistry* emitters)
     : latency_(std::move(latency)),
       registry_(registry != nullptr ? registry : &SchemeRegistry::global()),
-      cache_(std::make_unique<ResultCache>(cache_config)) {}
+      cache_(std::make_unique<ResultCache>(cache_config)),
+      emitters_(emitters != nullptr ? emitters : &EmitterRegistry::global()) {}
 
 SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints,
                                    bool use_cache) const {
@@ -88,6 +138,13 @@ Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
 ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg> blocks,
                                          const ExplorationRequest& request) const {
   const auto t_start = Clock::now();
+  // Reject contradictory or no-op emission requests before any work runs
+  // (e.g. a Verilog target on a graph-only request — the old boolean API
+  // ignored that silently).
+  const EmissionOptions emission = request.effective_emission();
+  if (emission.active()) {
+    validate_emission_options(emission, *emitters_, workload != nullptr);
+  }
   // Per-request sink: the cache increments it alongside its lifetime
   // counters, so the report's deltas stay attributable even when other
   // requests run through this explorer's cache concurrently.
@@ -107,9 +164,11 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     // instance must never feed it either (its graphs no longer describe the
     // pristine kernel of that name).
     const bool use_dfg_cache =
-        request.use_cache && !request.rewrite && !workload->mutated();
+        request.use_cache && !emission.verify_rewrites && !workload->mutated();
+    const bool need_module = emission.build_afus || emission.verify_rewrites ||
+                             emission_needs_module(emission, *emitters_);
     extracted = extract_workload(*workload, request.dfg_options, use_dfg_cache,
-                                 request.build_afus || request.emit_verilog, &local);
+                                 need_module, &local);
     blocks = extracted.blocks;
     report.base_cycles = extracted.base_cycles;
   } else {
@@ -165,63 +224,82 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     report.cuts.push_back(std::move(cr));
   }
 
-  // --- AFU construction / rewrite / validation -----------------------------
-  if (workload != nullptr && (request.build_afus || request.rewrite || request.emit_verilog)) {
-    Module& module = workload->module();
-    const auto record_afu = [&](const CustomOp& op) {
-      AfuReport ar;
-      ar.name = op.name;
-      ar.num_inputs = op.num_inputs;
-      ar.num_outputs = op.num_outputs();
-      ar.latency_cycles = op.latency_cycles;
-      ar.area_macs = op.area_macs;
-      report.afu_area_macs += op.area_macs;
-      report.afus.push_back(std::move(ar));
-      if (request.emit_verilog) report.verilog.push_back(emit_verilog(module, op));
-    };
-
-    if (request.rewrite) {
-      // Flag the instance before touching the module: if the rewrite throws
-      // midway, the half-transformed module must already count as mutated or
-      // a later run on this instance could poison the name-keyed extraction
-      // cache. Cached pristine extractions stay valid — future by-name
-      // requests build fresh pristine instances — so nothing is invalidated.
-      workload->mark_mutated();
-      Function& fn = *module.find_function(workload->entry().name());
-      const RewriteReport rewrite =
-          rewrite_selection(module, fn, blocks, report.selection, latency_,
-                            request.name_prefix);
-      ExecResult after;
-      const bool bit_exact = workload->run(&after) == workload->expected_outputs();
-      report.validation.rewritten = true;
-      report.validation.bit_exact = bit_exact;
-      // The profiling run of extract_dfgs already measured the pre-rewrite
-      // cycle count (the interpreter is deterministic).
-      report.validation.cycles_before = static_cast<std::uint64_t>(report.base_cycles);
-      report.validation.cycles_after = after.cycles;
-      if (after.cycles > 0) {
-        report.validation.measured_speedup =
-            report.base_cycles / static_cast<double>(after.cycles);
-      }
-      for (const int index : rewrite.custom_op_indices) record_afu(module.custom_op(index));
-    } else {
-      // Snapshot AFUs without touching the program.
-      const Function& fn = workload->entry();
-      int index = 0;
-      for (const SelectedCut& sc : report.selection.cuts) {
-        const Dfg& g = blocks[static_cast<std::size_t>(sc.block_index)];
-        const AfuSpec spec = build_afu(module, fn, g, sc.cut, latency_,
-                                       request.name_prefix + std::to_string(index));
-        record_afu(spec.op);
-        ++index;
-      }
-    }
+  // --- AFU construction / rewrite-verify / artifact emission ---------------
+  if (emission.active()) {
+    const auto t_emit = Clock::now();
+    emit_single(workload, blocks, request, emission, report);
+    report.timings.emit_ms = ms_since(t_emit);
   }
 
   report.cache.counters = local;
 
   report.timings.total_ms = ms_since(t_start);
   return report;
+}
+
+void Explorer::emit_single(Workload* workload, std::span<const Dfg> blocks,
+                           const ExplorationRequest& request, const EmissionOptions& emission,
+                           ExplorationReport& report) const {
+  Module* module = workload != nullptr ? &workload->module() : nullptr;
+  const bool want_ops =
+      module != nullptr && (emission.build_afus || emission.verify_rewrites ||
+                            emission_needs_module(emission, *emitters_));
+
+  // One CustomOp per selected cut, in selection order: from the verifying
+  // rewrite when one runs (the registered ops), freshly built otherwise.
+  std::vector<CustomOp> ops;
+  if (emission.verify_rewrites) {
+    const RewriteVerification rv = rewrite_and_verify(*workload, blocks, report.selection,
+                                                      latency_, request.name_prefix);
+    fill_validation(report.base_cycles, rv, report.validation);
+    for (const int index : rv.custom_op_indices) ops.push_back(module->custom_op(index));
+  } else if (want_ops) {
+    const Function& fn = workload->entry();
+    int index = 0;
+    for (const SelectedCut& sc : report.selection.cuts) {
+      const Dfg& g = blocks[static_cast<std::size_t>(sc.block_index)];
+      ops.push_back(build_afu(*module, fn, g, sc.cut, latency_,
+                              request.name_prefix + std::to_string(index++))
+                        .op);
+    }
+  }
+  for (const CustomOp& op : ops) {
+    AfuReport ar;
+    ar.name = op.name;
+    ar.num_inputs = op.num_inputs;
+    ar.num_outputs = op.num_outputs();
+    ar.latency_cycles = op.latency_cycles;
+    ar.area_macs = op.area_macs;
+    report.afu_area_macs += op.area_macs;
+    report.afus.push_back(std::move(ar));
+  }
+  if (emission.targets.empty()) return;
+  const std::string app_name = report.workload.empty() ? "workload0" : report.workload;
+  const EmissionPlan plan = plan_from_selection(app_name, module, blocks, report.selection,
+                                                ops, report.scheme, request.name_prefix);
+  const std::vector<EmittedArtifact> artifacts =
+      run_emitters(*emitters_, emission.targets, plan);
+  if (!emission.out_dir.empty()) write_artifacts(artifacts, emission.out_dir);
+  fill_emission_report(emission, plan, artifacts, report.emission);
+
+  // Legacy report field: the per-instruction Verilog, in selection order —
+  // lifted from the emitted artifacts rather than rendered a second time
+  // (falling back to a direct render under a user registry whose "verilog"
+  // emitter lays files out differently).
+  if (has_target(emission, "verilog")) {
+    for (const CustomOp& op : ops) {
+      const std::string path = "afu/" + sanitize_artifact_name(op.name) + ".v";
+      const EmittedArtifact* found = nullptr;
+      for (const EmittedArtifact& artifact : artifacts) {
+        if (artifact.emitter == "verilog" && artifact.path == path) {
+          found = &artifact;
+          break;
+        }
+      }
+      report.verilog.push_back(found != nullptr ? found->content
+                                                : emit_verilog(*module, op));
+    }
+  }
 }
 
 PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) const {
@@ -244,8 +322,35 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
                 join_scheme_names(registry_->portfolio_names()) + ")");
   }
 
+  // Module-consuming emission needs every application to be a registry
+  // workload; contradictions fault here, before any extraction runs.
+  const EmissionOptions& emission = request.emission;
+  bool have_modules = true;
+  for (const PortfolioWorkloadRequest& wr : request.workloads) {
+    have_modules = have_modules && !wr.workload.empty();
+  }
+  if (emission.active()) {
+    validate_emission_options(emission, *emitters_, have_modules);
+    // PortfolioReport has no AFU-snapshot field: a bare build_afus would be
+    // computed and dropped on the floor — exactly the silent-no-op class
+    // this API rejects. AFU descriptions reach a portfolio caller through
+    // module-consuming targets (verilog / c-intrinsics / manifest).
+    if (emission.build_afus) {
+      throw EmissionOptionsError(
+          "build_afus",
+          "has no portfolio-level report field; request a module-consuming "
+          "emission target (e.g. \"verilog\" or \"manifest\") instead");
+    }
+  }
+  const bool need_module =
+      emission.active() && (emission.verify_rewrites ||
+                            emission_needs_module(emission, *emitters_));
+
   // --- profile + extract every application ---------------------------------
+  // Workload instances stay alive for the whole run: emission reads their
+  // modules after selection (and a verifying rewrite mutates them).
   std::vector<ExtractedBlocks> extracted(request.workloads.size());
+  std::vector<std::unique_ptr<Workload>> instances(request.workloads.size());
   std::vector<WorkloadBundle> bundles(request.workloads.size());
   for (std::size_t i = 0; i < request.workloads.size(); ++i) {
     const PortfolioWorkloadRequest& wr = request.workloads[i];
@@ -254,9 +359,12 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
     WorkloadBundle& bundle = bundles[i];
     bundle.weight = wr.weight;
     if (!wr.workload.empty()) {
-      Workload w = find_workload(wr.workload);
-      extracted[i] = extract_workload(w, wr.dfg_options, request.use_cache,
-                                      /*need_module=*/false, &local);
+      instances[i] = std::make_unique<Workload>(find_workload(wr.workload));
+      // A verifying rewrite mutates every module after extraction, so the
+      // extractions neither consume nor feed the name-keyed cache.
+      const bool use_dfg_cache = request.use_cache && !emission.verify_rewrites;
+      extracted[i] = extract_workload(*instances[i], wr.dfg_options, use_dfg_cache,
+                                      need_module, &local);
       bundle.name = wr.workload;
       bundle.blocks = extracted[i].blocks;
       bundle.base_cycles = extracted[i].base_cycles;
@@ -339,6 +447,59 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
       cr.served.push_back(std::move(inst));
     }
     report.cuts.push_back(std::move(cr));
+  }
+
+  // --- AFU construction / rewrite-verify / artifact emission ---------------
+  if (emission.active()) {
+    const auto t_emit = Clock::now();
+    // One AFU per selected instruction, synthesized from its origin
+    // application's pristine module (before any verifying rewrite) — only
+    // when an emitter actually consumes the micro-programs.
+    std::vector<CustomOp> ops;
+    if (emission_needs_module(emission, *emitters_)) {
+      for (std::size_t j = 0; j < report.selection.cuts.size(); ++j) {
+        const PortfolioSelectedCut& sc = report.selection.cuts[j];
+        Workload& origin = *instances[static_cast<std::size_t>(sc.origin.bundle_index)];
+        const Dfg& g = bundles[static_cast<std::size_t>(sc.origin.bundle_index)]
+                           .blocks[static_cast<std::size_t>(sc.origin.block_index)];
+        ops.push_back(build_afu(origin.module(), origin.entry(), g, sc.cut, latency_,
+                                request.name_prefix + std::to_string(j))
+                          .op);
+      }
+    }
+    std::vector<const Module*> modules(bundles.size(), nullptr);
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (instances[i] != nullptr) modules[i] = &instances[i]->module();
+    }
+
+    if (emission.verify_rewrites) {
+      // Rewrite-and-verify every bundled workload — shared kernels are
+      // rewritten (and re-validated) in every serving application, each
+      // instance named after its shared instruction.
+      for (std::size_t i = 0; i < bundles.size(); ++i) {
+        std::vector<int> instruction_indices;
+        const SelectionResult sel =
+            selection_for_bundle(report.selection, static_cast<int>(i), &instruction_indices);
+        std::vector<std::string> names;
+        names.reserve(instruction_indices.size());
+        for (const int j : instruction_indices) {
+          names.push_back(request.name_prefix + std::to_string(j));
+        }
+        const RewriteVerification rv = rewrite_and_verify(
+            *instances[i], bundles[i].blocks, sel, latency_, request.name_prefix, names);
+        fill_validation(bundles[i].base_cycles, rv, report.workloads[i].validation);
+      }
+    }
+
+    if (!emission.targets.empty()) {
+      const EmissionPlan plan = plan_from_portfolio(bundles, modules, report.selection, ops,
+                                                    report.scheme, request.name_prefix);
+      const std::vector<EmittedArtifact> artifacts =
+          run_emitters(*emitters_, emission.targets, plan);
+      if (!emission.out_dir.empty()) write_artifacts(artifacts, emission.out_dir);
+      fill_emission_report(emission, plan, artifacts, report.emission);
+    }
+    report.timings.emit_ms = ms_since(t_emit);
   }
 
   report.cache.counters = local;

@@ -31,6 +31,7 @@
 #include "core/multi_cut.hpp"
 #include "core/single_cut.hpp"
 #include "dfg/dfg.hpp"
+#include "emit/emitter.hpp"
 #include "latency/latency_model.hpp"
 #include "workloads/workload.hpp"
 
@@ -66,6 +67,15 @@ struct ExplorationRequest {
   /// should not retain. report.cache records what the cache did.
   bool use_cache = true;
 
+  /// Artifact emission and rewrite verification, resolved against the
+  /// Explorer's EmitterRegistry (targets "verilog", "c-intrinsics", "dot",
+  /// "manifest", ...). Contradictory or no-op combinations are rejected with
+  /// a structured EmissionOptionsError before any work runs.
+  EmissionOptions emission;
+
+  // --- legacy emission switches (pre-EmissionOptions API) -----------------
+  // Honoured through effective_emission(); byte-identical to the historical
+  // behaviour. New code should set `emission` instead.
   /// Snapshot an AFU per selected cut (ports, latency, area) into the report.
   bool build_afus = false;
   /// Rewrite the selection into the workload's module and validate that the
@@ -76,19 +86,29 @@ struct ExplorationRequest {
   bool emit_verilog = false;
   /// Name prefix for synthesized custom ops.
   std::string name_prefix = "isex";
+
+  /// The emission options this request effectively asks for: `emission`
+  /// merged with the legacy boolean trio (build_afus → AFU snapshots,
+  /// rewrite → verify_rewrites, emit_verilog → the "verilog" target).
+  EmissionOptions effective_emission() const;
 };
 
 class Explorer {
  public:
-  /// `registry` defaults to SchemeRegistry::global(); the latency/area model
-  /// applies to every request run through this explorer, and `cache_config`
-  /// sizes the explorer-owned ResultCache.
+  /// `registry` defaults to SchemeRegistry::global() and `emitters` to
+  /// EmitterRegistry::global(); the latency/area model applies to every
+  /// request run through this explorer, and `cache_config` sizes the
+  /// explorer-owned ResultCache.
   explicit Explorer(LatencyModel latency = LatencyModel::standard_018um(),
                     SchemeRegistry* registry = nullptr,
-                    ResultCacheConfig cache_config = {});
+                    ResultCacheConfig cache_config = {},
+                    EmitterRegistry* emitters = nullptr);
 
   const LatencyModel& latency() const { return latency_; }
   SchemeRegistry& registry() const { return *registry_; }
+  /// The artifact-emission backends this explorer resolves
+  /// EmissionOptions.targets against.
+  EmitterRegistry& emitters() const { return *emitters_; }
   /// The explorer-owned memoization layer. Internally synchronized; use it
   /// to inspect counters, clear state, or save/load a warm-start file.
   ResultCache& cache() const { return *cache_; }
@@ -150,9 +170,18 @@ class Explorer {
   ExplorationReport run_pipeline(Workload* workload, std::span<const Dfg> blocks,
                                  const ExplorationRequest& request) const;
 
+  /// AFU construction, rewrite-verify and artifact emission for one
+  /// pipeline run (single application). Fills report.afus/verilog/
+  /// validation/emission; `workload` may be null only when the effective
+  /// options passed validation for a graph-only request.
+  void emit_single(Workload* workload, std::span<const Dfg> blocks,
+                   const ExplorationRequest& request, const EmissionOptions& emission,
+                   ExplorationReport& report) const;
+
   LatencyModel latency_;
   SchemeRegistry* registry_;
   std::unique_ptr<ResultCache> cache_;
+  EmitterRegistry* emitters_;
 };
 
 }  // namespace isex

@@ -14,6 +14,7 @@ Json workload_to_json(const PortfolioWorkloadReport& w) {
   j.set("base_cycles", w.base_cycles);
   j.set("saved_cycles", w.saved_cycles);
   j.set("estimated_speedup", w.estimated_speedup);
+  j.set("validation", to_json(w.validation));
   return j;
 }
 
@@ -25,6 +26,8 @@ PortfolioWorkloadReport workload_from_json(const Json& j) {
   w.base_cycles = j.at("base_cycles").as_double();
   w.saved_cycles = j.at("saved_cycles").as_double();
   w.estimated_speedup = j.at("estimated_speedup").as_double();
+  // Absent in reports serialized before the emission backend existed.
+  if (const Json* v = j.find("validation")) w.validation = validation_from_json(*v);
   return w;
 }
 
@@ -112,9 +115,12 @@ Json PortfolioReport::to_json() const {
   s.set("cross_workload_hits", sharing.cross_workload_hits);
   j.set("sharing", std::move(s));
 
+  j.set("emission", isex::to_json(emission));
+
   Json t = Json::object();
   t.set("extract_ms", timings.extract_ms);
   t.set("identify_ms", timings.identify_ms);
+  t.set("emit_ms", timings.emit_ms);
   t.set("total_ms", timings.total_ms);
   j.set("timings", std::move(t));
 
@@ -148,9 +154,12 @@ PortfolioReport PortfolioReport::from_json(const Json& j) {
   const Json& s = j.at("sharing");
   r.sharing.shared_kernels = static_cast<int>(s.at("shared_kernels").as_int());
   r.sharing.cross_workload_hits = s.at("cross_workload_hits").as_uint();
+  // Absent in reports serialized before the emission backend existed.
+  if (const Json* e = j.find("emission")) r.emission = emission_from_json(*e);
   const Json& t = j.at("timings");
   r.timings.extract_ms = t.at("extract_ms").as_double();
   r.timings.identify_ms = t.at("identify_ms").as_double();
+  if (const Json* e = t.find("emit_ms")) r.timings.emit_ms = e->as_double();
   r.timings.total_ms = t.at("total_ms").as_double();
   const Json& c = j.at("cache");
   r.cache.enabled = c.at("enabled").as_bool();

@@ -23,6 +23,7 @@
 #include "api/report.hpp"
 #include "core/portfolio_select.hpp"
 #include "dfg/dfg.hpp"
+#include "emit/emitter.hpp"
 
 namespace isex {
 
@@ -70,6 +71,15 @@ struct MultiExplorationRequest {
   /// kernels appearing in several applications are then identified once and
   /// surfaced as cross-workload hits in the report.
   bool use_cache = true;
+
+  /// Artifact emission: one Verilog AFU per selected instruction plus
+  /// per-application wrappers/intrinsics, with optional rewrite-verify of
+  /// every bundled workload. Module-consuming targets require every
+  /// application to be a registry workload (graph-only entries can only
+  /// feed graph-level emitters).
+  EmissionOptions emission;
+  /// Name prefix for the synthesized instructions (isex0, isex1, ...).
+  std::string name_prefix = "isex";
 };
 
 /// Per-application outcome within a portfolio run.
@@ -82,6 +92,9 @@ struct PortfolioWorkloadReport {
   double saved_cycles = 0.0;
   /// base_cycles / (base_cycles - saved_cycles).
   double estimated_speedup = 1.0;
+  /// End-to-end rewrite-verify outcome for this application (filled when the
+  /// request's EmissionOptions ask for verify_rewrites).
+  ValidationReport validation;
 };
 
 /// One selected instruction, flattened for serialization. `served` names
@@ -135,6 +148,7 @@ struct PortfolioReport {
   EnumerationStats stats;  // aggregated over every identification call
 
   SharingReport sharing;
+  EmissionReport emission;
   ReportTimings timings;
   CacheReport cache;
 

@@ -60,6 +60,84 @@ AfuReport afu_from_json(const Json& j) {
 
 }  // namespace
 
+Json to_json(const ValidationReport& v) {
+  Json j = Json::object();
+  j.set("rewritten", v.rewritten);
+  j.set("bit_exact", v.bit_exact);
+  j.set("counts_match", v.counts_match);
+  j.set("custom_invocations", v.custom_invocations);
+  j.set("cycles_before", v.cycles_before);
+  j.set("cycles_after", v.cycles_after);
+  j.set("measured_speedup", v.measured_speedup);
+  return j;
+}
+
+ValidationReport validation_from_json(const Json& j) {
+  ValidationReport v;
+  v.rewritten = j.at("rewritten").as_bool();
+  v.bit_exact = j.at("bit_exact").as_bool();
+  // Absent in reports serialized before the emission backend introduced the
+  // invocation-count check; default so archived report files stay loadable.
+  if (const Json* counts = j.find("counts_match")) v.counts_match = counts->as_bool();
+  if (const Json* invocations = j.find("custom_invocations")) {
+    v.custom_invocations = invocations->as_uint();
+  }
+  v.cycles_before = j.at("cycles_before").as_uint();
+  v.cycles_after = j.at("cycles_after").as_uint();
+  v.measured_speedup = j.at("measured_speedup").as_double();
+  return v;
+}
+
+Json to_json(const EmissionReport& e) {
+  Json j = Json::object();
+  Json targets = Json::array();
+  for (const std::string& t : e.targets) targets.push_back(t);
+  j.set("targets", std::move(targets));
+  j.set("out_dir", e.out_dir);
+  j.set("verify_rewrites", e.verify_rewrites);
+  Json artifacts = Json::array();
+  for (const ArtifactReport& a : e.artifacts) {
+    Json entry = Json::object();
+    entry.set("emitter", a.emitter);
+    entry.set("path", a.path);
+    entry.set("bytes", a.bytes);
+    entry.set("hash", a.hash);
+    artifacts.push_back(std::move(entry));
+  }
+  j.set("artifacts", std::move(artifacts));
+  Json instantiations = Json::array();
+  for (const AfuInstantiationReport& i : e.afu_instantiations) {
+    Json entry = Json::object();
+    entry.set("workload", i.workload);
+    entry.set("count", i.count);
+    instantiations.push_back(std::move(entry));
+  }
+  j.set("afu_instantiations", std::move(instantiations));
+  return j;
+}
+
+EmissionReport emission_from_json(const Json& j) {
+  EmissionReport e;
+  for (const Json& t : j.at("targets").as_array()) e.targets.push_back(t.as_string());
+  e.out_dir = j.at("out_dir").as_string();
+  e.verify_rewrites = j.at("verify_rewrites").as_bool();
+  for (const Json& a : j.at("artifacts").as_array()) {
+    ArtifactReport artifact;
+    artifact.emitter = a.at("emitter").as_string();
+    artifact.path = a.at("path").as_string();
+    artifact.bytes = a.at("bytes").as_uint();
+    artifact.hash = a.at("hash").as_string();
+    e.artifacts.push_back(std::move(artifact));
+  }
+  for (const Json& i : j.at("afu_instantiations").as_array()) {
+    AfuInstantiationReport entry;
+    entry.workload = i.at("workload").as_string();
+    entry.count = static_cast<int>(i.at("count").as_int());
+    e.afu_instantiations.push_back(std::move(entry));
+  }
+  return e;
+}
+
 Json ExplorationReport::to_json() const {
   Json j = Json::object();
   j.set("workload", workload);
@@ -83,17 +161,13 @@ Json ExplorationReport::to_json() const {
   j.set("afus", std::move(afu_array));
   j.set("afu_area_macs", afu_area_macs);
 
-  Json v = Json::object();
-  v.set("rewritten", validation.rewritten);
-  v.set("bit_exact", validation.bit_exact);
-  v.set("cycles_before", validation.cycles_before);
-  v.set("cycles_after", validation.cycles_after);
-  v.set("measured_speedup", validation.measured_speedup);
-  j.set("validation", std::move(v));
+  j.set("validation", isex::to_json(validation));
+  j.set("emission", isex::to_json(emission));
 
   Json t = Json::object();
   t.set("extract_ms", timings.extract_ms);
   t.set("identify_ms", timings.identify_ms);
+  t.set("emit_ms", timings.emit_ms);
   t.set("total_ms", timings.total_ms);
   j.set("timings", std::move(t));
 
@@ -125,15 +199,13 @@ ExplorationReport ExplorationReport::from_json(const Json& j) {
   for (const Json& c : j.at("cuts").as_array()) r.cuts.push_back(cut_from_json(c));
   for (const Json& a : j.at("afus").as_array()) r.afus.push_back(afu_from_json(a));
   r.afu_area_macs = j.at("afu_area_macs").as_double();
-  const Json& v = j.at("validation");
-  r.validation.rewritten = v.at("rewritten").as_bool();
-  r.validation.bit_exact = v.at("bit_exact").as_bool();
-  r.validation.cycles_before = v.at("cycles_before").as_uint();
-  r.validation.cycles_after = v.at("cycles_after").as_uint();
-  r.validation.measured_speedup = v.at("measured_speedup").as_double();
+  r.validation = validation_from_json(j.at("validation"));
+  // Absent in reports serialized before the emission backend existed.
+  if (const Json* e = j.find("emission")) r.emission = emission_from_json(*e);
   const Json& t = j.at("timings");
   r.timings.extract_ms = t.at("extract_ms").as_double();
   r.timings.identify_ms = t.at("identify_ms").as_double();
+  if (const Json* e = t.find("emit_ms")) r.timings.emit_ms = e->as_double();
   r.timings.total_ms = t.at("total_ms").as_double();
   const Json& c = j.at("cache");
   r.cache.enabled = c.at("enabled").as_bool();

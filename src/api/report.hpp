@@ -37,6 +37,11 @@ struct AfuReport {
 struct ValidationReport {
   bool rewritten = false;
   bool bit_exact = false;
+  /// Every synthesized custom op executed exactly as often as its block did
+  /// in the baseline profile (false until a verifying rewrite ran).
+  bool counts_match = false;
+  /// Measured custom-op executions, summed over the synthesized ops.
+  std::uint64_t custom_invocations = 0;
   std::uint64_t cycles_before = 0;
   std::uint64_t cycles_after = 0;
   double measured_speedup = 0.0;  // cycles_before / cycles_after
@@ -45,8 +50,38 @@ struct ValidationReport {
 struct ReportTimings {
   double extract_ms = 0.0;   // preprocess + profile + DFG extraction
   double identify_ms = 0.0;  // identification + selection
+  double emit_ms = 0.0;      // AFU construction + rewrite-verify + emission
   double total_ms = 0.0;
 };
+
+/// One emitted artifact, flattened for serialization (the bytes themselves
+/// live on disk / in the emission result, not in the report).
+struct ArtifactReport {
+  std::string emitter;
+  std::string path;   // relative to the artifact tree root
+  std::uint64_t bytes = 0;
+  std::string hash;   // 16-hex-digit content hash (artifact_hash_hex)
+};
+
+/// How many AFUs one application's wrapper instantiates.
+struct AfuInstantiationReport {
+  std::string workload;
+  int count = 0;
+};
+
+/// What the emission backends produced for this run.
+struct EmissionReport {
+  std::vector<std::string> targets;
+  std::string out_dir;  // empty when artifacts were not written to disk
+  bool verify_rewrites = false;
+  std::vector<ArtifactReport> artifacts;
+  std::vector<AfuInstantiationReport> afu_instantiations;
+};
+
+Json to_json(const ValidationReport& v);
+ValidationReport validation_from_json(const Json& j);
+Json to_json(const EmissionReport& e);
+EmissionReport emission_from_json(const Json& j);
 
 /// What the Explorer's ResultCache did for this run (counter deltas, not
 /// lifetime totals).
@@ -75,10 +110,13 @@ struct ExplorationReport {
   double afu_area_macs = 0.0;  // summed over `afus`
 
   ValidationReport validation;
+  EmissionReport emission;
   ReportTimings timings;
   CacheReport cache;
 
-  /// Verilog of each synthesized AFU (request.emit_verilog); not serialized.
+  /// Verilog of each synthesized AFU (the "verilog" emission target / legacy
+  /// request.emit_verilog); not serialized — see emission.artifacts for the
+  /// hashed, disk-written form.
   std::vector<std::string> verilog;
   /// The raw selection (bit vectors usable against the extracted DFGs); not
   /// serialized.

@@ -383,6 +383,29 @@ PortfolioSelectionResult portfolio_from_single(SelectionResult single, double we
   return result;
 }
 
+SelectionResult selection_for_bundle(const PortfolioSelectionResult& result, int bundle,
+                                     std::vector<int>* instruction_indices) {
+  SelectionResult single;
+  if (instruction_indices != nullptr) instruction_indices->clear();
+  for (std::size_t j = 0; j < result.cuts.size(); ++j) {
+    const PortfolioSelectedCut& cut = result.cuts[j];
+    for (std::size_t k = 0; k < cut.served.size(); ++k) {
+      if (cut.served[k].bundle_index != bundle) continue;
+      SelectedCut sc;
+      sc.block_index = cut.served[k].block_index;
+      sc.cut = cut.served_cuts[k];
+      sc.merit = cut.merit;
+      sc.metrics = cut.metrics;
+      single.total_merit += sc.merit;
+      single.cuts.push_back(std::move(sc));
+      if (instruction_indices != nullptr) {
+        instruction_indices->push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return single;
+}
+
 SelectionResult portfolio_to_single(const PortfolioSelectionResult& result) {
   SelectionResult single;
   single.identification_calls = result.identification_calls;

@@ -123,6 +123,15 @@ PortfolioSelectionResult select_portfolio_merge(
 /// schemes through the per-portfolio SelectionScheme interface.
 PortfolioSelectionResult portfolio_from_single(SelectionResult single, double weight);
 
+/// Every serving instance of `result` inside `bundle`, expanded into
+/// rewrite-ready SelectedCuts in (instruction, instance) order;
+/// total_merit is the bundle's raw cycles saved. `instruction_indices`,
+/// when non-null, receives the index into result.cuts each expanded cut
+/// came from (so emission can name every instance after its shared
+/// instruction). Enumeration statistics are not carried over.
+SelectionResult selection_for_bundle(const PortfolioSelectionResult& result, int bundle,
+                                     std::vector<int>* instruction_indices = nullptr);
+
 /// Inverse view for a portfolio selection whose cuts all live in bundle 0:
 /// expands every serving instance into a SelectedCut (so rewriting applies
 /// the instruction at every site). Exact round-trip of

@@ -1,0 +1,46 @@
+// Rewrite-and-verify: apply a selection to a workload's module, then re-run
+// the transformed program through the interpreter and check it end to end —
+// the outputs must be bit-exact against the workload's expected outputs, and
+// every synthesized custom op must execute exactly as often as its block did
+// in the baseline profile (the DFG's execution frequency). This is what
+// turns the emitted artifacts from plausible into machine-checked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+struct RewriteVerification {
+  bool bit_exact = false;
+  /// Every synthesized op executed exactly blocks[cut.block_index]
+  /// .exec_freq() times.
+  bool counts_match = false;
+  std::uint64_t cycles_after = 0;
+  std::uint64_t custom_invocations = 0;    // measured, summed over the new ops
+  std::uint64_t expected_invocations = 0;  // profile-predicted sum
+  int instructions_added = 0;
+  double total_area_macs = 0.0;
+  /// Module custom-op indices registered by the rewrite, in selection order.
+  std::vector<int> custom_op_indices;
+};
+
+/// Rewrites `selection` (cuts over `blocks`, extracted from this workload
+/// instance) into the workload's module and verifies the transformed program
+/// as described above. Marks the workload mutated before touching the
+/// module. `cut_names`, when non-empty (one per cut), names the synthesized
+/// ops; otherwise they are named name_prefix + counter.
+RewriteVerification rewrite_and_verify(Workload& workload, std::span<const Dfg> blocks,
+                                       const SelectionResult& selection,
+                                       const LatencyModel& latency,
+                                       const std::string& name_prefix,
+                                       std::span<const std::string> cut_names = {});
+
+}  // namespace isex

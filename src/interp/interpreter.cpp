@@ -120,6 +120,11 @@ ExecResult Interpreter::run(const Function& fn, std::span<const std::int32_t> ar
           break;
         case Opcode::custom: {
           const CustomOp& cop = module_.custom_op(static_cast<int>(ins.imm));
+          const auto op_index = static_cast<std::size_t>(ins.imm);
+          if (result.custom_invocations.size() <= op_index) {
+            result.custom_invocations.resize(op_index + 1, 0);
+          }
+          ++result.custom_invocations[op_index];
           std::vector<std::int32_t> inputs;
           inputs.reserve(ins.operands.size());
           for (ValueId v : ins.operands) inputs.push_back(value_of(v));

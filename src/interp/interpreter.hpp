@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "interp/memory.hpp"
 #include "interp/profile.hpp"
@@ -22,6 +23,11 @@ struct ExecResult {
   std::int32_t return_value = 0;
   std::uint64_t instructions = 0;  // dynamic instruction count (phis excluded)
   std::uint64_t cycles = 0;        // single-issue cycle estimate
+  /// Executions per custom op, indexed by the module custom-op index (grown
+  /// on demand — shorter than num_custom_ops() means the tail never ran).
+  /// Drives the rewrite-verify check that every synthesized instruction is
+  /// invoked exactly as often as its block executed in the baseline.
+  std::vector<std::uint64_t> custom_invocations;
 };
 
 struct InterpOptions {

@@ -1,0 +1,575 @@
+// The pluggable emission backend: registry behaviour, option validation
+// (contradictory/no-op combinations fault with structured errors — the old
+// boolean API ignored them silently), the legacy-field adapter, artifact
+// generation for single and portfolio runs, attribution in the manifest,
+// rewrite-verify invocation-count checking, disk writing and the report JSON
+// round-trip of the emission section.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/explorer.hpp"
+#include "emit/verify.hpp"
+#include "support/hash.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+Constraints cons(int nin, int nout) {
+  Constraints c;
+  c.max_inputs = nin;
+  c.max_outputs = nout;
+  return c;
+}
+
+Dfg tiny_graph() {
+  Dfg g;
+  const NodeId a = g.add_input("a");
+  const NodeId b = g.add_input("b");
+  const NodeId mul = g.add_op(Opcode::mul);
+  const NodeId add = g.add_op(Opcode::add);
+  g.add_edge(a, mul);
+  g.add_edge(b, mul);
+  g.add_edge(mul, add);
+  g.add_edge(a, add);
+  g.add_output(add);
+  g.finalize();
+  return g;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const ArtifactReport* find_artifact(const EmissionReport& emission, const std::string& path) {
+  for (const ArtifactReport& a : emission.artifacts) {
+    if (a.path == path) return &a;
+  }
+  return nullptr;
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(EmitterRegistry, GlobalCarriesTheBuiltins) {
+  const std::vector<std::string> names = EmitterRegistry::global().names();
+  for (const char* expected : {"c-intrinsics", "dot", "manifest", "verilog"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+  EXPECT_TRUE(EmitterRegistry::global().get("dot").needs_module() == false);
+  EXPECT_TRUE(EmitterRegistry::global().get("verilog").needs_module());
+  EXPECT_TRUE(EmitterRegistry::global().get("manifest").wants_prior_artifacts());
+}
+
+TEST(EmitterRegistry, UnknownNameThrowsStructuredError) {
+  try {
+    EmitterRegistry::global().get("vhdl");
+    FAIL() << "expected EmitterNotFoundError";
+  } catch (const EmitterNotFoundError& e) {
+    EXPECT_EQ(e.requested(), "vhdl");
+    EXPECT_FALSE(e.registered().empty());
+    EXPECT_NE(std::string(e.what()).find("verilog"), std::string::npos);
+  }
+}
+
+// --- option validation (the silent-no-op bugfix) -----------------------------
+
+TEST(EmissionOptions, GraphOnlyRequestRejectsModuleTargets) {
+  const Explorer explorer(kLat);
+  ExplorationRequest request;
+  request.graphs.push_back(tiny_graph());
+  request.num_instructions = 1;
+  request.emission.targets = {"verilog"};
+  try {
+    explorer.run(request);
+    FAIL() << "expected EmissionOptionsError";
+  } catch (const EmissionOptionsError& e) {
+    EXPECT_EQ(e.field(), "verilog");
+    EXPECT_NE(e.reason().find("module"), std::string::npos);
+  }
+}
+
+TEST(EmissionOptions, LegacyEmitVerilogWithoutModuleNoLongerSilentlyNoOps) {
+  // Regression for the old-field adapter: `emit_verilog = true` on a
+  // graph-only request used to do nothing at all; it now faults with the
+  // same structured error as the new API.
+  const Explorer explorer(kLat);
+  ExplorationRequest request;
+  request.graphs.push_back(tiny_graph());
+  request.num_instructions = 1;
+  request.emit_verilog = true;
+  EXPECT_THROW(explorer.run(request), EmissionOptionsError);
+
+  request.emit_verilog = false;
+  request.build_afus = true;
+  EXPECT_THROW(explorer.run(request), EmissionOptionsError);
+
+  request.build_afus = false;
+  request.rewrite = true;
+  EXPECT_THROW(explorer.run(request), EmissionOptionsError);
+}
+
+TEST(EmissionOptions, RejectsDuplicateTargetsUnknownTargetsAndBareOutDir) {
+  const Explorer explorer(kLat);
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.num_instructions = 1;
+
+  request.emission.targets = {"dot", "dot"};
+  EXPECT_THROW(explorer.run(request), EmissionOptionsError);
+
+  request.emission.targets = {"no-such-backend"};
+  EXPECT_THROW(explorer.run(request), EmitterNotFoundError);
+
+  request.emission.targets.clear();
+  request.emission.out_dir = "somewhere";
+  try {
+    explorer.run(request);
+    FAIL() << "expected EmissionOptionsError";
+  } catch (const EmissionOptionsError& e) {
+    EXPECT_EQ(e.field(), "out_dir");
+  }
+}
+
+TEST(EmissionOptions, GraphOnlyRequestsCanStillEmitGraphArtifacts) {
+  const Explorer explorer(kLat);
+  ExplorationRequest request;
+  request.graphs.push_back(tiny_graph());
+  request.num_instructions = 1;
+  request.emission.targets = {"dot", "manifest"};
+  const ExplorationReport report = explorer.run(request);
+  ASSERT_EQ(report.emission.artifacts.size(), 2u);
+  EXPECT_EQ(report.emission.artifacts[0].emitter, "dot");
+  EXPECT_EQ(report.emission.artifacts[1].path, "manifest.json");
+  EXPECT_TRUE(report.afus.empty());  // nothing to snapshot without a module
+  ASSERT_EQ(report.emission.afu_instantiations.size(), 1u);
+  EXPECT_EQ(report.emission.afu_instantiations[0].workload, "workload0");
+  EXPECT_EQ(report.emission.afu_instantiations[0].count, 1);
+}
+
+// --- legacy adapter ----------------------------------------------------------
+
+TEST(EmissionAdapter, LegacyBooleansMatchTheNewOptionsByteForByte) {
+  ExplorationRequest legacy;
+  legacy.workload = "gsm";
+  legacy.scheme = "iterative";
+  legacy.constraints = cons(4, 2);
+  legacy.num_instructions = 2;
+  legacy.rewrite = true;
+  legacy.emit_verilog = true;
+
+  ExplorationRequest modern = legacy;
+  modern.rewrite = false;
+  modern.emit_verilog = false;
+  modern.emission.targets = {"verilog"};
+  modern.emission.verify_rewrites = true;
+
+  const Explorer explorer(kLat);
+  const ExplorationReport a = explorer.run(legacy);
+  const ExplorationReport b = explorer.run(modern);
+
+  ASSERT_EQ(a.verilog.size(), b.verilog.size());
+  for (std::size_t i = 0; i < a.verilog.size(); ++i) {
+    EXPECT_EQ(a.verilog[i], b.verilog[i]) << i;
+  }
+  ASSERT_EQ(a.afus.size(), b.afus.size());
+  for (std::size_t i = 0; i < a.afus.size(); ++i) {
+    EXPECT_EQ(a.afus[i].name, b.afus[i].name);
+    EXPECT_EQ(a.afus[i].area_macs, b.afus[i].area_macs);
+  }
+  EXPECT_TRUE(a.validation.bit_exact);
+  EXPECT_TRUE(a.validation.counts_match);
+  EXPECT_EQ(a.validation.cycles_after, b.validation.cycles_after);
+  EXPECT_EQ(a.afu_area_macs, b.afu_area_macs);
+  // The adapter routes the legacy booleans through the same emitters, so the
+  // artifact hashes agree too.
+  ASSERT_EQ(a.emission.artifacts.size(), b.emission.artifacts.size());
+  for (std::size_t i = 0; i < a.emission.artifacts.size(); ++i) {
+    EXPECT_EQ(a.emission.artifacts[i].hash, b.emission.artifacts[i].hash);
+  }
+}
+
+// --- single-workload emission ------------------------------------------------
+
+TEST(Emission, VerilogArtifactsMatchTheLegacyReportField) {
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.scheme = "iterative";
+  request.constraints = cons(4, 2);
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 2;
+  request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+
+  const Explorer explorer(kLat);
+  const ExplorationReport report = explorer.run(request);
+  ASSERT_FALSE(report.cuts.empty());
+  ASSERT_EQ(report.verilog.size(), report.afus.size());
+  ASSERT_EQ(report.afus.size(), report.cuts.size());
+
+  // One per-instruction module artifact, byte-identical to report.verilog.
+  for (std::size_t i = 0; i < report.afus.size(); ++i) {
+    const ArtifactReport* artifact =
+        find_artifact(report.emission, "afu/" + report.afus[i].name + ".v");
+    ASSERT_NE(artifact, nullptr) << report.afus[i].name;
+    EXPECT_EQ(artifact->bytes, report.verilog[i].size());
+    EXPECT_EQ(artifact->hash, artifact_hash_hex(hash_bytes(report.verilog[i])));
+  }
+  // Wrapper, header, manifest all present; the manifest is valid JSON naming
+  // every other artifact.
+  EXPECT_NE(find_artifact(report.emission, "crc32/crc32_afu.v"), nullptr);
+  EXPECT_NE(find_artifact(report.emission, "crc32/crc32_intrinsics.h"), nullptr);
+  EXPECT_NE(find_artifact(report.emission, "manifest.json"), nullptr);
+  ASSERT_EQ(report.emission.afu_instantiations.size(), 1u);
+  EXPECT_EQ(report.emission.afu_instantiations[0].count,
+            static_cast<int>(report.afus.size()));
+}
+
+TEST(Emission, ArtifactsWrittenToDiskMatchTheReportedHashes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "isex_emit_test";
+  fs::remove_all(dir);
+
+  ExplorationRequest request;
+  request.workload = "gsm";
+  request.scheme = "iterative";
+  request.constraints = cons(4, 2);
+  request.num_instructions = 2;
+  request.emission.targets = {"verilog", "c-intrinsics", "manifest"};
+  request.emission.out_dir = dir.string();
+  request.emission.verify_rewrites = true;
+
+  const Explorer explorer(kLat);
+  const ExplorationReport report = explorer.run(request);
+  EXPECT_TRUE(report.validation.bit_exact);
+  EXPECT_TRUE(report.validation.counts_match);
+  ASSERT_FALSE(report.emission.artifacts.empty());
+  for (const ArtifactReport& artifact : report.emission.artifacts) {
+    const std::string content = read_file(dir / artifact.path);
+    EXPECT_EQ(content.size(), artifact.bytes) << artifact.path;
+    EXPECT_EQ(artifact_hash_hex(hash_bytes(content)), artifact.hash) << artifact.path;
+  }
+  // The manifest's artifact list mirrors the report (it cannot list itself).
+  const Json manifest = Json::parse(read_file(dir / "manifest.json"));
+  EXPECT_EQ(manifest.at("schema").as_string(), "isex-artifact-manifest-v1");
+  EXPECT_EQ(manifest.at("artifacts").as_array().size(),
+            report.emission.artifacts.size() - 1);
+  fs::remove_all(dir);
+}
+
+TEST(Emission, DeterministicAcrossThreadCountsAndCacheModes) {
+  ExplorationRequest request;
+  request.workload = "adpcmdecode";
+  request.scheme = "iterative";
+  request.constraints = cons(4, 2);
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 3;
+  request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+
+  const Explorer explorer(kLat);
+  const ExplorationReport serial = explorer.run(request);
+  request.num_threads = 4;
+  const ExplorationReport parallel = explorer.run(request);  // warm cache too
+  request.use_cache = false;
+  const ExplorationReport uncached = explorer.run(request);
+
+  ASSERT_EQ(serial.emission.artifacts.size(), parallel.emission.artifacts.size());
+  ASSERT_EQ(serial.emission.artifacts.size(), uncached.emission.artifacts.size());
+  for (std::size_t i = 0; i < serial.emission.artifacts.size(); ++i) {
+    EXPECT_EQ(serial.emission.artifacts[i].path, parallel.emission.artifacts[i].path);
+    EXPECT_EQ(serial.emission.artifacts[i].hash, parallel.emission.artifacts[i].hash);
+    EXPECT_EQ(serial.emission.artifacts[i].hash, uncached.emission.artifacts[i].hash);
+  }
+}
+
+// --- portfolio emission ------------------------------------------------------
+
+MultiExplorationRequest portfolio_request() {
+  MultiExplorationRequest request;
+  request.workloads = {{.workload = "adpcmdecode", .weight = 2.0},
+                       {.workload = "crc32"},
+                       {.workload = "gsm"}};
+  request.scheme = "joint-iterative";
+  request.constraints = cons(4, 2);
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 6;
+  return request;
+}
+
+TEST(PortfolioEmission, EveryInstructionGetsAnAfuAndEveryAppAWrapper) {
+  MultiExplorationRequest request = portfolio_request();
+  request.emission.targets = {"verilog", "c-intrinsics", "dot", "manifest"};
+  request.emission.verify_rewrites = true;
+
+  const Explorer explorer(kLat);
+  const PortfolioReport report = explorer.run_portfolio(request);
+  ASSERT_FALSE(report.cuts.empty());
+
+  // One AFU module per selected instruction, named prefix + index.
+  for (std::size_t j = 0; j < report.cuts.size(); ++j) {
+    EXPECT_NE(find_artifact(report.emission, "afu/isex" + std::to_string(j) + ".v"),
+              nullptr);
+  }
+  // One wrapper + one intrinsics header per application; instantiation
+  // counts equal the number of instructions serving the app.
+  std::vector<int> served_count(report.workloads.size(), 0);
+  for (const PortfolioCutReport& cut : report.cuts) {
+    for (const PortfolioCutReport::Instance& inst : cut.served) {
+      // Count each (instruction, app) pair once.
+      bool first = true;
+      for (const PortfolioCutReport::Instance& prev : cut.served) {
+        if (&prev == &inst) break;
+        if (prev.workload_index == inst.workload_index) first = false;
+      }
+      if (first) ++served_count[static_cast<std::size_t>(inst.workload_index)];
+    }
+  }
+  ASSERT_EQ(report.emission.afu_instantiations.size(), report.workloads.size());
+  for (std::size_t i = 0; i < report.workloads.size(); ++i) {
+    const std::string& name = report.workloads[i].workload;
+    EXPECT_NE(find_artifact(report.emission, name + "/" + name + "_afu.v"), nullptr);
+    EXPECT_NE(find_artifact(report.emission, name + "/" + name + "_intrinsics.h"), nullptr);
+    EXPECT_EQ(report.emission.afu_instantiations[i].workload, name);
+    EXPECT_EQ(report.emission.afu_instantiations[i].count, served_count[i]) << name;
+  }
+  // Rewrite-verify passed everywhere: outputs bit-exact and custom-op
+  // invocation counts equal to the baseline block frequencies.
+  for (const PortfolioWorkloadReport& w : report.workloads) {
+    EXPECT_TRUE(w.validation.rewritten) << w.workload;
+    EXPECT_TRUE(w.validation.bit_exact) << w.workload;
+    EXPECT_TRUE(w.validation.counts_match) << w.workload;
+    EXPECT_GT(w.validation.custom_invocations, 0u) << w.workload;
+    EXPECT_LT(w.validation.cycles_after, w.validation.cycles_before) << w.workload;
+  }
+}
+
+TEST(PortfolioEmission, ManifestAttributionMatchesTheReport) {
+  MultiExplorationRequest request = portfolio_request();
+  request.emission.targets = {"manifest"};
+
+  const Explorer explorer(kLat);
+  const PortfolioReport report = explorer.run_portfolio(request);
+  ASSERT_EQ(report.emission.artifacts.size(), 1u);
+
+  // Re-run through the engine seam: the artifact hash pins the content, so
+  // regenerate it from disk via out_dir for inspection.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "isex_manifest_test";
+  fs::remove_all(dir);
+  request.emission.out_dir = dir.string();
+  const PortfolioReport written = explorer.run_portfolio(request);
+  const Json manifest = Json::parse(read_file(dir / "manifest.json"));
+  fs::remove_all(dir);
+
+  const Json::Array& instructions = manifest.at("instructions").as_array();
+  ASSERT_EQ(instructions.size(), written.cuts.size());
+  for (std::size_t j = 0; j < instructions.size(); ++j) {
+    const Json& instr = instructions[j];
+    const PortfolioCutReport& cut = written.cuts[j];
+    EXPECT_EQ(instr.at("name").as_string(), "isex" + std::to_string(j));
+    EXPECT_EQ(instr.at("workload").as_string(),
+              written.workloads[static_cast<std::size_t>(cut.workload_index)].workload);
+    EXPECT_EQ(static_cast<int>(instr.at("block_index").as_int()), cut.block_index);
+    EXPECT_EQ(instr.at("nodes").as_string(), cut.nodes);
+    const Json::Array& served = instr.at("served").as_array();
+    ASSERT_EQ(served.size(), cut.served.size());
+    for (std::size_t k = 0; k < served.size(); ++k) {
+      EXPECT_EQ(static_cast<int>(served[k].at("workload_index").as_int()),
+                cut.served[k].workload_index);
+      EXPECT_EQ(served[k].at("block").as_string(), cut.served[k].block);
+    }
+  }
+}
+
+TEST(PortfolioEmission, SharedKernelIsRewrittenAndVerifiedInEveryServingApp) {
+  // The same workload twice: every block is fingerprint-shared, so every
+  // selected instruction serves both applications and the rewrite-verify
+  // must pass in each one independently.
+  MultiExplorationRequest request;
+  request.workloads = {{.workload = "crc32", .label = ""},
+                       {.workload = "crc32", .label = ""}};
+  request.scheme = "joint-iterative";
+  request.constraints = cons(4, 2);
+  request.num_instructions = 2;
+  request.emission.targets = {"verilog", "manifest"};
+  request.emission.verify_rewrites = true;
+
+  const Explorer explorer(kLat);
+  const PortfolioReport report = explorer.run_portfolio(request);
+  ASSERT_FALSE(report.cuts.empty());
+  EXPECT_GT(report.sharing.shared_kernels, 0);
+  for (const PortfolioCutReport& cut : report.cuts) {
+    EXPECT_EQ(cut.served.size(), 2u);  // both instances of the kernel
+  }
+  for (const PortfolioWorkloadReport& w : report.workloads) {
+    EXPECT_TRUE(w.validation.bit_exact);
+    EXPECT_TRUE(w.validation.counts_match);
+  }
+  // Both wrappers instantiate every instruction.
+  for (const AfuInstantiationReport& inst : report.emission.afu_instantiations) {
+    EXPECT_EQ(inst.count, static_cast<int>(report.cuts.size()));
+  }
+}
+
+TEST(PortfolioEmission, BareBuildAfusIsRejectedWithAStructuredError) {
+  // PortfolioReport has no AFU-snapshot field, so a bare build_afus would be
+  // computed and dropped silently — the exact no-op class this API rejects.
+  MultiExplorationRequest request = portfolio_request();
+  request.emission.build_afus = true;
+  const Explorer explorer(kLat);
+  try {
+    explorer.run_portfolio(request);
+    FAIL() << "expected EmissionOptionsError";
+  } catch (const EmissionOptionsError& e) {
+    EXPECT_EQ(e.field(), "build_afus");
+    EXPECT_NE(e.reason().find("verilog"), std::string::npos);
+  }
+}
+
+TEST(PortfolioEmission, GraphOnlyEntriesRejectModuleTargetsButAllowDot) {
+  MultiExplorationRequest request;
+  PortfolioWorkloadRequest graphs;
+  graphs.graphs.push_back(tiny_graph());
+  graphs.label = "synthetic";
+  request.workloads = {{.workload = "crc32"}, graphs};
+  request.scheme = "joint-iterative";
+  request.constraints = cons(4, 2);
+  request.num_instructions = 2;
+
+  const Explorer explorer(kLat);
+  request.emission.targets = {"verilog"};
+  EXPECT_THROW(explorer.run_portfolio(request), EmissionOptionsError);
+  request.emission.targets = {"verilog", "dot"};
+  EXPECT_THROW(explorer.run_portfolio(request), EmissionOptionsError);
+  request.emission.targets.clear();
+  request.emission.verify_rewrites = true;
+  EXPECT_THROW(explorer.run_portfolio(request), EmissionOptionsError);
+
+  request.emission.verify_rewrites = false;
+  request.emission.targets = {"dot", "manifest"};
+  const PortfolioReport report = explorer.run_portfolio(request);
+  EXPECT_FALSE(report.emission.artifacts.empty());
+}
+
+// --- report JSON round-trip --------------------------------------------------
+
+TEST(EmissionReportJson, RoundTripsByteIdenticallyInBothReportTypes) {
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.scheme = "iterative";
+  request.constraints = cons(4, 2);
+  request.num_instructions = 2;
+  request.emission.targets = {"verilog", "manifest"};
+  request.emission.verify_rewrites = true;
+
+  const Explorer explorer(kLat);
+  const ExplorationReport report = explorer.run(request);
+  ASSERT_FALSE(report.emission.artifacts.empty());
+  const std::string text = report.to_json_string();
+  const ExplorationReport back = ExplorationReport::from_json(Json::parse(text));
+  EXPECT_EQ(back.to_json_string(), text);
+  EXPECT_EQ(back.emission.targets, report.emission.targets);
+  EXPECT_EQ(back.emission.artifacts.size(), report.emission.artifacts.size());
+  EXPECT_EQ(back.validation.counts_match, report.validation.counts_match);
+  EXPECT_EQ(back.validation.custom_invocations, report.validation.custom_invocations);
+
+  MultiExplorationRequest multi = portfolio_request();
+  multi.emission.targets = {"verilog", "manifest"};
+  multi.emission.verify_rewrites = true;
+  const PortfolioReport portfolio = explorer.run_portfolio(multi);
+  const std::string ptext = portfolio.to_json_string();
+  const PortfolioReport pback = PortfolioReport::from_json(Json::parse(ptext));
+  EXPECT_EQ(pback.to_json_string(), ptext);
+  ASSERT_EQ(pback.workloads.size(), portfolio.workloads.size());
+  for (std::size_t i = 0; i < pback.workloads.size(); ++i) {
+    EXPECT_EQ(pback.workloads[i].validation.bit_exact,
+              portfolio.workloads[i].validation.bit_exact);
+    EXPECT_EQ(pback.workloads[i].validation.custom_invocations,
+              portfolio.workloads[i].validation.custom_invocations);
+  }
+}
+
+TEST(EmissionReportJson, ReportsSerializedBeforeTheEmissionBackendStayLoadable) {
+  // Forward compatibility with archived report files: strip the new emission
+  // section and the new validation/timings fields, then parse.
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.scheme = "iterative";
+  request.num_instructions = 1;
+  const Explorer explorer(kLat);
+  const Json full = explorer.run(request).to_json();
+
+  Json stripped = Json::object();
+  for (const auto& [key, value] : full.as_object()) {
+    if (key == "emission") continue;
+    if (key == "validation") {
+      Json v = Json::object();
+      for (const auto& [vk, vv] : value.as_object()) {
+        if (vk != "counts_match" && vk != "custom_invocations") v.set(vk, vv);
+      }
+      stripped.set(key, std::move(v));
+      continue;
+    }
+    if (key == "timings") {
+      Json t = Json::object();
+      for (const auto& [tk, tv] : value.as_object()) {
+        if (tk != "emit_ms") t.set(tk, tv);
+      }
+      stripped.set(key, std::move(t));
+      continue;
+    }
+    stripped.set(key, value);
+  }
+  const ExplorationReport back = ExplorationReport::from_json(stripped);
+  EXPECT_EQ(back.workload, "crc32");
+  EXPECT_FALSE(back.validation.counts_match);
+  EXPECT_TRUE(back.emission.targets.empty());
+}
+
+// --- rewrite_and_verify unit ------------------------------------------------
+
+TEST(RewriteAndVerify, CountsEveryCustomInvocationAgainstTheProfile) {
+  Workload w = find_workload("crc32");
+  w.preprocess();
+  DfgOptions opts;
+  double base = 0.0;
+  const std::vector<Dfg> blocks = w.extract_dfgs(opts, &base);
+
+  const Explorer explorer(kLat);
+  SelectionResult sel;
+  {
+    ExplorationRequest request;
+    request.workload = "crc32";
+    request.scheme = "iterative";
+    request.constraints = cons(4, 2);
+    request.num_instructions = 2;
+    sel = explorer.run(request).selection;
+  }
+  ASSERT_FALSE(sel.cuts.empty());
+
+  const std::vector<std::string> names = {"crc_mix0"};
+  const RewriteVerification rv = rewrite_and_verify(
+      w, blocks, sel, kLat, "unused_prefix",
+      std::span<const std::string>(names.data(), sel.cuts.size() == 1 ? 1 : 0));
+  EXPECT_TRUE(rv.bit_exact);
+  EXPECT_TRUE(rv.counts_match);
+  EXPECT_EQ(rv.custom_invocations, rv.expected_invocations);
+  EXPECT_GT(rv.custom_invocations, 0u);
+  EXPECT_EQ(rv.instructions_added, static_cast<int>(sel.cuts.size()));
+  EXPECT_TRUE(w.mutated());
+  if (sel.cuts.size() == 1) {
+    EXPECT_EQ(w.module().custom_op(rv.custom_op_indices[0]).name, "crc_mix0");
+  }
+}
+
+}  // namespace
+}  // namespace isex

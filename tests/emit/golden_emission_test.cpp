@@ -1,0 +1,121 @@
+// Golden-file pins for the emitted artifacts: the Verilog module and the
+// behavioural-C intrinsics header of the first selected instruction of crc32
+// and adpcmdecode under the fig11 configuration (Nin=4/Nout=2, iterative,
+// result-preserving accelerations on) must be byte-identical to the files in
+// tests/golden/, for any thread count, cache mode, and through both the
+// single-workload and the one-bundle portfolio path — deterministic emission
+// is what makes the CI diff against these files meaningful.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "api/explorer.hpp"
+#include "support/hash.hpp"
+
+#ifndef ISEX_SOURCE_DIR
+#error "ISEX_SOURCE_DIR must point at the repository root (set by CMake)"
+#endif
+
+namespace isex {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(ISEX_SOURCE_DIR) + "/tests/golden/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const std::string* artifact_content(const ExplorationReport& report, std::size_t index) {
+  return index < report.verilog.size() ? &report.verilog[index] : nullptr;
+}
+
+ExplorationRequest golden_request(const std::string& workload) {
+  ExplorationRequest request;
+  request.workload = workload;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.constraints.branch_and_bound = true;
+  request.constraints.prune_permanent_inputs = true;
+  request.num_instructions = 1;
+  request.emission.targets = {"verilog", "c-intrinsics"};
+  return request;
+}
+
+class GoldenEmission : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenEmission, VerilogAndIntrinsicsAreByteIdenticalToTheGoldenFiles) {
+  const std::string workload = GetParam();
+  const std::string golden_v = read_golden(workload + "_isex0.v");
+  const std::string golden_h = read_golden(workload + "_intrinsics.h");
+  ASSERT_FALSE(golden_v.empty());
+  ASSERT_FALSE(golden_h.empty());
+
+  const Explorer explorer;
+  ExplorationRequest request = golden_request(workload);
+  const ExplorationReport serial = explorer.run(request);
+  ASSERT_EQ(serial.afus.size(), 1u);
+  EXPECT_EQ(serial.afus[0].name, "isex0");
+  ASSERT_NE(artifact_content(serial, 0), nullptr);
+  EXPECT_EQ(*artifact_content(serial, 0), golden_v) << workload;
+
+  const auto header_of = [&](const ExplorationReport& report) -> std::string {
+    for (std::size_t i = 0; i < report.emission.artifacts.size(); ++i) {
+      if (report.emission.artifacts[i].path == workload + "/" + workload + "_intrinsics.h") {
+        return report.emission.artifacts[i].hash;
+      }
+    }
+    return {};
+  };
+  // The header's pinned bytes are checked via the content hash (the report
+  // does not carry header bytes inline) against a hash of the golden file.
+  EXPECT_EQ(header_of(serial), artifact_hash_hex(hash_bytes(golden_h))) << workload;
+
+  // Thread count and cache mode must not move a single byte.
+  request.num_threads = 4;
+  const ExplorationReport parallel = explorer.run(request);
+  EXPECT_EQ(*artifact_content(parallel, 0), golden_v);
+  EXPECT_EQ(header_of(parallel), header_of(serial));
+  request.num_threads = 1;
+  request.use_cache = false;
+  const ExplorationReport uncached = explorer.run(request);
+  EXPECT_EQ(*artifact_content(uncached, 0), golden_v);
+  EXPECT_EQ(header_of(uncached), header_of(serial));
+
+  // The one-bundle portfolio path (what `portfolio_explore <workload>
+  // --ninstr 1 --emit-dir` runs in CI) emits the same bytes.
+  MultiExplorationRequest multi;
+  multi.workloads = {{.workload = workload}};
+  multi.scheme = "joint-iterative";
+  multi.constraints = request.constraints;
+  multi.num_instructions = 1;
+  multi.emission.targets = {"verilog", "c-intrinsics"};
+  const PortfolioReport portfolio = explorer.run_portfolio(multi);
+  bool found_v = false;
+  bool found_h = false;
+  for (const ArtifactReport& a : portfolio.emission.artifacts) {
+    if (a.path == "afu/isex0.v") {
+      EXPECT_EQ(a.hash, artifact_hash_hex(hash_bytes(golden_v)));
+      found_v = true;
+    }
+    if (a.path == workload + "/" + workload + "_intrinsics.h") {
+      EXPECT_EQ(a.hash, artifact_hash_hex(hash_bytes(golden_h)));
+      found_h = true;
+    }
+  }
+  EXPECT_TRUE(found_v) << workload;
+  EXPECT_TRUE(found_h) << workload;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, GoldenEmission,
+                         ::testing::Values("crc32", "adpcmdecode"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace isex
