@@ -81,6 +81,12 @@ SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constrai
   return cached_single_cut(use_cache ? cache_.get() : nullptr, block, latency_, constraints);
 }
 
+SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints,
+                                   const CutSearchOptions& search, bool use_cache) const {
+  return cached_single_cut(use_cache ? cache_.get() : nullptr, block, latency_, constraints,
+                           nullptr, search);
+}
+
 MultiCutResult Explorer::identify_multi(const Dfg& block, const Constraints& constraints,
                                         int num_cuts, bool use_cache) const {
   return cached_multi_cut(use_cache ? cache_.get() : nullptr, block, latency_, constraints,
@@ -197,6 +203,7 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   bundle.blocks = blocks;
   bundle.weight = 1.0;
   bundle.base_cycles = report.base_cycles;
+  SearchEngineStats engine_stats;
   SchemeInputs inputs{std::span<const WorkloadBundle>(&bundle, 1),
                       latency_,
                       request.constraints,
@@ -204,9 +211,15 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
                       request.area,
                       executor,
                       request.use_cache ? cache_.get() : nullptr,
-                      &local};
+                      &local,
+                      request.subtree_split_depth,
+                      &engine_stats};
   report.selection = portfolio_to_single(scheme.select(inputs));
   report.timings.identify_ms = ms_since(t_identify);
+  report.engine.subtree_split_depth = request.subtree_split_depth;
+  report.engine.subtree_tasks = engine_stats.subtree_tasks.load();
+  report.engine.split_searches = engine_stats.split_searches.load();
+  report.engine.serial_searches = engine_stats.serial_searches.load();
 
   report.total_merit = report.selection.total_merit;
   report.identification_calls = report.selection.identification_calls;
@@ -392,6 +405,7 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
   area.max_area_macs = request.max_area_macs;
   area.num_instructions = request.num_instructions;
   area.area_grid_macs = request.area_grid_macs;
+  SearchEngineStats engine_stats;
   SchemeInputs inputs{bundles,
                       latency_,
                       request.constraints,
@@ -399,9 +413,15 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
                       area,
                       executor,
                       request.use_cache ? cache_.get() : nullptr,
-                      &local};
+                      &local,
+                      request.subtree_split_depth,
+                      &engine_stats};
   report.selection = scheme.select(inputs);
   report.timings.identify_ms = ms_since(t_identify);
+  report.engine.subtree_split_depth = request.subtree_split_depth;
+  report.engine.subtree_tasks = engine_stats.subtree_tasks.load();
+  report.engine.split_searches = engine_stats.split_searches.load();
+  report.engine.serial_searches = engine_stats.serial_searches.load();
 
   // --- aggregate -----------------------------------------------------------
   report.total_weighted_merit = report.selection.total_weighted_merit;

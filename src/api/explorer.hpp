@@ -61,6 +61,16 @@ struct ExplorationRequest {
   /// 0 = hardware concurrency. Results are identical for any value.
   int num_threads = 1;
 
+  /// Split each block's enumeration tree at this candidate-decision depth
+  /// into independent subtree tasks on the identification thread pool
+  /// (0 = off; 4–8 is a good range). Results are byte-identical for any
+  /// value and thread count; branch-and-bound searches stay serial (see
+  /// CutSearchOptions). Pays off on large single-block kernels — and in the
+  /// iterative scheme's later rounds, where only one collapsed block
+  /// re-identifies and per-block parallelism has nothing left to do.
+  /// report.engine records what the runner did.
+  int subtree_split_depth = 0;
+
   /// Route this request through the Explorer's ResultCache (identification
   /// memo + DFG-extraction cache). Results are byte-identical either way;
   /// opt out to benchmark cold searches or to explore graphs the cache
@@ -143,6 +153,10 @@ class Explorer {
   /// way — a hit replays the cold search byte-for-byte).
   SingleCutResult identify(const Dfg& block, const Constraints& constraints,
                            bool use_cache = true) const;
+  /// As identify(), steering the engine with subtree-parallel search
+  /// options (byte-identical result for any options).
+  SingleCutResult identify(const Dfg& block, const Constraints& constraints,
+                           const CutSearchOptions& search, bool use_cache = true) const;
   /// Best set of up to `num_cuts` disjoint cuts of one block (memoized like
   /// identify()).
   MultiCutResult identify_multi(const Dfg& block, const Constraints& constraints,

@@ -133,6 +133,10 @@ Json PortfolioReport::to_json() const {
   c.set("evictions", cache.counters.evictions);
   c.set("cross_workload_hits", cache.counters.cross_workload_hits);
   j.set("cache", std::move(c));
+
+  // Present only when subtree parallelism was requested (matches
+  // ExplorationReport::to_json).
+  if (engine.subtree_split_depth != 0) j.set("engine", isex::to_json(engine));
   return j;
 }
 
@@ -169,6 +173,8 @@ PortfolioReport PortfolioReport::from_json(const Json& j) {
   r.cache.counters.dfg_misses = c.at("dfg_misses").as_uint();
   r.cache.counters.evictions = c.at("evictions").as_uint();
   r.cache.counters.cross_workload_hits = c.at("cross_workload_hits").as_uint();
+  // Absent in reports from serial-engine requests and in archived files.
+  if (const Json* e = j.find("engine")) r.engine = engine_from_json(*e);
   return r;
 }
 

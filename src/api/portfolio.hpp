@@ -67,6 +67,10 @@ struct MultiExplorationRequest {
   /// Threads for per-block identification: 1 = serial (default),
   /// 0 = hardware concurrency. Results are identical for any value.
   int num_threads = 1;
+  /// Subtree-parallel search depth within each identification (0 = off;
+  /// see ExplorationRequest::subtree_split_depth — same semantics, same
+  /// byte-identical guarantee). report.engine records what the runner did.
+  int subtree_split_depth = 0;
   /// Route the request through the Explorer's ResultCache. Identical
   /// kernels appearing in several applications are then identified once and
   /// surfaced as cross-workload hits in the report.
@@ -151,6 +155,7 @@ struct PortfolioReport {
   EmissionReport emission;
   ReportTimings timings;
   CacheReport cache;
+  EngineReport engine;
 
   /// The raw selection (bit vectors usable against the extracted DFGs); not
   /// serialized.

@@ -138,6 +138,24 @@ EmissionReport emission_from_json(const Json& j) {
   return e;
 }
 
+Json to_json(const EngineReport& e) {
+  Json j = Json::object();
+  j.set("subtree_split_depth", e.subtree_split_depth);
+  j.set("subtree_tasks", e.subtree_tasks);
+  j.set("split_searches", e.split_searches);
+  j.set("serial_searches", e.serial_searches);
+  return j;
+}
+
+EngineReport engine_from_json(const Json& j) {
+  EngineReport e;
+  e.subtree_split_depth = static_cast<int>(j.at("subtree_split_depth").as_int());
+  e.subtree_tasks = j.at("subtree_tasks").as_uint();
+  e.split_searches = j.at("split_searches").as_uint();
+  e.serial_searches = j.at("serial_searches").as_uint();
+  return e;
+}
+
 Json ExplorationReport::to_json() const {
   Json j = Json::object();
   j.set("workload", workload);
@@ -180,6 +198,11 @@ Json ExplorationReport::to_json() const {
   c.set("evictions", cache.counters.evictions);
   c.set("cross_workload_hits", cache.counters.cross_workload_hits);
   j.set("cache", std::move(c));
+
+  // Present only when subtree parallelism was requested: default-request
+  // reports keep their historical byte layout, and warm runs (no searches)
+  // stay comparable to cold ones.
+  if (engine.subtree_split_depth != 0) j.set("engine", isex::to_json(engine));
   return j;
 }
 
@@ -219,6 +242,8 @@ ExplorationReport ExplorationReport::from_json(const Json& j) {
   if (const Json* cross = c.find("cross_workload_hits")) {
     r.cache.counters.cross_workload_hits = cross->as_uint();
   }
+  // Absent in reports from serial-engine requests and in archived files.
+  if (const Json* e = j.find("engine")) r.engine = engine_from_json(*e);
   return r;
 }
 

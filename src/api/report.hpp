@@ -90,6 +90,27 @@ struct CacheReport {
   CacheCounters counters;
 };
 
+/// What the identification engine's subtree-parallel runner did for this
+/// run (see ExplorationRequest::subtree_split_depth). Serialized only when
+/// subtree parallelism was requested — default-request reports are
+/// unchanged on disk, and cache-warm runs (which skip the searches) stay
+/// byte-comparable to cold ones.
+struct EngineReport {
+  /// The requested split depth (0 = serial engine only).
+  int subtree_split_depth = 0;
+  /// Subtree tasks dispatched across all split searches.
+  std::uint64_t subtree_tasks = 0;
+  /// Identification searches that split into subtree tasks.
+  std::uint64_t split_searches = 0;
+  /// Identification searches that ran serially (cache hits excluded): split
+  /// disabled for them, the graph was smaller than the split depth produces
+  /// tasks for, or branch-and-bound forced the serial engine.
+  std::uint64_t serial_searches = 0;
+};
+
+Json to_json(const EngineReport& e);
+EngineReport engine_from_json(const Json& j);
+
 struct ExplorationReport {
   std::string workload;  // empty for user-provided graphs
   std::string scheme;
@@ -113,6 +134,7 @@ struct ExplorationReport {
   EmissionReport emission;
   ReportTimings timings;
   CacheReport cache;
+  EngineReport engine;
 
   /// Verilog of each synthesized AFU (the "verilog" emission target / legacy
   /// request.emit_verilog); not serialized — see emission.artifacts for the

@@ -88,7 +88,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
       [](const SchemeInputs& in) {
         return select_iterative(in.bundles[0].blocks, in.latency,
                                 in.constraints, in.num_instructions, in.executor, in.cache,
-                                in.cache_counters);
+                                in.cache_counters, in.search_options());
       }));
   registry.add(std::make_unique<SingleWorkloadScheme>(
       "optimal", "greedy best(b, m) increments over multiple-cut tables (Section 6.2)",
@@ -126,7 +126,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
         options.num_instructions = in.num_instructions;
         return select_area_constrained(in.bundles[0].blocks, in.latency,
                                        in.constraints, options, in.executor, in.cache,
-                                       in.cache_counters);
+                                       in.cache_counters, in.search_options());
       }));
   registry.add(std::make_unique<PortfolioScheme>(
       "joint-iterative",
@@ -135,7 +135,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
       [](const SchemeInputs& in) {
         return select_portfolio_iterative(in.bundles, in.latency, in.constraints,
                                           in.num_instructions, in.executor, in.cache,
-                                          in.cache_counters);
+                                          in.cache_counters, in.search_options());
       }));
   registry.add(std::make_unique<PortfolioScheme>(
       "merge-then-select",
@@ -145,7 +145,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
         return select_portfolio_merge(in.bundles, in.latency, in.constraints,
                                       in.num_instructions, in.area.max_area_macs,
                                       in.area.area_grid_macs, in.executor, in.cache,
-                                      in.cache_counters);
+                                      in.cache_counters, in.search_options());
       }));
 }
 

@@ -59,6 +59,19 @@ struct SchemeInputs {
   /// Portfolio schemes fan it out into per-bundle scoped sinks so
   /// cross-workload sharing is counted.
   CacheCounters* cache_counters = nullptr;
+  /// Candidate-decision depth for subtree-parallel single-cut searches
+  /// (0 = serial; see CutSearchOptions::split_depth). Result-identical for
+  /// any value; honoured by the schemes built on single-cut identification
+  /// (iterative, area, joint-iterative, merge-then-select).
+  int subtree_split_depth = 0;
+  /// Per-request engine counter sink (may be null), surfaced as the
+  /// report's "engine" section.
+  SearchEngineStats* engine_stats = nullptr;
+
+  /// The CutSearchOptions this request asks schemes to search with.
+  CutSearchOptions search_options() const {
+    return CutSearchOptions{executor, subtree_split_depth, engine_stats};
+  }
 
   /// The blocks of the portfolio's only bundle. Single-application schemes
   /// call this first: it throws an isex::Error naming `scheme` when the

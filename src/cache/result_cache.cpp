@@ -101,14 +101,18 @@ void ResultCache::insert_memo(const MemoKey& key, MemoEntry entry, CacheCounters
 
 SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latency,
                                         const Constraints& constraints,
-                                        CacheCounters* local) {
+                                        CacheCounters* local,
+                                        const CutSearchOptions& search) {
   MemoKey key{dfg_fingerprint(g), latency_signature(latency), constraints, 0};
   if (std::optional<MemoEntry> hit = lookup_memo(key, local)) {
     ISEX_ASSERT(hit->single != nullptr, "memo entry kind mismatch");
     return *hit->single;  // result copied outside the lock
   }
+  // Computed outside the lock; the subtree-parallel engine is byte-identical
+  // to the serial one, so the stored entry is valid for every future caller
+  // regardless of their search options.
   auto result = std::make_shared<const SingleCutResult>(
-      find_best_cut(g, latency, constraints));  // computed outside the lock
+      find_best_cut(g, latency, constraints, search));
   MemoEntry entry;
   entry.single = result;
   if (local != nullptr) entry.origin_scope = local->scope;
@@ -295,9 +299,9 @@ bool ResultCache::load_file(const std::string& path) {
 
 SingleCutResult cached_single_cut(ResultCache* cache, const Dfg& g,
                                   const LatencyModel& latency, const Constraints& constraints,
-                                  CacheCounters* local) {
-  if (cache == nullptr) return find_best_cut(g, latency, constraints);
-  return cache->single_cut(g, latency, constraints, local);
+                                  CacheCounters* local, const CutSearchOptions& search) {
+  if (cache == nullptr) return find_best_cut(g, latency, constraints, search);
+  return cache->single_cut(g, latency, constraints, local, search);
 }
 
 MultiCutResult cached_multi_cut(ResultCache* cache, const Dfg& g, const LatencyModel& latency,

@@ -12,7 +12,10 @@
 //
 // The extraction cache keys on (workload name, DfgOptions) and remembers the
 // profiled, frequency-weighted block graphs plus the measured base cycle
-// count, so one Explorer never re-profiles an unchanged workload. Rewriting
+// count, so one Explorer never re-profiles an unchanged workload. Because
+// the word-parallel closure bitsets (ancestor/descendant rows, adjacency
+// masks) live inside the finalized Dfg, a snapshot hit also reuses them —
+// repeated identification over a cached graph never recomputes a closure. Rewriting
 // requests bypass it entirely (a rewrite mutates the module the graphs were
 // extracted from; the cached pristine extraction stays valid for future
 // by-name requests).
@@ -64,9 +67,12 @@ class ResultCache {
   // it to attribute per-request deltas even when several requests run
   // through one cache concurrently.
 
-  /// find_best_cut through the memo table.
+  /// find_best_cut through the memo table. `search` steers the engine on a
+  /// miss (subtree-parallel options); because every engine is byte-identical
+  /// it never affects what a hit returns or what gets stored.
   SingleCutResult single_cut(const Dfg& g, const LatencyModel& latency,
-                             const Constraints& constraints, CacheCounters* local = nullptr);
+                             const Constraints& constraints, CacheCounters* local = nullptr,
+                             const CutSearchOptions& search = {});
   /// find_best_cuts through the memo table.
   MultiCutResult multi_cut(const Dfg& g, const LatencyModel& latency,
                            const Constraints& constraints, int num_cuts,
@@ -163,7 +169,8 @@ class ResultCache {
 /// so callers thread an optional cache without branching at every call site.
 SingleCutResult cached_single_cut(ResultCache* cache, const Dfg& g,
                                   const LatencyModel& latency, const Constraints& constraints,
-                                  CacheCounters* local = nullptr);
+                                  CacheCounters* local = nullptr,
+                                  const CutSearchOptions& search = {});
 MultiCutResult cached_multi_cut(ResultCache* cache, const Dfg& g, const LatencyModel& latency,
                                 const Constraints& constraints, int num_cuts,
                                 CacheCounters* local = nullptr);

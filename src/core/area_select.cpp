@@ -68,7 +68,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const Constraints& constraints,
                                         const AreaSelectOptions& options,
                                         Executor* executor, ResultCache* cache,
-                                        CacheCounters* cache_counters) {
+                                        CacheCounters* cache_counters,
+                                        const CutSearchOptions& search) {
   // Fail fast on malformed options (knapsack_select_indices re-checks, but
   // only after the expensive candidate generation below).
   ISEX_CHECK(options.max_area_macs >= 0, "negative area budget");
@@ -79,7 +80,7 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
   // one large candidate for several small ones.
   SelectionResult pool =
       select_iterative(blocks, latency, constraints, options.num_instructions * 2,
-                       executor, cache, cache_counters);
+                       executor, cache, cache_counters, search);
 
   std::vector<double> values;
   std::vector<double> areas;

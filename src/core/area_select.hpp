@@ -13,6 +13,7 @@
 #include <span>
 
 #include "core/selection.hpp"
+#include "core/single_cut.hpp"
 #include "latency/latency_model.hpp"
 #include "support/parallel.hpp"
 
@@ -34,7 +35,8 @@ SelectionResult select_area_constrained(std::span<const Dfg> blocks,
                                         const AreaSelectOptions& options,
                                         Executor* executor = nullptr,
                                         ResultCache* cache = nullptr,
-                                        CacheCounters* cache_counters = nullptr);
+                                        CacheCounters* cache_counters = nullptr,
+                                        const CutSearchOptions& search = {});
 
 /// The Section 9 selection core, exposed for every area-budgeted scheme
 /// (single-application "area", portfolio merge-then-select): 0/1 knapsack

@@ -5,6 +5,13 @@
 
 namespace isex {
 
+/// The one integer cycle type of the enumeration engines: software-latency
+/// sums, branch-and-bound suffix bounds and rounded-up hardware cycles are
+/// all carried as Cycles, so the bound arithmetic can never drift from the
+/// merit it prunes against (the only floating-point step left is the final
+/// exec_freq weighting, applied identically to both).
+using Cycles = std::int64_t;
+
 struct Constraints {
   /// Nin: register-file read ports available to a special instruction.
   int max_inputs = 4;
@@ -28,7 +35,14 @@ struct Constraints {
 
   /// Abort the search after this many considered cuts (0 = unlimited). When
   /// exhausted the best cut found so far is returned and the stats carry
-  /// `budget_exhausted = true`.
+  /// `budget_exhausted = true`. Accounting is exact in every engine — serial,
+  /// subtree-parallel and the retained reference implementation: the
+  /// considered-cut count never overshoots, and equals the budget exactly
+  /// whenever the search tree is larger than it. Subtree-parallel tasks
+  /// share one atomic budget gate; the aggregate count and the exhaustion
+  /// flag stay deterministic across thread counts, though *which* cuts fill
+  /// an exhausted budget (and hence the partial best) is only reproducible
+  /// serially — searches that never exhaust are byte-identical everywhere.
   std::uint64_t search_budget = 0;
 
   /// Every field influences the search, so equality means "same answer for

@@ -20,7 +20,8 @@ struct BlockState {
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
                                  const Constraints& constraints, int num_instructions,
                                  Executor* executor, ResultCache* cache,
-                                 CacheCounters* cache_counters) {
+                                 CacheCounters* cache_counters,
+                                 const CutSearchOptions& search) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
   if (executor == nullptr) executor = &serial_executor();
   SelectionResult result;
@@ -46,7 +47,8 @@ SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel
     }
     executor->parallel_for(pending.size(), [&](std::size_t i) {
       BlockState& s = state[pending[i]];
-      s.cached = cached_single_cut(cache, s.current, latency, constraints, cache_counters);
+      s.cached =
+          cached_single_cut(cache, s.current, latency, constraints, cache_counters, search);
     });
     for (const std::size_t b : pending) {
       ++result.identification_calls;

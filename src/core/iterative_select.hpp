@@ -22,9 +22,14 @@ struct CacheCounters;
 /// `executor` is given they run through it, and results are merged in block
 /// order so the output is identical to the serial run. A non-null `cache`
 /// memoizes the identification searches (same output, hits skip the search).
+/// `search` adds subtree parallelism *within* each identification (also
+/// result-identical) — it pays off in the later rounds, where only the one
+/// collapsed block re-identifies and block-level parallelism has nothing to
+/// do.
 SelectionResult select_iterative(std::span<const Dfg> blocks, const LatencyModel& latency,
                                  const Constraints& constraints, int num_instructions,
                                  Executor* executor = nullptr, ResultCache* cache = nullptr,
-                                 CacheCounters* cache_counters = nullptr);
+                                 CacheCounters* cache_counters = nullptr,
+                                 const CutSearchOptions& search = {});
 
 }  // namespace isex

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/search_tables.hpp"
+
 namespace isex {
 
 namespace {
@@ -13,10 +15,16 @@ constexpr std::int8_t kUndecided = -2;
 constexpr std::int8_t kExcluded = -1;
 // labels 0..M-1 denote cut membership.
 
+// The (M+1)-ary walk needs per-label state (which cut does this successor
+// belong to?), so unlike the single-cut engine it keeps a label array and
+// per-node label reach masks rather than pure cut bitsets — but it runs on
+// the same SearchTables flattening: CSR adjacency with pre-resolved data
+// flags and input classification, per-node latency arrays, integer Cycles
+// sums/suffix bounds, and the shared exact BudgetGate.
 class MultiCutSearch {
  public:
-  MultiCutSearch(const Dfg& g, const LatencyModel& lat, const Constraints& cons, int m)
-      : g_(g), lat_(lat), cons_(cons), m_(m), order_(g.search_order()) {
+  MultiCutSearch(const Dfg& g, const SearchTables& t, const Constraints& cons, int m)
+      : t_(t), cons_(cons), m_(m), gate_(cons.search_budget) {
     const std::size_t n = g.num_nodes();
     state_.assign(n, kUndecided);
     reach_mask_.assign(n, 0);
@@ -29,36 +37,22 @@ class MultiCutSearch {
     crit_.assign(m_, 0.0);
     cut_size_.assign(m_, 0);
     cuts_.assign(m_, BitVector(n));
-
-    sw_suffix_.assign(order_.size() + 1, 0);
-    for (std::size_t k = order_.size(); k-- > 0;) {
-      const DfgNode& node = g_.node(order_[k]);
-      const bool candidate = node.kind == NodeKind::op && !node.forbidden;
-      sw_suffix_[k] =
-          sw_suffix_[k + 1] + (candidate ? node_sw_cycles(g_, order_[k], lat_) : 0);
-    }
   }
 
   MultiCutResult run() {
     walk(0);
     best_.stats = stats_;
+    best_.stats.budget_exhausted = gate_.exhausted();
     return best_;
   }
 
  private:
-  bool budget_hit() {
-    if (cons_.search_budget != 0 && stats_.cuts_considered >= cons_.search_budget) {
-      stats_.budget_exhausted = true;
-      return true;
-    }
-    return false;
-  }
-
-  std::uint32_t succ_reach_mask(NodeId n) const {
+  std::uint32_t succ_reach_mask(std::uint32_t n) const {
     std::uint32_t mask = 0;
-    for (NodeId s : g_.node(n).succs) {
-      mask |= reach_mask_[s.index];
-      if (state_[s.index] >= 0) mask |= 1u << state_[s.index];
+    for (std::uint32_t j = t_.succ_off[n]; j < t_.succ_off[n + 1]; ++j) {
+      const std::uint32_t s = t_.succ_node[j];
+      mask |= reach_mask_[s];
+      if (state_[s] >= 0) mask |= 1u << state_[s];
     }
     return mask;
   }
@@ -84,33 +78,29 @@ class MultiCutSearch {
   }
 
   void walk(std::size_t k) {
-    if (stats_.budget_exhausted) return;
+    if (gate_.exhausted()) return;
 
     std::size_t auto_end = k;
-    while (auto_end < order_.size()) {
-      const DfgNode& node = g_.node(order_[auto_end]);
-      if (node.kind == NodeKind::op && !node.forbidden) break;
-      ++auto_end;
-    }
+    while (auto_end < t_.order.size() && !t_.candidate[auto_end]) ++auto_end;
     for (std::size_t j = k; j < auto_end; ++j) {
-      const NodeId n = order_[j];
-      state_[n.index] = kExcluded;
-      reach_mask_[n.index] = succ_reach_mask(n);
+      const std::uint32_t n = t_.order[j];
+      state_[n] = kExcluded;
+      reach_mask_[n] = succ_reach_mask(n);
     }
-    if (auto_end == order_.size()) {
+    if (auto_end == t_.order.size()) {
       undo_autos(k, auto_end);
       return;
     }
 
-    const NodeId u = order_[auto_end];
+    const std::uint32_t u = t_.order[auto_end];
 
     // Symmetry breaking: only open one new cut label at a time.
     int open = 0;
     while (open < m_ && cut_size_[open] > 0) ++open;
     const int max_label = std::min(m_ - 1, open);
 
-    for (int c = 0; c <= max_label && !stats_.budget_exhausted; ++c) {
-      if (budget_hit()) break;
+    for (int c = 0; c <= max_label && !gate_.exhausted(); ++c) {
+      if (!gate_.consume()) break;
       ++stats_.cuts_considered;
       const Frame f = include(u, c);
       const bool out_ok = out_count_[c] <= cons_.max_outputs;
@@ -143,12 +133,9 @@ class MultiCutSearch {
         }
       }
       if (descend && cons_.branch_and_bound) {
-        double bound = g_.exec_freq() * sw_suffix_[auto_end + 1];
+        double bound = t_.exec_freq * static_cast<double>(t_.sw_suffix[auto_end + 1]);
         for (int d = 0; d < m_; ++d) {
-          bound += g_.exec_freq() *
-                   (sw_sum_[d] - (cut_size_[d] > 0
-                                      ? std::max(1.0, std::ceil(crit_[d] - 1e-9))
-                                      : 0.0));
+          bound += t_.exec_freq * static_cast<double>(sw_sum_[d] - hw_cycles(d));
         }
         if (bound <= best_.total_merit) {
           ++stats_.pruned_bound;
@@ -160,18 +147,18 @@ class MultiCutSearch {
     }
 
     // 0-branch: exclude u.
-    if (!stats_.budget_exhausted) {
-      state_[u.index] = kExcluded;
-      reach_mask_[u.index] = succ_reach_mask(u);
+    if (!gate_.exhausted()) {
+      state_[u] = kExcluded;
+      reach_mask_[u] = succ_reach_mask(u);
       walk(auto_end + 1);
-      state_[u.index] = kUndecided;
+      state_[u] = kUndecided;
     }
 
     undo_autos(k, auto_end);
   }
 
   void undo_autos(std::size_t from, std::size_t to) {
-    for (std::size_t j = to; j-- > from;) state_[order_[j].index] = kUndecided;
+    for (std::size_t j = to; j-- > from;) state_[t_.order[j]] = kUndecided;
   }
 
   struct Frame {
@@ -182,24 +169,24 @@ class MultiCutSearch {
     int tent_removed = 0;
   };
 
-  Frame include(const NodeId u, const int c) {
+  Frame include(const std::uint32_t u, const int c) {
     Frame f;
-    const DfgNode& node = g_.node(u);
-    state_[u.index] = static_cast<std::int8_t>(c);
-    cuts_[c].set(u.index);
+    state_[u] = static_cast<std::int8_t>(c);
+    cuts_[c].set(u);
     ++cut_size_[c];
-    sw_sum_[c] += node_sw_cycles(g_, u, lat_);
+    sw_sum_[c] += t_.sw[u];
 
     // Quotient edges introduced by u's outgoing paths.
     f.old_reach = quotient_reach_;
     f.old_cyclic = quotient_cyclic_;
     std::uint64_t r = quotient_reach_;
     std::uint32_t mask = 0;
-    for (NodeId s : node.succs) {
-      if (state_[s.index] >= 0 && state_[s.index] != c) {
-        mask |= 1u << state_[s.index];
-      } else if (state_[s.index] == kExcluded) {
-        mask |= reach_mask_[s.index];  // paths through plain nodes
+    for (std::uint32_t j = t_.succ_off[u]; j < t_.succ_off[u + 1]; ++j) {
+      const std::uint32_t s = t_.succ_node[j];
+      if (state_[s] >= 0 && state_[s] != c) {
+        mask |= 1u << state_[s];
+      } else if (state_[s] == kExcluded) {
+        mask |= reach_mask_[s];  // paths through plain nodes
       }
     }
     for (int d = 0; d < m_; ++d) {
@@ -210,28 +197,20 @@ class MultiCutSearch {
       quotient_reach_ = r;
       quotient_cyclic_ = quotient_cyclic_ || cyclic(r, m_);
     }
-    reach_mask_[u.index] = (1u << c) | succ_reach_mask(u);
+    reach_mask_[u] = (1u << c) | succ_reach_mask(u);
 
-    for (std::size_t j = 0; j < node.succs.size(); ++j) {
-      if (!node.succ_is_data[j]) continue;
-      if (state_[node.succs[j].index] != c) {
+    for (std::uint32_t j = t_.succ_off[u]; j < t_.succ_off[u + 1]; ++j) {
+      if (!t_.succ_data[j]) continue;
+      if (state_[t_.succ_node[j]] != c) {
         f.is_output = true;
         break;
       }
     }
     if (f.is_output) ++out_count_[c];
 
-    for (std::size_t j = 0; j < node.preds.size(); ++j) {
-      if (!node.pred_is_data[j]) continue;
-      const NodeId p = node.preds[j];
-      const DfgNode& pn = g_.node(p);
-      if (pn.kind == NodeKind::constant) continue;
-      if (++feeds_[feed_index(c, p)] == 1) {
-        if (pn.kind == NodeKind::input || pn.forbidden) {
-          ++in_perm_[c];
-        } else {
-          ++in_tent_[c];
-        }
+    for (std::uint32_t j = t_.in_off[u]; j < t_.in_off[u + 1]; ++j) {
+      if (++feeds_[feed_index(c, t_.in_node[j])] == 1) {
+        t_.in_perm[j] ? ++in_perm_[c] : ++in_tent_[c];
       }
     }
     if (feeds_[feed_index(c, u)] > 0) {
@@ -240,51 +219,48 @@ class MultiCutSearch {
     }
 
     double longest = 0.0;
-    for (std::size_t j = 0; j < node.succs.size(); ++j) {
-      const NodeId s = node.succs[j];
-      if (node.succ_is_data[j] && state_[s.index] == c) {
-        longest = std::max(longest, cp_[s.index]);
+    for (std::uint32_t j = t_.succ_off[u]; j < t_.succ_off[u + 1]; ++j) {
+      const std::uint32_t s = t_.succ_node[j];
+      if (t_.succ_data[j] && state_[s] == c) {
+        longest = std::max(longest, cp_[s]);
       }
     }
-    cp_[u.index] = longest + node_hw_delay(g_, u, lat_);
+    cp_[u] = longest + t_.hw[u];
     f.old_crit = crit_[c];
-    crit_[c] = std::max(crit_[c], cp_[u.index]);
+    crit_[c] = std::max(crit_[c], cp_[u]);
     return f;
   }
 
-  void undo_include(const NodeId u, const int c, const Frame& f) {
-    const DfgNode& node = g_.node(u);
+  void undo_include(const std::uint32_t u, const int c, const Frame& f) {
     crit_[c] = f.old_crit;
     if (f.tent_removed) ++in_tent_[c];
-    for (std::size_t j = node.preds.size(); j-- > 0;) {
-      if (!node.pred_is_data[j]) continue;
-      const NodeId p = node.preds[j];
-      const DfgNode& pn = g_.node(p);
-      if (pn.kind == NodeKind::constant) continue;
-      if (--feeds_[feed_index(c, p)] == 0) {
-        if (pn.kind == NodeKind::input || pn.forbidden) {
-          --in_perm_[c];
-        } else {
-          --in_tent_[c];
-        }
+    for (std::uint32_t j = t_.in_off[u]; j < t_.in_off[u + 1]; ++j) {
+      if (--feeds_[feed_index(c, t_.in_node[j])] == 0) {
+        t_.in_perm[j] ? --in_perm_[c] : --in_tent_[c];
       }
     }
     if (f.is_output) --out_count_[c];
     quotient_reach_ = f.old_reach;
     quotient_cyclic_ = f.old_cyclic;
-    reach_mask_[u.index] = 0;
-    sw_sum_[c] -= node_sw_cycles(g_, u, lat_);
+    reach_mask_[u] = 0;
+    sw_sum_[c] -= t_.sw[u];
     --cut_size_[c];
-    cuts_[c].reset(u.index);
-    state_[u.index] = kUndecided;
+    cuts_[c].reset(u);
+    state_[u] = kUndecided;
+  }
+
+  /// Rounded-up hardware cycles of label c, 0 for an empty cut — one Cycles
+  /// value, so the bound and merit arithmetic below cannot diverge.
+  Cycles hw_cycles(int c) const {
+    if (cut_size_[c] == 0) return 0;
+    return static_cast<Cycles>(std::max(1.0, std::ceil(crit_[c] - 1e-9)));
   }
 
   double total_merit() const {
     double total = 0.0;
     for (int c = 0; c < m_; ++c) {
       if (cut_size_[c] == 0) continue;
-      total += g_.exec_freq() *
-               (sw_sum_[c] - std::max(1.0, std::ceil(crit_[c] - 1e-9)));
+      total += t_.exec_freq * static_cast<double>(sw_sum_[c] - hw_cycles(c));
     }
     return total;
   }
@@ -295,8 +271,7 @@ class MultiCutSearch {
     std::vector<std::pair<double, int>> ranked;
     for (int c = 0; c < m_; ++c) {
       if (cut_size_[c] == 0) continue;
-      ranked.emplace_back(
-          g_.exec_freq() * (sw_sum_[c] - std::max(1.0, std::ceil(crit_[c] - 1e-9))), c);
+      ranked.emplace_back(t_.exec_freq * static_cast<double>(sw_sum_[c] - hw_cycles(c)), c);
     }
     std::sort(ranked.begin(), ranked.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -304,24 +279,23 @@ class MultiCutSearch {
     ++stats_.best_updates;
   }
 
-  std::size_t feed_index(int c, NodeId p) const {
-    return static_cast<std::size_t>(c) * g_.num_nodes() + p.index;
+  std::size_t feed_index(int c, std::uint32_t p) const {
+    return static_cast<std::size_t>(c) * t_.num_nodes + p;
   }
 
-  const Dfg& g_;
-  const LatencyModel& lat_;
+  const SearchTables& t_;
   const Constraints cons_;
   const int m_;
-  const std::vector<NodeId>& order_;
+  BudgetGate gate_;
 
   std::vector<std::int8_t> state_;
   std::vector<std::uint32_t> reach_mask_;
   std::vector<double> cp_;
-  std::vector<int> feeds_;
-  std::vector<int> out_count_, in_perm_, in_tent_, sw_sum_, cut_size_;
+  std::vector<std::int32_t> feeds_;
+  std::vector<int> out_count_, in_perm_, in_tent_, cut_size_;
+  std::vector<Cycles> sw_sum_;
   std::vector<double> crit_;
   std::vector<BitVector> cuts_;
-  std::vector<int> sw_suffix_;
 
   std::uint64_t quotient_reach_ = 0;
   bool quotient_cyclic_ = false;
@@ -336,10 +310,9 @@ MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
                               const Constraints& constraints, int num_cuts) {
   ISEX_CHECK(g.finalized(), "find_best_cuts: graph not finalized");
   ISEX_CHECK(num_cuts >= 1 && num_cuts <= kMaxCuts, "num_cuts must be in [1, 8]");
-  MultiCutSearch search(g, latency, constraints, num_cuts);
-  MultiCutResult r = search.run();
-  // Resize cut domains consistently (they already are) and keep merits sorted.
-  return r;
+  const SearchTables tables = SearchTables::build(g, latency);
+  MultiCutSearch search(g, tables, constraints, num_cuts);
+  return search.run();
 }
 
 }  // namespace isex

@@ -103,7 +103,7 @@ BitVector map_to_original(const BitVector& cut, std::size_t original_nodes,
 PortfolioSelectionResult select_portfolio_iterative(
     std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
     const Constraints& constraints, int num_instructions, Executor* executor,
-    ResultCache* cache, CacheCounters* cache_counters) {
+    ResultCache* cache, CacheCounters* cache_counters, const CutSearchOptions& search) {
   check_bundles(bundles, num_instructions);
   if (executor == nullptr) executor = &serial_executor();
 
@@ -170,7 +170,8 @@ PortfolioSelectionResult select_portfolio_iterative(
     executor->parallel_for(work.size(), [&](std::size_t i) {
       BlockState& s = state[work[i]];
       s.cached = cached_single_cut(cache, s.current, latency, constraints,
-                                   sinks.for_bundle(static_cast<std::size_t>(s.bundle)));
+                                   sinks.for_bundle(static_cast<std::size_t>(s.bundle)),
+                                   search);
     });
     for (const std::size_t i : pending) {
       if (!state[i].cached) state[i].cached = state[representative.at(state[i].fp)].cached;
@@ -250,7 +251,7 @@ PortfolioSelectionResult select_portfolio_merge(
     std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
     const Constraints& constraints, int num_instructions, double max_area_macs,
     double area_grid_macs, Executor* executor, ResultCache* cache,
-    CacheCounters* cache_counters) {
+    CacheCounters* cache_counters, const CutSearchOptions& search) {
   check_bundles(bundles, num_instructions);
   const bool area_budgeted = max_area_macs > 0;
   ISEX_CHECK(!area_budgeted || area_grid_macs > 0, "area grid must be positive");
@@ -293,7 +294,7 @@ PortfolioSelectionResult select_portfolio_merge(
   for (std::size_t bi = 0; bi < bundles.size(); ++bi) {
     SelectionResult pool =
         select_iterative(bundles[bi].blocks, latency, constraints, pool_slots, executor,
-                         cache, sinks.for_bundle(bi));
+                         cache, sinks.for_bundle(bi), search);
     result.identification_calls += pool.identification_calls;
     result.stats += pool.stats;
     for (SelectedCut& sc : pool.cuts) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/selection.hpp"
+#include "core/single_cut.hpp"
 #include "support/parallel.hpp"
 
 namespace isex {
@@ -104,7 +105,8 @@ struct PortfolioSelectionResult {
 PortfolioSelectionResult select_portfolio_iterative(
     std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
     const Constraints& constraints, int num_instructions, Executor* executor = nullptr,
-    ResultCache* cache = nullptr, CacheCounters* cache_counters = nullptr);
+    ResultCache* cache = nullptr, CacheCounters* cache_counters = nullptr,
+    const CutSearchOptions& search = {});
 
 /// Merge-then-select strategy: per-bundle Iterative candidate generation,
 /// fingerprint-keyed dedup of identical (block, cut) candidates, then a
@@ -116,7 +118,7 @@ PortfolioSelectionResult select_portfolio_merge(
     std::span<const WorkloadBundle> bundles, const LatencyModel& latency,
     const Constraints& constraints, int num_instructions, double max_area_macs = 0.0,
     double area_grid_macs = 0.002, Executor* executor = nullptr, ResultCache* cache = nullptr,
-    CacheCounters* cache_counters = nullptr);
+    CacheCounters* cache_counters = nullptr, const CutSearchOptions& search = {});
 
 /// Wraps a single-application SelectionResult as a one-bundle portfolio
 /// selection (weight-scaled); the Explorer uses it to route the legacy

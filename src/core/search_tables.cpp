@@ -1,0 +1,81 @@
+#include "core/search_tables.hpp"
+
+#include <cstring>
+
+#include "dfg/cut.hpp"
+
+namespace isex {
+
+SearchTables SearchTables::build(const Dfg& g, const LatencyModel& latency) {
+  ISEX_CHECK(g.finalized(), "SearchTables: graph not finalized");
+  SearchTables t;
+  const std::size_t n = g.num_nodes();
+  t.num_nodes = n;
+  t.words = (n + 63) / 64;
+  t.exec_freq = g.exec_freq();
+
+  t.desc_rows.assign(n * t.words, 0);
+  t.data_succ_rows.assign(n * t.words, 0);
+  t.sw.assign(n, 0);
+  t.hw.assign(n, 0.0);
+  t.succ_off.assign(n + 1, 0);
+  t.in_off.assign(n + 1, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    const DfgNode& node = g.node(id);
+    std::memcpy(t.desc_rows.data() + i * t.words, g.descendants(id).words(),
+                t.words * sizeof(std::uint64_t));
+    std::memcpy(t.data_succ_rows.data() + i * t.words, g.data_succ_mask(id).words(),
+                t.words * sizeof(std::uint64_t));
+    if (node.kind == NodeKind::op) {
+      t.sw[i] = node_sw_cycles(g, id, latency);
+      t.hw[i] = node_hw_delay(g, id, latency);
+    }
+    t.succ_off[i + 1] = t.succ_off[i] + static_cast<std::uint32_t>(node.succs.size());
+  }
+  t.succ_node.resize(t.succ_off[n]);
+  t.succ_data.resize(t.succ_off[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DfgNode& node = g.node(NodeId{static_cast<std::uint32_t>(i)});
+    std::uint32_t at = t.succ_off[i];
+    for (std::size_t j = 0; j < node.succs.size(); ++j, ++at) {
+      t.succ_node[at] = node.succs[j].index;
+      t.succ_data[at] = node.succ_is_data[j];
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    t.in_off[i + 1] = t.in_off[i];
+    g.data_pred_mask(id).for_each([&](std::size_t p) {
+      const DfgNode& pn = g.node(NodeId{static_cast<std::uint32_t>(p)});
+      if (pn.kind == NodeKind::constant) return;  // hardwired, never an input
+      t.in_node.push_back(static_cast<std::uint32_t>(p));
+      t.in_perm.push_back(pn.kind == NodeKind::input || pn.forbidden ? 1 : 0);
+      ++t.in_off[i + 1];
+    });
+  }
+
+  const auto& order = g.search_order();
+  t.order.resize(order.size());
+  t.candidate.resize(order.size());
+  t.sw_suffix.assign(order.size() + 1, 0);
+  for (std::size_t k = order.size(); k-- > 0;) {
+    const NodeId id = order[k];
+    const DfgNode& node = g.node(id);
+    t.order[k] = id.index;
+    t.candidate[k] = node.kind == NodeKind::op && !node.forbidden ? 1 : 0;
+    t.sw_suffix[k] = t.sw_suffix[k + 1] + (t.candidate[k] ? t.sw[id.index] : 0);
+  }
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (t.candidate[k]) t.cand_node.push_back(t.order[k]);
+  }
+  t.cand_sw_suffix.assign(t.cand_node.size() + 1, 0);
+  for (std::size_t c = t.cand_node.size(); c-- > 0;) {
+    t.cand_sw_suffix[c] = t.cand_sw_suffix[c + 1] + t.sw[t.cand_node[c]];
+  }
+  return t;
+}
+
+}  // namespace isex

@@ -1,0 +1,116 @@
+// Word-parallel support structures shared by the enumeration engines
+// (single- and multiple-cut identification, src/core/single_cut.cpp and
+// src/core/multi_cut.cpp).
+//
+// The engines spend their inner loop answering three questions about the
+// node under decision — "can it still reach the current cut?", "did it just
+// become an output?", "does it break convexity?" — and summing per-node
+// latencies. SearchTables flattens everything those questions touch into
+// index-addressed arrays built once per search:
+//
+//  * raw 64-bit row pointers into the transitive-closure and adjacency
+//    masks the Dfg precomputes at finalize() (and therefore shares through
+//    the extraction cache), so the checks become a handful of AND/ANDNOT
+//    word operations instead of per-edge scans through checked accessors;
+//  * the LatencyModel flattened into per-node sw_cycles[] / hw_delay[]
+//    arrays (one opcode resolution per node per search, not one per visit);
+//  * CSR adjacency with pre-resolved data flags and input classification;
+//  * the search order with candidate flags and integer suffix latency sums
+//    (the branch-and-bound bound, in the one Cycles type end-to-end).
+//
+// BudgetGate is the engines' shared search-budget accountant: exact (the
+// consumed count never overshoots and saturates at the budget) and safe to
+// share across subtree-parallel tasks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "dfg/dfg.hpp"
+#include "latency/latency_model.hpp"
+
+namespace isex {
+
+/// Exact, shareable search-budget accounting. consume() hands out at most
+/// `budget` tickets in total across all threads (0 = unlimited); a failed
+/// consume sets the exhausted flag. The number of successful consumes is
+/// deterministic: min(demand, budget).
+class BudgetGate {
+ public:
+  explicit BudgetGate(std::uint64_t budget) : budget_(budget) {}
+
+  BudgetGate(const BudgetGate&) = delete;
+  BudgetGate& operator=(const BudgetGate&) = delete;
+
+  /// Accounts one considered cut. False once the budget is exhausted.
+  bool consume() {
+    if (budget_ == 0) return true;
+    if (consumed_.fetch_add(1, std::memory_order_relaxed) >= budget_) {
+      consumed_.fetch_sub(1, std::memory_order_relaxed);  // never overshoot
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::uint64_t budget_;
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<bool> exhausted_{false};
+};
+
+/// Per-search flattening of one (graph, latency model) pair. The closure
+/// rows are copied out of the Dfg-owned bitsets into contiguous row-major
+/// storage (node n's row starts at n * words), so the engines walk them
+/// with nothing but base-plus-offset arithmetic.
+struct SearchTables {
+  std::size_t num_nodes = 0;
+  std::size_t words = 0;  // 64-bit words per node-set row
+  double exec_freq = 1.0;
+
+  // Row-major closure / adjacency masks (row n: [n*words, (n+1)*words)).
+  std::vector<std::uint64_t> desc_rows;       // transitive descendants
+  std::vector<std::uint64_t> data_succ_rows;  // immediate data successors
+
+  // CSR immediate adjacency in edge order, with per-edge data flags (the
+  // multiple-cut engine's label scans need the neighbour lists; the
+  // single-cut engine's convexity check walks it against desc_rows).
+  std::vector<std::uint32_t> succ_off, succ_node;
+  std::vector<std::uint8_t> succ_data;
+
+  // CSR of the *countable* data predecessors per node: deduplicated edges
+  // with constants (hardwired into the AFU) dropped and the permanent-input
+  // classification pre-resolved (paper Sec. 5: V+ inputs and forbidden
+  // producers can never be internalised by growing the cut upstream).
+  std::vector<std::uint32_t> in_off, in_node;
+  std::vector<std::uint8_t> in_perm;
+
+  // Flattened latency model (op nodes; zero elsewhere, never read there).
+  std::vector<Cycles> sw;
+  std::vector<double> hw;
+
+  // Full search-order flattening (multiple-cut engine): node id and
+  // candidate flag per position.
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint8_t> candidate;
+  /// Suffix sums of candidate software latency by full-order position, for
+  /// the multiple-cut branch-and-bound bound. Size order.size() + 1.
+  std::vector<Cycles> sw_suffix;
+
+  // Candidates-only view (single-cut engine): non-candidate nodes (V+
+  // outputs, memory ops) are never members and all their consumers decide
+  // before them, so the walk needs only the candidate decisions — the
+  // per-visit auto-exclusion runs of the reference engine vanish entirely.
+  std::vector<std::uint32_t> cand_node;
+  /// Suffix sums by candidate index; equal to sw_suffix at the matching
+  /// full-order position (non-candidates contribute nothing in between).
+  std::vector<Cycles> cand_sw_suffix;  // size cand_node.size() + 1
+
+  static SearchTables build(const Dfg& g, const LatencyModel& latency);
+};
+
+}  // namespace isex

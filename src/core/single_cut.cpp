@@ -1,271 +1,530 @@
 #include "core/single_cut.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
+
+#include "core/search_tables.hpp"
+#include "support/parallel.hpp"
 
 namespace isex {
 
 namespace {
 
-enum : std::int8_t { kUndecided = 0, kInCut = 1, kExcluded = 2 };
+/// A best-cut improvement observed during the search: the merit and a
+/// snapshot of the cut words at that point.
+struct Event {
+  double merit = 0.0;
+  std::vector<std::uint64_t> cut;
+};
 
-class SingleCutSearch {
+/// One independent subtree of the enumeration tree: the include/exclude
+/// decisions of the first `resume_ci` candidates.
+struct SubtreeTask {
+  std::vector<std::uint8_t> decisions;
+  std::uint32_t resume_ci = 0;
+};
+
+/// One element of the serial visitation order: either an inline improvement
+/// event or a spawned subtree task (whose own events splice in here). The
+/// merge replays this stream sequentially, which reproduces the serial
+/// engine's best cut and its exact best_updates count.
+struct Slot {
+  int task = -1;  // >= 0: subtree task index; -1: inline event
+  Event event;
+};
+
+/// The word-parallel walker. kWords fixes the row width at compile time so
+/// every closure scan unrolls (kWords == 0 keeps it dynamic for graphs
+/// beyond 256 nodes).
+///
+/// Two structural savings over the reference engine, both stat-exact:
+///  * the walk decides only candidates — non-candidate nodes are never
+///    members and their consumers all decide first, so convexity can test
+///    each successor's descendant row directly against the cut instead of
+///    maintaining per-node reach flags (the reference's per-visit
+///    auto-exclusion runs vanish);
+///  * exclusion mutates nothing (a non-member is simply absent from the
+///    cut), so 0-branches transform the current frame in place and the
+///    stack holds only live includes — and on a pruning path, a *failing*
+///    1-branch is classified with pure reads and never touches the state.
+template <int kWords>
+class CutEngine {
  public:
-  SingleCutSearch(const Dfg& g, const LatencyModel& lat, const Constraints& cons)
-      : g_(g), lat_(lat), cons_(cons), order_(g.search_order()) {
-    const std::size_t n = g.num_nodes();
-    state_.assign(n, kUndecided);
-    reach_.assign(n, 0);
-    feeds_.assign(n, 0);
-    cp_.assign(n, 0.0);
-    cut_ = BitVector(n);
-    best_.cut = BitVector(n);
+  /// direct: keep the running best in place (the serial engine — also what
+  /// branch-and-bound needs, its bound consults the global best).
+  /// record: emit improvement events over a task-local running best for the
+  /// deterministic merge (the split generator and every subtree task).
+  enum class Mode { direct, record };
 
-    // Suffix sums of candidate software latency along the search order, for
-    // the optional branch-and-bound merit bound.
-    sw_suffix_.assign(order_.size() + 1, 0);
-    for (std::size_t k = order_.size(); k-- > 0;) {
-      const DfgNode& node = g_.node(order_[k]);
-      const bool candidate = node.kind == NodeKind::op && !node.forbidden;
-      sw_suffix_[k] =
-          sw_suffix_[k + 1] + (candidate ? node_sw_cycles(g_, order_[k], lat_) : 0);
+  CutEngine(const SearchTables& t, const Constraints& cons, BudgetGate& gate, Mode mode)
+      : t_(t),
+        cons_(cons),
+        gate_(&gate),
+        mode_(mode),
+        limited_(cons.search_budget != 0),
+        dynamic_words_(t.words),
+        cut_(words(), 0),
+        cp_(t.num_nodes, 0.0),
+        feeds_(t.num_nodes, 0) {
+    if (mode_ == Mode::direct) best_cut_.assign(words(), 0);
+  }
+
+  /// Re-applies a generator-recorded decision prefix, mutating the
+  /// incremental state without counting statistics or budget (the generator
+  /// already accounted every prefix 1-branch).
+  void replay(const SubtreeTask& task) {
+    for (std::uint32_t ci = 0; ci < task.resume_ci; ++ci) {
+      if (!task.decisions[ci]) continue;  // exclusion leaves no state behind
+      const std::uint32_t u = t_.cand_node[ci];
+      const bool is_out = row_escapes_cut(dsucc_row(u));
+      const bool viol = convexity_violation(u);
+      Frame scratch;
+      include(u, scratch, is_out, viol);  // restore data unused: prefixes never unwind
     }
   }
 
-  SingleCutResult run() {
-    walk(0);
-    best_.stats = stats_;
-    if (best_.cut.any()) best_.metrics = compute_metrics(g_, best_.cut, lat_);
-    return best_;
+  /// Runs the walk from candidate index `start_ci`. With `split_depth > 0`
+  /// (generator mode), descents past that depth become `tasks` instead.
+  void search(std::uint32_t start_ci, int split_depth, std::vector<SubtreeTask>* tasks) {
+    split_depth_ = split_depth;
+    tasks_ = tasks;
+    if (split_depth_ > 0) path_.assign(static_cast<std::size_t>(split_depth_), 0);
+    const std::uint32_t num_cand = static_cast<std::uint32_t>(t_.cand_node.size());
+    if (start_ci >= num_cand) return;
+    stack_.clear();
+    stack_.reserve(num_cand);
+    stack_.push_back(Frame{start_ci, 0, 0, 0, 0, 0.0});
+    while (!stack_.empty()) {
+      Frame& f = stack_.back();
+      if (f.stage == 1) {  // back from the 1-subtree: undo, take the 0-branch
+        undo_include(t_.cand_node[f.ci], f);
+        take_zero_branch(f);
+        continue;
+      }
+      if (f.ci >= num_cand || (limited_ && gate_->exhausted())) {
+        stack_.pop_back();
+        continue;
+      }
+      enter(f);
+    }
   }
+
+  const EnumerationStats& stats() const { return stats_; }
+  double best_merit() const { return best_merit_; }
+  const std::vector<std::uint64_t>& best_cut_words() const { return best_cut_; }
+  std::vector<Slot> take_slots() { return std::move(slots_); }
+  const std::vector<Slot>& slots() const { return slots_; }
 
  private:
-  bool budget_hit() {
-    if (cons_.search_budget != 0 && stats_.cuts_considered >= cons_.search_budget) {
-      stats_.budget_exhausted = true;
-      return true;
+  struct Frame {
+    std::uint32_t ci = 0;   // candidate index this frame decides
+    std::uint8_t stage = 0; // 0: enter, 1: its 1-subtree finished
+    std::uint8_t convex_violation = 0;
+    std::uint8_t is_output = 0;
+    std::uint8_t tent_removed = 0;
+    double old_crit = 0.0;
+  };
+
+  std::size_t words() const {
+    if constexpr (kWords > 0) {
+      return kWords;
+    } else {
+      return dynamic_words_;
+    }
+  }
+
+  const std::uint64_t* desc_row(std::uint32_t n) const {
+    return t_.desc_rows.data() + n * words();
+  }
+  const std::uint64_t* dsucc_row(std::uint32_t n) const {
+    return t_.data_succ_rows.data() + n * words();
+  }
+  bool in_cut(std::uint32_t x) const { return cut_[x >> 6] >> (x & 63) & 1; }
+
+  bool row_hits_cut(const std::uint64_t* row) const {
+    for (std::size_t w = 0; w < words(); ++w) {
+      if (row[w] & cut_[w]) return true;
+    }
+    return false;
+  }
+  bool row_escapes_cut(const std::uint64_t* row) const {
+    for (std::size_t w = 0; w < words(); ++w) {
+      if (row[w] & ~cut_[w]) return true;
     }
     return false;
   }
 
-  /// Reach flag of a node at decision time: true if it can reach any member
-  /// of the current cut.
-  bool compute_reach(NodeId n) const {
-    const DfgNode& node = g_.node(n);
-    for (NodeId s : node.succs) {
-      if (state_[s.index] == kInCut || reach_[s.index]) return true;
+  /// A path u -> excluded -> cut member exists iff some successor outside
+  /// the cut has a descendant row intersecting the cut (all successors are
+  /// decided before u — the search-order invariant).
+  bool convexity_violation(std::uint32_t u) const {
+    for (std::uint32_t j = t_.succ_off[u]; j < t_.succ_off[u + 1]; ++j) {
+      const std::uint32_t s = t_.succ_node[j];
+      if (!in_cut(s) && row_hits_cut(desc_row(s))) return true;
     }
     return false;
   }
 
-  void walk(std::size_t k) {
-    if (stats_.budget_exhausted) return;
+  Cycles rounded_hw_cycles() const {
+    return static_cast<Cycles>(std::max(1.0, std::ceil(crit_ - 1e-9)));
+  }
 
-    // Auto-exclude the run of non-candidate nodes (V+ outputs, memory ops):
-    // they only need their reach flags maintained.
-    std::size_t auto_end = k;
-    while (auto_end < order_.size()) {
-      const DfgNode& node = g_.node(order_[auto_end]);
-      if (node.kind == NodeKind::op && !node.forbidden) break;
-      ++auto_end;
-    }
-    for (std::size_t j = k; j < auto_end; ++j) {
-      const NodeId n = order_[j];
-      state_[n.index] = kExcluded;
-      reach_[n.index] = compute_reach(n) ? 1 : 0;
-    }
-    if (auto_end == order_.size()) {
-      undo_autos(k, auto_end);
+  void enter(Frame& f) {
+    const std::uint32_t u = t_.cand_node[f.ci];
+    if (limited_ && !gate_->consume()) {  // budget: the whole 1-branch is skipped
+      take_zero_branch(f);
       return;
     }
+    ++stats_.cuts_considered;
 
-    const NodeId u = order_[auto_end];
-
-    // ---- 1-branch: include u ------------------------------------------
-    if (!budget_hit()) {
-      ++stats_.cuts_considered;
-      const Frame f = include(u);
-      const bool out_ok = out_count_ <= cons_.max_outputs;
-      const bool convex_ok = convex_viol_ == 0;
-      if (out_ok && convex_ok) {
-        ++stats_.passed_checks;
-        if (in_perm_ + in_tent_ <= cons_.max_inputs) {
-          const double merit = current_merit();
-          if (merit > best_.merit) {
-            best_.merit = merit;
-            best_.cut = cut_;
-            ++stats_.best_updates;
-          }
-        }
-      } else if (!out_ok) {
-        ++stats_.failed_output;  // classification mirrors Fig. 6's check order
-      } else {
-        ++stats_.failed_convex;
+    if (cons_.enable_pruning) {
+      // On a pruning path every ancestor passed both checks, so
+      // out_count_ <= Nout and convex_viol_ == 0 hold here. A failing
+      // 1-branch never descends — classify it with pure reads (output
+      // first: the classification mirrors Fig. 6's check order) and move
+      // straight to the 0-branch; no state to mutate, nothing to undo.
+      const bool is_out = row_escapes_cut(dsucc_row(u));
+      if (out_count_ + (is_out ? 1 : 0) > cons_.max_outputs) {
+        ++stats_.failed_output;
+        take_zero_branch(f);
+        return;
       }
-
+      if (convexity_violation(u)) {
+        ++stats_.failed_convex;
+        take_zero_branch(f);
+        return;
+      }
+      ++stats_.passed_checks;
+      include(u, f, is_out, false);
+      const Cycles hw_cyc = rounded_hw_cycles();
+      if (in_perm_ + in_tent_ <= cons_.max_inputs) {
+        offer(t_.exec_freq * static_cast<double>(sw_sum_ - hw_cyc));
+      }
       bool descend = true;
-      if (cons_.enable_pruning && (!out_ok || !convex_ok)) descend = false;
-      if (descend && cons_.prune_permanent_inputs && in_perm_ > cons_.max_inputs) {
+      if (cons_.prune_permanent_inputs && in_perm_ > cons_.max_inputs) {
         ++stats_.pruned_inputs;
         descend = false;
       }
       if (descend && cons_.branch_and_bound) {
         const double bound =
-            g_.exec_freq() *
-            (sw_sum_ + sw_suffix_[auto_end + 1] - std::max(1.0, std::ceil(crit_ - 1e-9)));
-        if (bound <= best_.merit) {
+            t_.exec_freq *
+            static_cast<double>(sw_sum_ + t_.cand_sw_suffix[f.ci + 1] - hw_cyc);
+        if (bound <= best_merit_) {
           ++stats_.pruned_bound;
           descend = false;
         }
       }
-      if (descend) walk(auto_end + 1);
+      if (descend) {
+        take_one_branch(f);
+      } else {
+        undo_include(u, f);
+        take_zero_branch(f);
+      }
+      return;
+    }
+
+    // Pruning disabled (ablation): the walk descends through violations, so
+    // the full include always happens and the counters carry the state.
+    const bool is_out = row_escapes_cut(dsucc_row(u));
+    const bool viol = convexity_violation(u);
+    include(u, f, is_out, viol);
+    const bool out_ok = out_count_ <= cons_.max_outputs;
+    const bool convex_ok = convex_viol_ == 0;
+    if (out_ok && convex_ok) {
+      ++stats_.passed_checks;
+      if (in_perm_ + in_tent_ <= cons_.max_inputs) {
+        offer(t_.exec_freq * static_cast<double>(sw_sum_ - rounded_hw_cycles()));
+      }
+    } else if (!out_ok) {
+      ++stats_.failed_output;
+    } else {
+      ++stats_.failed_convex;
+    }
+    bool descend = true;
+    if (cons_.prune_permanent_inputs && in_perm_ > cons_.max_inputs) {
+      ++stats_.pruned_inputs;
+      descend = false;
+    }
+    if (descend && cons_.branch_and_bound) {
+      const double bound =
+          t_.exec_freq * static_cast<double>(sw_sum_ + t_.cand_sw_suffix[f.ci + 1] -
+                                             rounded_hw_cycles());
+      if (bound <= best_merit_) {
+        ++stats_.pruned_bound;
+        descend = false;
+      }
+    }
+    if (descend) {
+      take_one_branch(f);
+    } else {
       undo_include(u, f);
+      take_zero_branch(f);
     }
-
-    // ---- 0-branch: exclude u ------------------------------------------
-    state_[u.index] = kExcluded;
-    reach_[u.index] = compute_reach(u) ? 1 : 0;
-    walk(auto_end + 1);
-    state_[u.index] = kUndecided;
-
-    undo_autos(k, auto_end);
   }
 
-  void undo_autos(std::size_t from, std::size_t to) {
-    for (std::size_t j = to; j-- > from;) state_[order_[j].index] = kUndecided;
+  /// Descends into the 1-subtree — or, in generator mode at the split
+  /// depth, records it as a task and lets stage 1 undo the include next.
+  void take_one_branch(Frame& f) {
+    f.stage = 1;
+    const std::uint32_t child = f.ci + 1;
+    if (split_depth_ > 0) {
+      path_[f.ci] = 1;
+      if (child >= static_cast<std::uint32_t>(split_depth_)) {
+        spawn(child);
+        return;
+      }
+    }
+    stack_.push_back(Frame{child, 0, 0, 0, 0, 0.0});  // may invalidate f
   }
 
-  struct Frame {
-    double old_crit = 0.0;
-    bool convex_violation = false;
-    bool is_output = false;
-    int tent_removed = 0;  // u itself stopped being an external producer
-    // Preds whose feed count went 0 -> 1 are replayed in reverse on undo.
-  };
-
-  Frame include(const NodeId u) {
-    Frame f;
-    const DfgNode& node = g_.node(u);
-    state_[u.index] = kInCut;
-    cut_.set(u.index);
-    reach_[u.index] = 1;
-    sw_sum_ += node_sw_cycles(g_, u, lat_);
-
-    // Convexity: a path u -> excluded -> cut means the subtree is dead.
-    for (NodeId s : node.succs) {
-      if (state_[s.index] == kExcluded && reach_[s.index]) {
-        f.convex_violation = true;
-        break;
+  /// The 0-branch leaves no state behind, so the frame just advances in
+  /// place (the stack only ever holds live includes) — or spawns the
+  /// subtree as a task at the split depth and retires.
+  void take_zero_branch(Frame& f) {
+    const std::uint32_t next = f.ci + 1;
+    if (split_depth_ > 0) {
+      path_[f.ci] = 0;
+      if (next >= static_cast<std::uint32_t>(split_depth_)) {
+        spawn(next);
+        stack_.pop_back();
+        return;
       }
     }
-    if (f.convex_violation) ++convex_viol_;
+    f.ci = next;
+    f.stage = 0;
+  }
 
-    // Output count: all consumers are decided; any outside the cut makes u
-    // an output now and forever.
-    for (std::size_t j = 0; j < node.succs.size(); ++j) {
-      if (!node.succ_is_data[j]) continue;
-      if (state_[node.succs[j].index] != kInCut) {
-        f.is_output = true;
-        break;
-      }
+  void spawn(std::uint32_t resume_ci) {
+    // An exhausted budget makes every further task a no-op (its worker
+    // exits on the shared gate immediately); don't count ghosts.
+    if (limited_ && gate_->exhausted()) return;
+    SubtreeTask task;
+    task.decisions.assign(path_.begin(), path_.begin() + resume_ci);
+    task.resume_ci = resume_ci;
+    slots_.push_back(Slot{static_cast<int>(tasks_->size()), {}});
+    tasks_->push_back(std::move(task));
+  }
+
+  void offer(double merit) {
+    if (merit <= best_merit_) return;
+    best_merit_ = merit;
+    if (mode_ == Mode::direct) {
+      best_cut_ = cut_;
+      ++stats_.best_updates;  // the merge recomputes this in record mode
+    } else {
+      slots_.push_back(Slot{-1, Event{merit, cut_}});
     }
-    if (f.is_output) ++out_count_;
+  }
+
+  /// `is_out` / `viol` are computed by the caller *before* the cut bit
+  /// flips (they read the pre-include cut).
+  void include(std::uint32_t u, Frame& f, bool is_out, bool viol) {
+    f.is_output = is_out;
+    f.convex_violation = viol;
+    if (viol) ++convex_viol_;
+    if (is_out) ++out_count_;
+    cut_[u >> 6] |= std::uint64_t{1} << (u & 63);
+    sw_sum_ += t_.sw[u];
 
     // Inputs: new external producers of u; u itself may stop being one.
-    for (std::size_t j = 0; j < node.preds.size(); ++j) {
-      if (!node.pred_is_data[j]) continue;
-      const NodeId p = node.preds[j];
-      const DfgNode& pn = g_.node(p);
-      if (pn.kind == NodeKind::constant) continue;
-      if (++feeds_[p.index] == 1) {
-        if (pn.kind == NodeKind::input || pn.forbidden) {
-          ++in_perm_;  // can never be internalised
-        } else {
-          ++in_tent_;
-        }
+    for (std::uint32_t j = t_.in_off[u]; j < t_.in_off[u + 1]; ++j) {
+      if (++feeds_[t_.in_node[j]] == 1) {
+        t_.in_perm[j] ? ++in_perm_ : ++in_tent_;
       }
     }
-    if (feeds_[u.index] > 0) {
-      --in_tent_;
-      f.tent_removed = 1;
-    }
+    f.tent_removed = feeds_[u] > 0;
+    if (f.tent_removed) --in_tent_;
 
     // Critical path: all in-cut consumers are decided, so cp(u) is final.
     double longest = 0.0;
-    for (std::size_t j = 0; j < node.succs.size(); ++j) {
-      const NodeId s = node.succs[j];
-      if (node.succ_is_data[j] && state_[s.index] == kInCut) {
-        longest = std::max(longest, cp_[s.index]);
+    const std::uint64_t* ds = dsucc_row(u);
+    for (std::size_t w = 0; w < words(); ++w) {
+      std::uint64_t bits = ds[w] & cut_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        longest = std::max(longest, cp_[(w << 6) + static_cast<std::size_t>(b)]);
       }
     }
-    cp_[u.index] = longest + node_hw_delay(g_, u, lat_);
+    cp_[u] = longest + t_.hw[u];
     f.old_crit = crit_;
-    crit_ = std::max(crit_, cp_[u.index]);
-    return f;
+    crit_ = std::max(crit_, cp_[u]);
   }
 
-  void undo_include(const NodeId u, const Frame& f) {
-    const DfgNode& node = g_.node(u);
+  void undo_include(std::uint32_t u, const Frame& f) {
     crit_ = f.old_crit;
     if (f.tent_removed) ++in_tent_;
-    for (std::size_t j = node.preds.size(); j-- > 0;) {
-      if (!node.pred_is_data[j]) continue;
-      const NodeId p = node.preds[j];
-      const DfgNode& pn = g_.node(p);
-      if (pn.kind == NodeKind::constant) continue;
-      if (--feeds_[p.index] == 0) {
-        if (pn.kind == NodeKind::input || pn.forbidden) {
-          --in_perm_;
-        } else {
-          --in_tent_;
-        }
+    for (std::uint32_t j = t_.in_off[u]; j < t_.in_off[u + 1]; ++j) {
+      if (--feeds_[t_.in_node[j]] == 0) {
+        t_.in_perm[j] ? --in_perm_ : --in_tent_;
       }
     }
     if (f.is_output) --out_count_;
     if (f.convex_violation) --convex_viol_;
-    sw_sum_ -= node_sw_cycles(g_, u, lat_);
-    reach_[u.index] = 0;
-    cut_.reset(u.index);
-    state_[u.index] = kUndecided;
+    sw_sum_ -= t_.sw[u];
+    cut_[u >> 6] &= ~(std::uint64_t{1} << (u & 63));
   }
 
-  double current_merit() const {
-    const double hw = cut_.any() ? std::max(1.0, std::ceil(crit_ - 1e-9)) : 0.0;
-    return g_.exec_freq() * (sw_sum_ - hw);
-  }
+  const SearchTables& t_;
+  const Constraints& cons_;
+  BudgetGate* gate_;
+  const Mode mode_;
+  const bool limited_;
+  const std::size_t dynamic_words_;
 
-  const Dfg& g_;
-  const LatencyModel& lat_;
-  const Constraints cons_;
-  const std::vector<NodeId>& order_;
-
-  std::vector<std::int8_t> state_;
-  std::vector<std::uint8_t> reach_;
-  std::vector<int> feeds_;
+  std::vector<std::uint64_t> cut_;
   std::vector<double> cp_;
-  std::vector<int> sw_suffix_;
-  BitVector cut_;
-
+  std::vector<std::int32_t> feeds_;
+  Cycles sw_sum_ = 0;
   int out_count_ = 0;
   int in_perm_ = 0;
   int in_tent_ = 0;
   int convex_viol_ = 0;
-  int sw_sum_ = 0;
   double crit_ = 0.0;
 
+  double best_merit_ = 0.0;
+  std::vector<std::uint64_t> best_cut_;  // direct mode only
+
   EnumerationStats stats_;
-  SingleCutResult best_;
+  std::vector<Frame> stack_;
+  std::vector<Slot> slots_;  // record mode only
+
+  int split_depth_ = 0;
+  std::vector<std::uint8_t> path_;
+  std::vector<SubtreeTask>* tasks_ = nullptr;
 };
+
+BitVector to_bitvector(std::size_t size, const std::vector<std::uint64_t>& words) {
+  BitVector v(size);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      v.set(w * 64 + static_cast<std::size_t>(b));
+    }
+  }
+  return v;
+}
+
+template <int kWords>
+SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
+                           const Constraints& constraints, const CutSearchOptions& options) {
+  using Engine = CutEngine<kWords>;
+  BudgetGate gate(constraints.search_budget);
+  SingleCutResult result;
+
+  // Branch-and-bound prunes against the global running best, which subtree
+  // tasks cannot share without making the visited tree racy — those
+  // searches stay serial (and stat-exact).
+  const bool split = options.split_depth > 0 && !constraints.branch_and_bound;
+  if (!split) {
+    Engine engine(tables, constraints, gate, Engine::Mode::direct);
+    engine.search(0, 0, nullptr);
+    result.merit = engine.best_merit();
+    result.cut = to_bitvector(g.num_nodes(), engine.best_cut_words());
+    result.stats = engine.stats();
+    if (options.stats != nullptr) {
+      options.stats->serial_searches.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Generator: the serial engine over the first split_depth candidate
+    // decisions, recording each surviving depth-limit descent as a task.
+    Engine generator(tables, constraints, gate, Engine::Mode::record);
+    std::vector<SubtreeTask> tasks;
+    generator.search(0, options.split_depth, &tasks);
+
+    struct TaskOutcome {
+      EnumerationStats stats;
+      std::vector<Slot> slots;
+    };
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    Executor* executor =
+        options.executor != nullptr ? options.executor : &serial_executor();
+    executor->parallel_for(tasks.size(), [&](std::size_t i) {
+      Engine worker(tables, constraints, gate, Engine::Mode::record);
+      worker.replay(tasks[i]);
+      worker.search(tasks[i].resume_ci, 0, nullptr);
+      outcomes[i] = TaskOutcome{worker.stats(), worker.take_slots()};
+    });
+
+    // Deterministic merge: replay the improvement events in the serial
+    // engine's visitation order. An event survives iff it beats everything
+    // visited before it — exactly the serial best-update sequence, so the
+    // final cut, merit and best_updates count match the serial run bit for
+    // bit (events are recorded against task-local running bests, which only
+    // ever *under*-approximate the serial best: anything they suppress the
+    // serial engine would have skipped too).
+    EnumerationStats stats = generator.stats();
+    for (const TaskOutcome& outcome : outcomes) stats += outcome.stats;
+    stats.best_updates = 0;
+    double best_merit = 0.0;
+    const std::vector<std::uint64_t>* best_words = nullptr;
+    const auto consider = [&](const Event& e) {
+      if (e.merit > best_merit) {
+        best_merit = e.merit;
+        best_words = &e.cut;
+        ++stats.best_updates;
+      }
+    };
+    for (const Slot& slot : generator.slots()) {
+      if (slot.task < 0) {
+        consider(slot.event);
+        continue;
+      }
+      for (const Slot& task_slot : outcomes[static_cast<std::size_t>(slot.task)].slots) {
+        consider(task_slot.event);
+      }
+    }
+    result.merit = best_merit;
+    result.cut = best_words != nullptr ? to_bitvector(g.num_nodes(), *best_words)
+                                       : BitVector(g.num_nodes());
+    result.stats = stats;
+    if (options.stats != nullptr) {
+      options.stats->split_searches.fetch_add(1, std::memory_order_relaxed);
+      options.stats->subtree_tasks.fetch_add(tasks.size(), std::memory_order_relaxed);
+    }
+  }
+  result.stats.budget_exhausted = gate.exhausted();
+  return result;
+}
 
 }  // namespace
 
 SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
-                              const Constraints& constraints) {
+                              const Constraints& constraints,
+                              const CutSearchOptions& options) {
   ISEX_CHECK(g.finalized(), "find_best_cut: graph not finalized");
   ISEX_CHECK(constraints.max_inputs >= 1 && constraints.max_outputs >= 1,
              "constraints must allow at least one input and output");
-  SingleCutSearch search(g, latency, constraints);
-  return search.run();
+  const SearchTables tables = SearchTables::build(g, latency);
+  SingleCutResult result;
+  switch (tables.words) {
+    case 1:
+      result = run_search<1>(g, tables, constraints, options);
+      break;
+    case 2:
+      result = run_search<2>(g, tables, constraints, options);
+      break;
+    case 3:
+      result = run_search<3>(g, tables, constraints, options);
+      break;
+    case 4:
+      result = run_search<4>(g, tables, constraints, options);
+      break;
+    default:
+      result = run_search<0>(g, tables, constraints, options);
+      break;
+  }
+  if (result.cut.any()) result.metrics = compute_metrics(g, result.cut, latency);
+  return result;
+}
+
+SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints) {
+  return find_best_cut(g, latency, constraints, CutSearchOptions{});
 }
 
 }  // namespace isex

@@ -1,17 +1,36 @@
-// Exact single-cut identification (paper Section 6.1, Fig. 6).
+// Exact single-cut identification (paper Section 6.1, Fig. 6) — the
+// word-parallel enumeration engine.
 //
-// Walks the implicit binary search tree over the reverse-topologically
-// ordered graph nodes. Along 1-branches the incremental state keeps, in
-// O(degree) per step:
-//   * OUT(S)      — monotone: a node's consumers are all decided before it,
-//                   so its output status is fixed at insertion time;
-//   * convexity   — a violating path (member → excluded → member) can never
-//                   be repaired by adding upstream nodes;
+// The search walks the implicit binary tree over the reverse-topologically
+// ordered graph nodes with an explicit stack (no recursion). Because every
+// descendant of a node is decided before the node itself, the incremental
+// state collapses into word operations over precomputed closure rows
+// (SearchTables / Dfg::finalize()):
+//   * reach       — a decided node can reach the cut iff its descendant
+//                   closure row intersects the cut bits (one AND-any);
+//   * convexity   — a violating path u -> excluded -> member exists iff u's
+//                   successor mask intersects the excluded-and-reaching
+//                   bits (one AND-any);
+//   * OUT(S)      — u becomes an output iff its data-successor mask leaves
+//                   the cut (one ANDNOT-any); monotone, fixed at insertion;
 //   * IN(S)       — *not* monotone (adding a producer internalises an
-//                   input), so it only gates best-solution updates;
-//   * the hardware critical path and software latency sum for M(S).
+//                   input), so it only gates best-solution updates; counted
+//                   over a pre-classified CSR of countable data producers;
+//   * M(S)        — integer software-latency sums and rounded-up hardware
+//                   cycles (the one Cycles type), frequency-weighted once.
 // Output and convexity violations eliminate the whole subtree (Fig. 7).
+//
+// On top of the serial engine sits a deterministic subtree-parallel runner
+// (CutSearchOptions): the enumeration tree is split at a fixed candidate-
+// decision depth into independent tasks dispatched on an Executor, each
+// owning its state arrays; a sequential merge replays the serial engine's
+// visitation order over the recorded best-cut events, so the returned cut,
+// merit and every statistics counter are byte-identical to the serial run
+// for any thread count.
 #pragma once
+
+#include <atomic>
+#include <cstdint>
 
 #include "core/constraints.hpp"
 #include "dfg/cut.hpp"
@@ -20,11 +39,15 @@
 
 namespace isex {
 
+class Executor;
+
 /// Version of the identification algorithms' observable behaviour (results
 /// AND statistics, single- and multiple-cut). Bump it whenever a change to
 /// the search could alter any output for some input — persisted memo files
 /// carry it, so stale warm-start caches are rejected instead of silently
-/// replaying the old algorithm's answers.
+/// replaying the old algorithm's answers. (The word-parallel engine rebuild
+/// deliberately kept this at 1: it is pinned byte-identical to the retained
+/// reference implementation.)
 inline constexpr int kIdentificationAlgorithmVersion = 1;
 
 struct SingleCutResult {
@@ -34,8 +57,46 @@ struct SingleCutResult {
   EnumerationStats stats;
 };
 
+/// Cumulative counters of the subtree-parallel runner. Thread-safe: one
+/// sink may serve many concurrent searches (the Explorer wires one per
+/// request and surfaces the totals as the report's "engine" section).
+struct SearchEngineStats {
+  /// Subtree tasks dispatched across all split searches.
+  std::atomic<std::uint64_t> subtree_tasks{0};
+  /// Searches that split into subtree tasks.
+  std::atomic<std::uint64_t> split_searches{0};
+  /// Searches that ran serially (split disabled, or branch-and-bound forced
+  /// the serial engine — its bound consults the global best, which subtree
+  /// tasks cannot share deterministically).
+  std::atomic<std::uint64_t> serial_searches{0};
+};
+
+/// Subtree-parallelism knobs for find_best_cut. Results are byte-identical
+/// to the serial engine — cut, merit and all statistics — for any depth and
+/// thread count, with two carve-outs: branch_and_bound searches always run
+/// serially (counted in SearchEngineStats::serial_searches), and a
+/// search_budget that exhausts mid-search keeps only its *accounting*
+/// deterministic under parallelism (see Constraints::search_budget).
+struct CutSearchOptions {
+  /// Where subtree tasks run; null runs them inline on the caller.
+  Executor* executor = nullptr;
+  /// Candidate-decision depth at which the enumeration tree is split into
+  /// independent subtree tasks (up to 2^split_depth of them); 0 = serial.
+  /// Depths of 4–8 give enough tasks to saturate a pool on large blocks
+  /// while keeping the serial prefix negligible.
+  int split_depth = 0;
+  /// Optional counter sink.
+  SearchEngineStats* stats = nullptr;
+};
+
 /// Finds the cut maximising M(S) under `constraints` (paper Problem 1).
 SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
                               const Constraints& constraints);
+
+/// As above, with subtree-parallel search under `options` (byte-identical
+/// results; see CutSearchOptions).
+SingleCutResult find_best_cut(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints,
+                              const CutSearchOptions& options);
 
 }  // namespace isex

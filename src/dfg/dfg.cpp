@@ -119,13 +119,41 @@ void Dfg::finalize() {
   }
   ISEX_CHECK(forward.size() == nodes_.size(), "DFG contains a cycle");
 
-  // Descendant closure, processed from sinks backwards.
+  // Descendant closure, processed from sinks backwards; ancestor closure is
+  // its transpose, processed from sources forwards. The enumeration engines
+  // read both as raw word rows (a node can reach the current cut iff its
+  // descendant row intersects the cut bits), so they are computed here once
+  // per graph and shared through the extraction cache.
   for (std::size_t k = forward.size(); k-- > 0;) {
     const NodeId n = forward[k];
     BitVector& d = desc_[n.index];
     for (NodeId s : nodes_[n.index].succs) {
       d.set(s.index);
       d |= desc_[s.index];
+    }
+  }
+  anc_.assign(nodes_.size(), BitVector(nodes_.size()));
+  for (std::size_t k = 0; k < forward.size(); ++k) {
+    const NodeId n = forward[k];
+    BitVector& a = anc_[n.index];
+    for (NodeId p : nodes_[n.index].preds) {
+      a.set(p.index);
+      a |= anc_[p.index];
+    }
+  }
+
+  // Immediate data-adjacency masks, the word-parallel view of the
+  // adjacency lists (order-only edges stay in the CSR lists the engines
+  // flatten per search — no engine consumes them as a mask).
+  data_succ_mask_.assign(nodes_.size(), BitVector(nodes_.size()));
+  data_pred_mask_.assign(nodes_.size(), BitVector(nodes_.size()));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DfgNode& node = nodes_[i];
+    for (std::size_t j = 0; j < node.succs.size(); ++j) {
+      if (node.succ_is_data[j]) data_succ_mask_[i].set(node.succs[j].index);
+    }
+    for (std::size_t j = 0; j < node.preds.size(); ++j) {
+      if (node.pred_is_data[j]) data_pred_mask_[i].set(node.preds[j].index);
     }
   }
 
@@ -154,6 +182,24 @@ const BitVector& Dfg::descendants(NodeId n) const {
   check_finalized();
   ISEX_ASSERT(n.valid() && n.index < desc_.size(), "invalid node");
   return desc_[n.index];
+}
+
+const BitVector& Dfg::ancestors(NodeId n) const {
+  check_finalized();
+  ISEX_ASSERT(n.valid() && n.index < anc_.size(), "invalid node");
+  return anc_[n.index];
+}
+
+const BitVector& Dfg::data_succ_mask(NodeId n) const {
+  check_finalized();
+  ISEX_ASSERT(n.valid() && n.index < data_succ_mask_.size(), "invalid node");
+  return data_succ_mask_[n.index];
+}
+
+const BitVector& Dfg::data_pred_mask(NodeId n) const {
+  check_finalized();
+  ISEX_ASSERT(n.valid() && n.index < data_pred_mask_.size(), "invalid node");
+  return data_pred_mask_[n.index];
 }
 
 Dfg Dfg::from_block(const Module& module, const Function& fn, BlockId block, double exec_freq,

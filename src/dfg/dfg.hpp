@@ -97,6 +97,19 @@ class Dfg {
   bool reaches(NodeId a, NodeId b) const;
   /// Descendant set of n (excluding n), as a bitvector over node ids.
   const BitVector& descendants(NodeId n) const;
+  /// Ancestor set of n (excluding n) — the transpose closure of
+  /// descendants(), computed once at finalize().
+  const BitVector& ancestors(NodeId n) const;
+
+  // Word-parallel data-adjacency masks (computed once at finalize(),
+  // shared — like the graph itself — through the extraction cache). The
+  // enumeration engines in src/core consume them as raw word rows: output
+  // and reach checks become AND/ANDNOT word operations instead of per-edge
+  // scans over the adjacency lists.
+  /// Immediate successors of n over data edges only.
+  const BitVector& data_succ_mask(NodeId n) const;
+  /// Immediate predecessors of n over data edges only.
+  const BitVector& data_pred_mask(NodeId n) const;
 
   double exec_freq() const { return exec_freq_; }
   void set_exec_freq(double f) { exec_freq_ = f; }
@@ -118,6 +131,9 @@ class Dfg {
   std::vector<NodeId> op_nodes_;
   std::vector<NodeId> search_order_;
   std::vector<BitVector> desc_;  // transitive descendants per node
+  std::vector<BitVector> anc_;   // transitive ancestors per node
+  std::vector<BitVector> data_succ_mask_;  // immediate data successors
+  std::vector<BitVector> data_pred_mask_;  // immediate data predecessors
   double exec_freq_ = 1.0;
   std::string name_;
   BlockId source_block_;

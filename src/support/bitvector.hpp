@@ -70,6 +70,13 @@ class BitVector {
   /// Indices of all set bits, ascending.
   std::vector<std::size_t> set_bits() const;
 
+  /// Raw little-endian 64-bit words backing the vector (bit i lives at word
+  /// i/64, bit i%64). Tail bits beyond size() are always zero. The
+  /// enumeration engines read closure rows through this to turn per-edge
+  /// scans into a handful of unchecked AND/ANDNOT word operations.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t num_words() const { return words_.size(); }
+
   /// "{1, 4, 7}" — for diagnostics and test failure messages.
   std::string to_string() const;
 

@@ -8,6 +8,12 @@ namespace isex {
 
 namespace {
 
+/// The pool whose job this thread is currently draining, if any. Guards
+/// against re-entering a pool's single job slot: a nested parallel_for on
+/// the same pool runs inline instead (deterministic either way — callers
+/// rely on parallel_for being order-independent).
+thread_local const void* tls_draining_pool = nullptr;
+
 class SerialExecutor : public Executor {
  public:
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) override {
@@ -52,11 +58,14 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
     ++job_.in_flight;
     lock.unlock();
     std::exception_ptr error;
+    const void* const prev_pool = tls_draining_pool;
+    tls_draining_pool = this;
     try {
       (*job_.fn)(i);
     } catch (...) {
       error = std::current_exception();
     }
+    tls_draining_pool = prev_pool;
     lock.lock();
     if (error && !job_.error) job_.error = error;
     --job_.in_flight;
@@ -77,6 +86,20 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // A single item runs on the caller directly, leaving the pool's job slot
+  // free — so a nested parallel_for from inside the item (e.g. the
+  // subtree-parallel enumeration under a one-block outer loop) still fans
+  // out across the workers.
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // A worker (or the caller mid-drain) re-entering its own pool would
+  // corrupt the single job slot; run the nested region inline instead.
+  if (tls_draining_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   ISEX_CHECK(job_.fn == nullptr, "nested parallel_for on the same ThreadPool");
   job_ = Job{&fn, n, 0, 0, nullptr};

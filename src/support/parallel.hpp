@@ -31,6 +31,12 @@ Executor& serial_executor();
 
 /// Fixed-size pool of worker threads. The calling thread participates in
 /// each parallel_for, so `ThreadPool(1)` spawns no workers at all.
+///
+/// Re-entrancy: a parallel_for with a single item runs inline and leaves
+/// the pool free, so a nested parallel_for issued from inside that item
+/// (e.g. subtree-parallel identification under a one-block outer loop)
+/// still fans out. A nested parallel_for issued from inside a multi-item
+/// job on the same pool runs its items inline on the issuing thread.
 class ThreadPool : public Executor {
  public:
   /// `num_threads <= 0` uses std::thread::hardware_concurrency(), falling

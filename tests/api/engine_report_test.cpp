@@ -1,0 +1,90 @@
+// The subtree-parallel knob through the request/report surface: a request
+// with subtree_split_depth set must select the exact same instructions as
+// the serial default (byte-identical engine guarantee), surface what the
+// runner did in report.engine, and round-trip it through JSON — while
+// default-request reports keep their historical layout (no "engine" key).
+#include <gtest/gtest.h>
+
+#include "api/explorer.hpp"
+
+namespace isex {
+namespace {
+
+ExplorationRequest base_request() {
+  ExplorationRequest request;
+  request.workload = "crc32";
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.num_instructions = 4;
+  request.use_cache = false;  // every identification actually runs an engine
+  return request;
+}
+
+TEST(EngineReport, SplitRequestMatchesSerialAndSurfacesEngineCounters) {
+  const Explorer explorer;
+  const ExplorationReport serial = explorer.run(base_request());
+
+  ExplorationRequest split = base_request();
+  split.num_threads = 2;
+  split.subtree_split_depth = 4;
+  const ExplorationReport parallel = explorer.run(split);
+
+  EXPECT_EQ(parallel.total_merit, serial.total_merit);
+  EXPECT_EQ(parallel.stats.cuts_considered, serial.stats.cuts_considered);
+  EXPECT_EQ(parallel.stats.best_updates, serial.stats.best_updates);
+  ASSERT_EQ(parallel.cuts.size(), serial.cuts.size());
+  for (std::size_t i = 0; i < serial.cuts.size(); ++i) {
+    EXPECT_EQ(parallel.cuts[i].nodes, serial.cuts[i].nodes) << "cut " << i;
+    EXPECT_EQ(parallel.cuts[i].merit, serial.cuts[i].merit) << "cut " << i;
+  }
+
+  EXPECT_EQ(parallel.engine.subtree_split_depth, 4);
+  EXPECT_GT(parallel.engine.split_searches + parallel.engine.serial_searches, 0u);
+  EXPECT_GT(parallel.engine.subtree_tasks, 0u);
+
+  // Serial default: no runner activity, and no "engine" key on disk.
+  EXPECT_EQ(serial.engine.subtree_split_depth, 0);
+  EXPECT_EQ(serial.to_json().find("engine"), nullptr);
+
+  // Round trip keeps the engine section bit for bit.
+  const ExplorationReport back =
+      ExplorationReport::from_json(Json::parse(parallel.to_json_string()));
+  EXPECT_EQ(back.engine.subtree_split_depth, parallel.engine.subtree_split_depth);
+  EXPECT_EQ(back.engine.subtree_tasks, parallel.engine.subtree_tasks);
+  EXPECT_EQ(back.engine.split_searches, parallel.engine.split_searches);
+  EXPECT_EQ(back.engine.serial_searches, parallel.engine.serial_searches);
+  EXPECT_EQ(back.to_json_string(), parallel.to_json_string());
+}
+
+TEST(EngineReport, PortfolioRequestThreadsTheKnobAndReportsIt) {
+  const Explorer explorer;
+  MultiExplorationRequest request;
+  request.workloads = {{.workload = "crc32"}, {.workload = "adpcmdecode"}};
+  request.scheme = "joint-iterative";
+  request.num_instructions = 3;
+  request.use_cache = false;
+  const PortfolioReport serial = explorer.run_portfolio(request);
+
+  request.num_threads = 2;
+  request.subtree_split_depth = 4;
+  const PortfolioReport parallel = explorer.run_portfolio(request);
+
+  EXPECT_EQ(parallel.total_weighted_merit, serial.total_weighted_merit);
+  EXPECT_EQ(parallel.stats.cuts_considered, serial.stats.cuts_considered);
+  ASSERT_EQ(parallel.cuts.size(), serial.cuts.size());
+  for (std::size_t i = 0; i < serial.cuts.size(); ++i) {
+    EXPECT_EQ(parallel.cuts[i].nodes, serial.cuts[i].nodes) << "cut " << i;
+  }
+  EXPECT_EQ(parallel.engine.subtree_split_depth, 4);
+  EXPECT_GT(parallel.engine.split_searches + parallel.engine.serial_searches, 0u);
+
+  const PortfolioReport back =
+      PortfolioReport::from_json(Json::parse(parallel.to_json_string()));
+  EXPECT_EQ(back.engine.subtree_tasks, parallel.engine.subtree_tasks);
+  EXPECT_EQ(back.to_json_string(), parallel.to_json_string());
+  EXPECT_EQ(serial.to_json().find("engine"), nullptr);
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,0 +1,200 @@
+// Property tests pinning the word-parallel enumeration engines against the
+// retained reference implementation (core/reference_search.hpp): on random
+// DAGs under random constraints, find_best_cut / find_best_cuts must return
+// BYTE-identical results — cut bits, bitwise-equal merits, every metrics
+// field and every statistics counter — serially and across subtree-split
+// depths and thread counts.
+#include <gtest/gtest.h>
+
+#include "core/multi_cut.hpp"
+#include "core/reference_search.hpp"
+#include "core/single_cut.hpp"
+#include "dfg/random_dag.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+void expect_same_stats(const EnumerationStats& a, const EnumerationStats& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.cuts_considered, b.cuts_considered) << label;
+  EXPECT_EQ(a.passed_checks, b.passed_checks) << label;
+  EXPECT_EQ(a.failed_output, b.failed_output) << label;
+  EXPECT_EQ(a.failed_convex, b.failed_convex) << label;
+  EXPECT_EQ(a.pruned_inputs, b.pruned_inputs) << label;
+  EXPECT_EQ(a.pruned_bound, b.pruned_bound) << label;
+  EXPECT_EQ(a.best_updates, b.best_updates) << label;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << label;
+}
+
+void expect_same_single(const SingleCutResult& a, const SingleCutResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.cut, b.cut) << label << " cut " << a.cut.to_string() << " vs "
+                          << b.cut.to_string();
+  EXPECT_EQ(a.merit, b.merit) << label;  // bitwise: == on doubles, no tolerance
+  EXPECT_EQ(a.metrics.num_ops, b.metrics.num_ops) << label;
+  EXPECT_EQ(a.metrics.inputs, b.metrics.inputs) << label;
+  EXPECT_EQ(a.metrics.outputs, b.metrics.outputs) << label;
+  EXPECT_EQ(a.metrics.convex, b.metrics.convex) << label;
+  EXPECT_EQ(a.metrics.sw_cycles, b.metrics.sw_cycles) << label;
+  EXPECT_EQ(a.metrics.hw_critical, b.metrics.hw_critical) << label;
+  EXPECT_EQ(a.metrics.hw_cycles, b.metrics.hw_cycles) << label;
+  EXPECT_EQ(a.metrics.area_macs, b.metrics.area_macs) << label;
+  expect_same_stats(a.stats, b.stats, label);
+}
+
+void expect_same_multi(const MultiCutResult& a, const MultiCutResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.cuts.size(), b.cuts.size()) << label;
+  for (std::size_t i = 0; i < a.cuts.size(); ++i) {
+    EXPECT_EQ(a.cuts[i], b.cuts[i]) << label << " cut " << i;
+  }
+  EXPECT_EQ(a.total_merit, b.total_merit) << label;
+  expect_same_stats(a.stats, b.stats, label);
+}
+
+/// Random constraints over the satellite grid: input/output limits 1–6,
+/// pruning and the result-preserving accelerations toggled independently.
+Constraints random_constraints(Rng& rng) {
+  Constraints c;
+  c.max_inputs = static_cast<int>(rng.uniform(1, 6));
+  c.max_outputs = static_cast<int>(rng.uniform(1, 6));
+  c.enable_pruning = rng.chance(0.7);
+  c.prune_permanent_inputs = rng.chance(0.4);
+  c.branch_and_bound = rng.chance(0.4);
+  return c;
+}
+
+Dfg random_graph(std::uint64_t seed, Rng& rng) {
+  RandomDagConfig cfg;
+  cfg.num_ops = static_cast<int>(rng.uniform(6, 26));
+  cfg.num_inputs = static_cast<int>(rng.uniform(2, 6));
+  cfg.avg_fanin = 1.5 + 0.05 * static_cast<double>(rng.uniform(0, 10));
+  cfg.forbidden_fraction = rng.chance(0.5) ? 0.1 : 0.0;
+  cfg.seed = seed * 7919 + 13;
+  return random_dag(cfg);
+}
+
+TEST(EngineProperty, SingleCutByteIdenticalToReference) {
+  Rng rng(0xE5C1);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Dfg g = random_graph(seed, rng);
+    const Constraints c = random_constraints(rng);
+    const SingleCutResult ref = find_best_cut_reference(g, kLat, c);
+    const SingleCutResult fast = find_best_cut(g, kLat, c);
+    expect_same_single(fast, ref, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(EngineProperty, SubtreeSplitByteIdenticalAcrossThreadsAndDepths) {
+  Rng rng(0x5917);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Dfg g = random_graph(seed, rng);
+    const Constraints c = random_constraints(rng);
+    const SingleCutResult ref = find_best_cut_reference(g, kLat, c);
+    for (const int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      for (const int depth : {1, 3, 7}) {
+        SearchEngineStats stats;
+        const SingleCutResult split =
+            find_best_cut(g, kLat, c, CutSearchOptions{&pool, depth, &stats});
+        expect_same_single(split, ref,
+                           "seed " + std::to_string(seed) + " threads " +
+                               std::to_string(threads) + " depth " + std::to_string(depth));
+        // Branch-and-bound searches must fall back to the serial engine
+        // (the bound consults the global best, which tasks cannot share
+        // deterministically); everything else splits.
+        if (c.branch_and_bound) {
+          EXPECT_EQ(stats.split_searches.load(), 0u) << "seed " << seed;
+          EXPECT_EQ(stats.serial_searches.load(), 1u) << "seed " << seed;
+        } else {
+          EXPECT_EQ(stats.split_searches.load(), 1u) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineProperty, LargeBlockSplitByteIdenticalToSerial) {
+  // One fig8-tail-sized block (beyond the 64-node single-word fast path),
+  // deep enough that the generator spawns a real task fan-out.
+  RandomDagConfig cfg;
+  cfg.num_ops = 80;
+  cfg.num_inputs = 6;
+  cfg.avg_fanin = 1.9;
+  cfg.forbidden_fraction = 0.05;
+  cfg.seed = 80 * 1337;
+  const Dfg g = random_dag(cfg);
+  Constraints c;
+  c.max_inputs = 4;
+  c.max_outputs = 2;
+  const SingleCutResult serial = find_best_cut(g, kLat, c);
+  const SingleCutResult ref = find_best_cut_reference(g, kLat, c);
+  expect_same_single(serial, ref, "serial vs reference");
+  ThreadPool pool(4);
+  SearchEngineStats stats;
+  const SingleCutResult split =
+      find_best_cut(g, kLat, c, CutSearchOptions{&pool, 8, &stats});
+  expect_same_single(split, serial, "split vs serial");
+  EXPECT_GT(stats.subtree_tasks.load(), 1u);
+}
+
+TEST(EngineProperty, DynamicWordWidthPathByteIdenticalToReference) {
+  // Graphs beyond 256 nodes dispatch to the kWords == 0 engine, the only
+  // instantiation where the row width is a runtime value — pin it against
+  // the reference too (tight 2-in/1-out constraints keep the tree small).
+  RandomDagConfig cfg;
+  cfg.num_ops = 300;
+  cfg.num_inputs = 8;
+  cfg.avg_fanin = 1.7;
+  cfg.liveout_fraction = 0.15;
+  cfg.seed = 300 * 1337;
+  const Dfg g = random_dag(cfg);
+  ASSERT_GT(g.num_nodes(), 256u);  // below this the <=4-word fast paths win
+  Constraints c;
+  c.max_inputs = 2;
+  c.max_outputs = 1;
+  const SingleCutResult ref = find_best_cut_reference(g, kLat, c);
+  const SingleCutResult fast = find_best_cut(g, kLat, c);
+  expect_same_single(fast, ref, "dynamic-width serial");
+  ThreadPool pool(2);
+  const SingleCutResult split =
+      find_best_cut(g, kLat, c, CutSearchOptions{&pool, 6, nullptr});
+  expect_same_single(split, ref, "dynamic-width split");
+}
+
+TEST(EngineProperty, MultiCutByteIdenticalToReference) {
+  Rng rng(0x3C17);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = static_cast<int>(rng.uniform(5, 13));
+    cfg.seed = seed * 977 + 5;
+    const Dfg g = random_dag(cfg);
+    const Constraints c = random_constraints(rng);
+    const int m = static_cast<int>(rng.uniform(1, 3));
+    const MultiCutResult ref = find_best_cuts_reference(g, kLat, c, m);
+    const MultiCutResult fast = find_best_cuts(g, kLat, c, m);
+    expect_same_multi(fast, ref, "seed " + std::to_string(seed) + " m " + std::to_string(m));
+  }
+}
+
+TEST(EngineProperty, SerialSearchesCountedWhenSplitDisabled) {
+  RandomDagConfig cfg;
+  cfg.num_ops = 10;
+  cfg.seed = 42;
+  const Dfg g = random_dag(cfg);
+  Constraints c;
+  c.max_inputs = 4;
+  c.max_outputs = 2;
+  SearchEngineStats stats;
+  (void)find_best_cut(g, kLat, c, CutSearchOptions{nullptr, 0, &stats});
+  EXPECT_EQ(stats.serial_searches.load(), 1u);
+  EXPECT_EQ(stats.split_searches.load(), 0u);
+  EXPECT_EQ(stats.subtree_tasks.load(), 0u);
+}
+
+}  // namespace
+}  // namespace isex

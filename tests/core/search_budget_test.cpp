@@ -1,0 +1,113 @@
+// Exact search-budget accounting across every engine (satellite of the
+// word-parallel rebuild): the considered-cut count never overshoots the
+// budget and lands on it exactly whenever the tree is larger — serially,
+// in the retained reference engine, and under subtree-parallel search with
+// any thread count (the tasks share one atomic BudgetGate).
+#include <gtest/gtest.h>
+
+#include "core/reference_search.hpp"
+#include "core/search_tables.hpp"
+#include "core/single_cut.hpp"
+#include "dfg/random_dag.hpp"
+#include "support/parallel.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+Dfg budget_graph() {
+  RandomDagConfig cfg;
+  cfg.num_ops = 24;
+  cfg.seed = 3;
+  return random_dag(cfg);
+}
+
+Constraints budgeted(std::uint64_t budget) {
+  Constraints c;
+  c.max_inputs = 4;
+  c.max_outputs = 2;
+  c.search_budget = budget;
+  return c;
+}
+
+TEST(BudgetGateTest, HandsOutExactlyTheBudgetUnderContention) {
+  BudgetGate gate(1000);
+  std::atomic<std::uint64_t> granted{0};
+  ThreadPool pool(8);
+  pool.parallel_for(16, [&](std::size_t) {
+    for (int i = 0; i < 200; ++i) {
+      if (gate.consume()) granted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // 16 x 200 = 3200 attempts against a budget of 1000: exactly 1000 grants.
+  EXPECT_EQ(granted.load(), 1000u);
+  EXPECT_TRUE(gate.exhausted());
+
+  BudgetGate roomy(5000);
+  EXPECT_TRUE(roomy.consume());
+  EXPECT_FALSE(roomy.exhausted());
+
+  BudgetGate unlimited(0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.consume());
+  EXPECT_FALSE(unlimited.exhausted());
+}
+
+TEST(SearchBudget, CutsConsideredPinsExactlyAtTheCutoff) {
+  const Dfg g = budget_graph();
+  const std::uint64_t demand =
+      find_best_cut(g, kLat, budgeted(0)).stats.cuts_considered;
+  ASSERT_GT(demand, 100u);
+  const std::uint64_t budget = demand / 3;
+
+  const SingleCutResult serial = find_best_cut(g, kLat, budgeted(budget));
+  EXPECT_TRUE(serial.stats.budget_exhausted);
+  EXPECT_EQ(serial.stats.cuts_considered, budget);  // exact, not <=
+
+  const SingleCutResult reference = find_best_cut_reference(g, kLat, budgeted(budget));
+  EXPECT_TRUE(reference.stats.budget_exhausted);
+  EXPECT_EQ(reference.stats.cuts_considered, budget);
+  // The serial engine replays the reference bit for bit, budget included.
+  EXPECT_EQ(serial.cut, reference.cut);
+  EXPECT_EQ(serial.merit, reference.merit);
+
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const SingleCutResult split =
+        find_best_cut(g, kLat, budgeted(budget), CutSearchOptions{&pool, 3, nullptr});
+    EXPECT_TRUE(split.stats.budget_exhausted) << threads << " threads";
+    // Subtree tasks share one atomic gate: the aggregate count is exact and
+    // deterministic for every thread count (which cuts filled the budget —
+    // and hence the partial best — is only pinned serially).
+    EXPECT_EQ(split.stats.cuts_considered, budget) << threads << " threads";
+  }
+}
+
+TEST(SearchBudget, RoomyBudgetLeavesEverythingByteIdentical) {
+  const Dfg g = budget_graph();
+  const SingleCutResult unbudgeted = find_best_cut(g, kLat, budgeted(0));
+  const std::uint64_t roomy = unbudgeted.stats.cuts_considered * 2;
+
+  const SingleCutResult serial = find_best_cut(g, kLat, budgeted(roomy));
+  EXPECT_FALSE(serial.stats.budget_exhausted);
+  EXPECT_EQ(serial.stats.cuts_considered, unbudgeted.stats.cuts_considered);
+  EXPECT_EQ(serial.cut, unbudgeted.cut);
+  EXPECT_EQ(serial.merit, unbudgeted.merit);
+
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    const SingleCutResult split =
+        find_best_cut(g, kLat, budgeted(roomy), CutSearchOptions{&pool, 3, nullptr});
+    // A budget that never exhausts keeps the split engine fully
+    // deterministic: byte-identical to the serial run.
+    EXPECT_FALSE(split.stats.budget_exhausted) << threads << " threads";
+    EXPECT_EQ(split.cut, serial.cut) << threads << " threads";
+    EXPECT_EQ(split.merit, serial.merit) << threads << " threads";
+    EXPECT_EQ(split.stats.cuts_considered, serial.stats.cuts_considered)
+        << threads << " threads";
+    EXPECT_EQ(split.stats.best_updates, serial.stats.best_updates) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace isex

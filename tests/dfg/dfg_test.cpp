@@ -368,6 +368,56 @@ TEST(RandomDag, GeneratesValidGraphs) {
   }
 }
 
+TEST(ClosureMasks, AncestorsAreTheTransposeOfDescendants) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 18;
+    cfg.seed = seed * 31;
+    const Dfg g = random_dag(cfg);
+    for (std::size_t a = 0; a < g.num_nodes(); ++a) {
+      for (std::size_t b = 0; b < g.num_nodes(); ++b) {
+        EXPECT_EQ(g.descendants(NodeId{static_cast<std::uint32_t>(a)}).test(b),
+                  g.ancestors(NodeId{static_cast<std::uint32_t>(b)}).test(a))
+            << "seed " << seed << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ClosureMasks, AdjacencyMasksMatchTheEdgeLists) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 18;
+    cfg.seed = seed * 57 + 7;
+    const Dfg g = random_dag(cfg);
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+      const NodeId n{static_cast<std::uint32_t>(i)};
+      const DfgNode& node = g.node(n);
+      BitVector data_succs(g.num_nodes()), data_preds(g.num_nodes());
+      for (std::size_t j = 0; j < node.succs.size(); ++j) {
+        if (node.succ_is_data[j]) data_succs.set(node.succs[j].index);
+      }
+      for (std::size_t j = 0; j < node.preds.size(); ++j) {
+        if (node.pred_is_data[j]) data_preds.set(node.preds[j].index);
+      }
+      EXPECT_EQ(g.data_succ_mask(n), data_succs) << "seed " << seed << " node " << i;
+      EXPECT_EQ(g.data_pred_mask(n), data_preds) << "seed " << seed << " node " << i;
+    }
+  }
+}
+
+TEST(ClosureMasks, RawWordsMirrorTheBitApi) {
+  const Fig4 f;
+  for (std::size_t i = 0; i < f.g.num_nodes(); ++i) {
+    const BitVector& row = f.g.descendants(NodeId{static_cast<std::uint32_t>(i)});
+    ASSERT_EQ(row.num_words(), (f.g.num_nodes() + 63) / 64);
+    for (std::size_t b = 0; b < row.size(); ++b) {
+      EXPECT_EQ(row.test(b), (row.words()[b >> 6] >> (b & 63) & 1) != 0)
+          << "node " << i << " bit " << b;
+    }
+  }
+}
+
 TEST(Dot, RendersNodesAndCuts) {
   const Fig4 f;
   const BitVector cut = f.cut({f.n1, f.n3});
