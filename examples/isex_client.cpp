@@ -1,0 +1,216 @@
+// Client for the exploration daemon (tools/isexd.cpp). Three modes:
+//
+//   isex_client --socket /tmp/isex.sock
+//       Runs the quickstart exploration (adpcmdecode under 4/2 ports) over
+//       the socket, printing each streamed phase event and a report
+//       summary, then a weighted two-application portfolio the same way.
+//
+//   isex_client --socket /tmp/isex.sock --smoke
+//       The CI service job's concurrency check: four client connections in
+//       parallel threads — two of them submitting the *identical* request —
+//       asserting that the duplicate is deduped (`deduped: true` on its
+//       accepted event), that the deduped pair's reports are byte-identical
+//       (timings excluded), that the shared store reports nonzero hits for
+//       a repeat request, and that every client got a full event stream.
+//       Exits nonzero on any violation.
+//
+// Local in-process equivalents of these requests live in
+// examples/quickstart.cpp and examples/portfolio.cpp; this driver is about
+// the wire path.
+#include <atomic>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+
+using namespace isex;
+
+namespace {
+
+ExplorationRequest quickstart_request() {
+  ExplorationRequest request;
+  request.workload = "adpcmdecode";
+  request.scheme = "iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.num_instructions = 8;
+  return request;
+}
+
+MultiExplorationRequest portfolio_request() {
+  MultiExplorationRequest request;
+  request.workloads.resize(2);
+  request.workloads[0].workload = "adpcmdecode";
+  request.workloads[0].weight = 2.0;
+  request.workloads[1].workload = "sha1";
+  request.workloads[1].weight = 1.0;
+  request.scheme = "joint-iterative";
+  request.constraints.max_inputs = 4;
+  request.constraints.max_outputs = 2;
+  request.num_instructions = 8;
+  return request;
+}
+
+void print_event(const EventFrame& event) {
+  std::cout << "  [" << event.id << "] " << event.event;
+  if (event.event != "report") std::cout << " " << event.data.dump();
+  std::cout << "\n";
+}
+
+int run_demo(const std::string& socket_path) {
+  IsexClient client(socket_path);
+  std::cout << "daemon status: " << client.ping().dump() << "\n";
+
+  std::cout << "exploring adpcmdecode over the socket:\n";
+  Json single = client.explore(quickstart_request(), /*search_budget=*/0, print_event);
+  const Json& report = single.at("report");
+  std::cout << "  -> " << report.at("cuts").as_array().size() << " instructions, speedup "
+            << report.at("estimated_speedup").dump() << "\n";
+
+  std::cout << "exploring the adpcm+sha1 portfolio over the socket:\n";
+  Json multi = client.explore_portfolio(portfolio_request(), 0, print_event);
+  std::cout << "  -> weighted speedup "
+            << multi.at("report").at("weighted_speedup").dump() << "\n";
+  std::cout << "store after both: " << multi.at("store").dump() << "\n";
+  return 0;
+}
+
+struct SmokeOutcome {
+  bool ok = false;
+  bool deduped = false;
+  std::string stable_report;  // timings-stripped report payload
+  std::string error;
+};
+
+/// One smoke client: runs `request` and records whether its accepted event
+/// carried deduped, plus the stable report bytes.
+SmokeOutcome smoke_run(const std::string& socket_path, const ExplorationRequest& request) {
+  SmokeOutcome outcome;
+  try {
+    IsexClient client(socket_path);
+    int phases = 0;
+    Json payload = client.explore(request, 0, [&](const EventFrame& event) {
+      if (event.event == "accepted" && event.data.at("deduped").as_bool()) {
+        outcome.deduped = true;
+      }
+      if (event.event == "extracted" || event.event == "identified" ||
+          event.event == "selected") {
+        ++phases;
+      }
+    });
+    outcome.stable_report = stable_report_json(payload.at("report")).dump();
+    // A deduped run may legitimately attach after some phases streamed; a
+    // fresh run must see all three.
+    outcome.ok = outcome.deduped || phases == 3;
+    if (!outcome.ok) outcome.error = "missing phase events";
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+int run_smoke(const std::string& socket_path) {
+  // Client 0/1 share one request (the dedup pair); 2 and 3 are distinct.
+  ExplorationRequest shared = quickstart_request();
+  ExplorationRequest third = quickstart_request();
+  third.workload = "sha1";
+  ExplorationRequest fourth = quickstart_request();
+  fourth.constraints.max_inputs = 3;
+  fourth.constraints.max_outputs = 1;
+
+  // The dedup pair goes out pipelined on one connection first — the second
+  // frame reaches admission while the first is queued or running, which is
+  // what makes `deduped` deterministic. The other two run on their own
+  // connections in parallel.
+  SmokeOutcome a, b, c, d;
+  std::thread pair([&] {
+    try {
+      IsexClient client(socket_path);
+      RequestFrame f1;
+      f1.type = "explore";
+      f1.single = shared;
+      RequestFrame f2 = f1;
+      const std::string id1 = client.send_frame(std::move(f1));
+      const std::string id2 = client.send_frame(std::move(f2));
+      bool dedup2 = false;
+      const auto watch = [&](const EventFrame& event) {
+        if (event.id == id2 && event.event == "accepted") {
+          dedup2 = event.data.at("deduped").as_bool();
+        }
+      };
+      Json r1 = client.collect_report(id1, watch);
+      Json r2 = client.collect_report(id2, watch);
+      a.stable_report = stable_report_json(r1.at("report")).dump();
+      b.stable_report = stable_report_json(r2.at("report")).dump();
+      b.deduped = dedup2;
+      a.ok = true;
+      b.ok = dedup2;
+      if (!dedup2) b.error = "duplicate request was not deduped";
+    } catch (const std::exception& e) {
+      a.error = b.error = e.what();
+    }
+  });
+  std::thread t3([&] { c = smoke_run(socket_path, third); });
+  std::thread t4([&] { d = smoke_run(socket_path, fourth); });
+  pair.join();
+  t3.join();
+  t4.join();
+
+  int failures = 0;
+  const auto check = [&](const char* name, bool ok, const std::string& why) {
+    if (ok) {
+      std::cout << "smoke: " << name << " ok\n";
+    } else {
+      std::cerr << "smoke: " << name << " FAILED: " << why << "\n";
+      ++failures;
+    }
+  };
+  check("client-1 (fresh)", a.ok, a.error);
+  check("client-2 (duplicate deduped)", b.ok, b.error);
+  check("client-3 (sha1round)", c.ok, c.error);
+  check("client-4 (3/1 ports)", d.ok, d.error);
+  check("dedup pair byte-identical reports",
+        a.ok && b.ok && a.stable_report == b.stable_report,
+        "stable report JSON differs between the deduped pair");
+
+  // A repeat of the shared request must now be served from the warm store:
+  // its per-request delta shows hits and no identification misses.
+  try {
+    IsexClient client(socket_path);
+    Json repeat = client.explore(shared);
+    const Json& cache = repeat.at("report").at("cache");
+    const bool warm = cache.at("hits").as_uint() > 0 && cache.at("misses").as_uint() == 0;
+    check("repeat served from shared store", warm, "expected all-hit cache delta, got " + cache.dump());
+    check("store lifetime hits nonzero", repeat.at("store").at("hits").as_uint() > 0,
+          repeat.at("store").dump());
+  } catch (const std::exception& e) {
+    check("repeat served from shared store", false, e.what());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/isex.sock";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: isex_client [--socket PATH] [--smoke]\n";
+      return 2;
+    }
+  }
+  try {
+    return smoke ? run_smoke(socket_path) : run_demo(socket_path);
+  } catch (const std::exception& e) {
+    std::cerr << "isex_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -59,6 +59,10 @@ void fill_validation(double base_cycles, const RewriteVerification& rv,
   }
 }
 
+void notify(const RunHooks& hooks, const char* phase, Json data) {
+  if (hooks.on_phase) hooks.on_phase(phase, data);
+}
+
 }  // namespace
 
 EmissionOptions ExplorationRequest::effective_emission() const {
@@ -73,8 +77,17 @@ Explorer::Explorer(LatencyModel latency, SchemeRegistry* registry,
                    ResultCacheConfig cache_config, EmitterRegistry* emitters)
     : latency_(std::move(latency)),
       registry_(registry != nullptr ? registry : &SchemeRegistry::global()),
-      cache_(std::make_unique<ResultCache>(cache_config)),
+      cache_(std::make_shared<ResultCache>(cache_config)),
       emitters_(emitters != nullptr ? emitters : &EmitterRegistry::global()) {}
+
+Explorer::Explorer(LatencyModel latency, std::shared_ptr<ResultCache> cache,
+                   SchemeRegistry* registry, EmitterRegistry* emitters)
+    : latency_(std::move(latency)),
+      registry_(registry != nullptr ? registry : &SchemeRegistry::global()),
+      cache_(std::move(cache)),
+      emitters_(emitters != nullptr ? emitters : &EmitterRegistry::global()) {
+  ISEX_CHECK(cache_ != nullptr, "Explorer: shared ResultCache must not be null");
+}
 
 SingleCutResult Explorer::identify(const Dfg& block, const Constraints& constraints,
                                    bool use_cache) const {
@@ -94,23 +107,39 @@ MultiCutResult Explorer::identify_multi(const Dfg& block, const Constraints& con
 }
 
 ExplorationReport Explorer::run(const ExplorationRequest& request) const {
+  return run(request, RunHooks{});
+}
+
+ExplorationReport Explorer::run(const ExplorationRequest& request,
+                                const RunHooks& hooks) const {
   if (!request.workload.empty()) {
     Workload w = find_workload(request.workload);
-    return run(w, request);
+    return run(w, request, hooks);
   }
   ISEX_CHECK(!request.graphs.empty(),
              "ExplorationRequest needs a workload name or user graphs");
-  return run_blocks(request.graphs, request);
+  return run_blocks(request.graphs, request, hooks);
 }
 
 ExplorationReport Explorer::run(Workload& workload, const ExplorationRequest& request) const {
-  return run_pipeline(&workload, {}, request);
+  return run_pipeline(&workload, {}, request, RunHooks{});
+}
+
+ExplorationReport Explorer::run(Workload& workload, const ExplorationRequest& request,
+                                const RunHooks& hooks) const {
+  return run_pipeline(&workload, {}, request, hooks);
 }
 
 ExplorationReport Explorer::run_blocks(std::span<const Dfg> blocks,
                                        const ExplorationRequest& request) const {
+  return run_blocks(blocks, request, RunHooks{});
+}
+
+ExplorationReport Explorer::run_blocks(std::span<const Dfg> blocks,
+                                       const ExplorationRequest& request,
+                                       const RunHooks& hooks) const {
   ISEX_CHECK(!blocks.empty(), "no graphs to explore");
-  return run_pipeline(nullptr, blocks, request);
+  return run_pipeline(nullptr, blocks, request, hooks);
 }
 
 Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
@@ -142,7 +171,8 @@ Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
 }
 
 ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg> blocks,
-                                         const ExplorationRequest& request) const {
+                                         const ExplorationRequest& request,
+                                         const RunHooks& hooks) const {
   const auto t_start = Clock::now();
   // Reject contradictory or no-op emission requests before any work runs
   // (e.g. a Verilog target on a graph-only request — the old boolean API
@@ -182,6 +212,13 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   }
   report.num_blocks = static_cast<int>(blocks.size());
   report.timings.extract_ms = ms_since(t_start);
+  {
+    Json data = Json::object();
+    data.set("num_blocks", report.num_blocks);
+    data.set("base_cycles", report.base_cycles);
+    data.set("extract_ms", report.timings.extract_ms);
+    notify(hooks, "extracted", std::move(data));
+  }
 
   // --- identify + select ---------------------------------------------------
   // The single-workload pipeline is a one-bundle portfolio: the scheme sees
@@ -213,7 +250,8 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
                       request.use_cache ? cache_.get() : nullptr,
                       &local,
                       request.subtree_split_depth,
-                      &engine_stats};
+                      &engine_stats,
+                      hooks.budget_gate};
   report.selection = portfolio_to_single(scheme.select(inputs));
   report.timings.identify_ms = ms_since(t_identify);
   report.engine.subtree_split_depth = request.subtree_split_depth;
@@ -224,6 +262,15 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   report.total_merit = report.selection.total_merit;
   report.identification_calls = report.selection.identification_calls;
   report.stats = report.selection.stats;
+  {
+    Json data = Json::object();
+    data.set("identification_calls", report.identification_calls);
+    data.set("cuts_considered", report.stats.cuts_considered);
+    data.set("cache_hits", local.hits);
+    data.set("cache_misses", local.misses);
+    data.set("identify_ms", report.timings.identify_ms);
+    notify(hooks, "identified", std::move(data));
+  }
   if (report.base_cycles > report.total_merit) {
     report.estimated_speedup = application_speedup(report.base_cycles, report.total_merit);
   }
@@ -235,6 +282,13 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     cr.metrics = sc.metrics;
     cr.nodes = sc.cut.to_string();
     report.cuts.push_back(std::move(cr));
+  }
+  {
+    Json data = Json::object();
+    data.set("num_cuts", static_cast<std::int64_t>(report.cuts.size()));
+    data.set("total_merit", report.total_merit);
+    data.set("estimated_speedup", report.estimated_speedup);
+    notify(hooks, "selected", std::move(data));
   }
 
   // --- AFU construction / rewrite-verify / artifact emission ---------------
@@ -316,6 +370,11 @@ void Explorer::emit_single(Workload* workload, std::span<const Dfg> blocks,
 }
 
 PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) const {
+  return run_portfolio(request, RunHooks{});
+}
+
+PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request,
+                                        const RunHooks& hooks) const {
   const auto t_start = Clock::now();
   ISEX_CHECK(!request.workloads.empty(),
              "MultiExplorationRequest needs at least one workload");
@@ -390,6 +449,23 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
     }
   }
   report.timings.extract_ms = ms_since(t_start);
+  {
+    Json data = Json::object();
+    Json apps = Json::array();
+    int total_blocks = 0;
+    for (const WorkloadBundle& bundle : bundles) {
+      Json app = Json::object();
+      app.set("workload", bundle.name);
+      app.set("num_blocks", static_cast<std::int64_t>(bundle.blocks.size()));
+      app.set("base_cycles", bundle.base_cycles);
+      apps.push_back(std::move(app));
+      total_blocks += static_cast<int>(bundle.blocks.size());
+    }
+    data.set("num_blocks", total_blocks);
+    data.set("workloads", std::move(apps));
+    data.set("extract_ms", report.timings.extract_ms);
+    notify(hooks, "extracted", std::move(data));
+  }
 
   // --- joint identification + selection ------------------------------------
   const auto t_identify = Clock::now();
@@ -415,7 +491,8 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
                       request.use_cache ? cache_.get() : nullptr,
                       &local,
                       request.subtree_split_depth,
-                      &engine_stats};
+                      &engine_stats,
+                      hooks.budget_gate};
   report.selection = scheme.select(inputs);
   report.timings.identify_ms = ms_since(t_identify);
   report.engine.subtree_split_depth = request.subtree_split_depth;
@@ -427,6 +504,16 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
   report.total_weighted_merit = report.selection.total_weighted_merit;
   report.identification_calls = report.selection.identification_calls;
   report.stats = report.selection.stats;
+  {
+    Json data = Json::object();
+    data.set("identification_calls", report.identification_calls);
+    data.set("cuts_considered", report.stats.cuts_considered);
+    data.set("cache_hits", local.hits);
+    data.set("cache_misses", local.misses);
+    data.set("cross_workload_hits", local.cross_workload_hits);
+    data.set("identify_ms", report.timings.identify_ms);
+    notify(hooks, "identified", std::move(data));
+  }
   report.sharing.shared_kernels = report.selection.shared_kernels;
   ISEX_ASSERT(report.selection.saved_per_bundle.size() == bundles.size(),
               "scheme returned a malformed per-bundle savings vector");
@@ -467,6 +554,13 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request) 
       cr.served.push_back(std::move(inst));
     }
     report.cuts.push_back(std::move(cr));
+  }
+  {
+    Json data = Json::object();
+    data.set("num_cuts", static_cast<std::int64_t>(report.cuts.size()));
+    data.set("total_weighted_merit", report.total_weighted_merit);
+    data.set("weighted_speedup", report.weighted_speedup);
+    notify(hooks, "selected", std::move(data));
   }
 
   // --- AFU construction / rewrite-verify / artifact emission ---------------

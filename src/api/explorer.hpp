@@ -19,6 +19,7 @@
 //   std::cout << report.to_json_string();
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -103,6 +104,30 @@ struct ExplorationRequest {
   EmissionOptions effective_emission() const;
 };
 
+/// Optional per-run instrumentation, threaded through the pipeline by the
+/// run()/run_portfolio() overloads below. The exploration service uses it to
+/// stream phase events to clients and to enforce per-client search budgets;
+/// plain library callers never need it.
+struct RunHooks {
+  /// Invoked on the pipeline thread at phase boundaries, with a small JSON
+  /// payload per phase:
+  ///   "extracted"  — profiling/DFG extraction done (num_blocks, base_cycles,
+  ///                  extract_ms; portfolios add a per-workload array);
+  ///   "identified" — identification searches done (identification_calls,
+  ///                  cuts_considered, cache hit/miss deltas so far);
+  ///   "selected"   — the instruction set is fixed (num_cuts, total merit,
+  ///                  estimated/weighted speedup).
+  /// Exceptions thrown by the callback propagate out of the run. Keep it
+  /// cheap — the pipeline blocks on it.
+  std::function<void(const std::string& phase, const Json& data)> on_phase;
+  /// Shared search-budget gate for every single-cut identification of this
+  /// run: all searches draw on one ticket pool, so the run's aggregate
+  /// cuts_considered pins exactly at min(demand, budget) — the service's
+  /// per-client budget (see CutSearchOptions::budget). Null = per-search
+  /// Constraints::search_budget semantics, unchanged.
+  BudgetGate* budget_gate = nullptr;
+};
+
 class Explorer {
  public:
   /// `registry` defaults to SchemeRegistry::global() and `emitters` to
@@ -114,29 +139,49 @@ class Explorer {
                     ResultCacheConfig cache_config = {},
                     EmitterRegistry* emitters = nullptr);
 
+  /// As above, but memoizing through a caller-provided cache instead of an
+  /// explorer-owned one. Several explorers (or a long-lived service and its
+  /// per-request runs) may share `cache`; ResultCache is internally
+  /// synchronized, and shared use is byte-identical to exclusive use.
+  /// Throws isex::Error when `cache` is null.
+  Explorer(LatencyModel latency, std::shared_ptr<ResultCache> cache,
+           SchemeRegistry* registry = nullptr, EmitterRegistry* emitters = nullptr);
+
   const LatencyModel& latency() const { return latency_; }
   SchemeRegistry& registry() const { return *registry_; }
   /// The artifact-emission backends this explorer resolves
   /// EmissionOptions.targets against.
   EmitterRegistry& emitters() const { return *emitters_; }
-  /// The explorer-owned memoization layer. Internally synchronized; use it
-  /// to inspect counters, clear state, or save/load a warm-start file.
+  /// The memoization layer (explorer-owned, or the shared cache this
+  /// explorer was constructed over). Internally synchronized; use it to
+  /// inspect counters, clear state, or save/load a warm-start file.
   ResultCache& cache() const { return *cache_; }
+  /// Shared handle to the same cache, for wiring further explorers or a
+  /// service-level ResultStore to this explorer's memo state.
+  const std::shared_ptr<ResultCache>& cache_handle() const { return cache_; }
 
   /// Runs the whole pipeline. Resolves request.workload against the workload
-  /// registry, or explores request.graphs when the name is empty.
+  /// registry, or explores request.graphs when the name is empty. The hooks
+  /// overloads stream phase boundaries and thread a shared budget gate
+  /// through the searches; results are identical with or without hooks
+  /// (modulo a gate that exhausts).
   ExplorationReport run(const ExplorationRequest& request) const;
+  ExplorationReport run(const ExplorationRequest& request, const RunHooks& hooks) const;
 
   /// Runs the pipeline on a caller-owned workload (bring-your-own Module).
   /// request.workload is ignored; with request.rewrite the module is
   /// transformed in place.
   ExplorationReport run(Workload& workload, const ExplorationRequest& request) const;
+  ExplorationReport run(Workload& workload, const ExplorationRequest& request,
+                        const RunHooks& hooks) const;
 
   /// Identification + selection on pre-extracted graphs. No module is
   /// available, so AFU construction and rewriting are skipped; the base
   /// cycle count is the blocks' static single-issue estimate.
   ExplorationReport run_blocks(std::span<const Dfg> blocks,
                                const ExplorationRequest& request) const;
+  ExplorationReport run_blocks(std::span<const Dfg> blocks, const ExplorationRequest& request,
+                               const RunHooks& hooks) const;
 
   /// Runs a batched multi-application exploration: extracts every workload
   /// (through the extraction cache), hands the weighted bundles to a
@@ -146,6 +191,8 @@ class Explorer {
   /// accepted only for portfolios of exactly one workload (throws an
   /// isex::Error listing the portfolio-capable names otherwise).
   PortfolioReport run_portfolio(const MultiExplorationRequest& request) const;
+  PortfolioReport run_portfolio(const MultiExplorationRequest& request,
+                                const RunHooks& hooks) const;
 
   // --- single-block identification (paper Problem 1) ----------------------
   /// Best single cut of one block under `constraints`. Memoized through the
@@ -182,7 +229,8 @@ class Explorer {
                                    CacheCounters* local) const;
 
   ExplorationReport run_pipeline(Workload* workload, std::span<const Dfg> blocks,
-                                 const ExplorationRequest& request) const;
+                                 const ExplorationRequest& request,
+                                 const RunHooks& hooks) const;
 
   /// AFU construction, rewrite-verify and artifact emission for one
   /// pipeline run (single application). Fills report.afus/verilog/
@@ -194,7 +242,7 @@ class Explorer {
 
   LatencyModel latency_;
   SchemeRegistry* registry_;
-  std::unique_ptr<ResultCache> cache_;
+  std::shared_ptr<ResultCache> cache_;
   EmitterRegistry* emitters_;
 };
 

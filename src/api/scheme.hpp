@@ -67,10 +67,16 @@ struct SchemeInputs {
   /// Per-request engine counter sink (may be null), surfaced as the
   /// report's "engine" section.
   SearchEngineStats* engine_stats = nullptr;
+  /// Shared per-request search-budget gate (may be null). When set, every
+  /// single-cut identification of this request draws on one ticket pool
+  /// instead of a fresh per-search budget — the exploration service's
+  /// per-client budget enforcement (see CutSearchOptions::budget). Schemes
+  /// need no special handling: the gate rides search_options().
+  BudgetGate* budget_gate = nullptr;
 
   /// The CutSearchOptions this request asks schemes to search with.
   CutSearchOptions search_options() const {
-    return CutSearchOptions{executor, subtree_split_depth, engine_stats};
+    return CutSearchOptions{executor, subtree_split_depth, engine_stats, budget_gate};
   }
 
   /// The blocks of the portfolio's only bundle. Single-application schemes

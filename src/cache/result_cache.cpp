@@ -1,10 +1,14 @@
 #include "cache/result_cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "core/search_tables.hpp"
 #include "core/serialize.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
@@ -113,6 +117,12 @@ SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latenc
   // regardless of their search options.
   auto result = std::make_shared<const SingleCutResult>(
       find_best_cut(g, latency, constraints, search));
+  // A shared request gate is invisible to the memo key (`constraints` still
+  // says whatever the client asked for), so a search it cut short is a
+  // partial answer that must never be served to a caller with budget left.
+  // A search that finished without exhausting the gate is the complete
+  // enumeration and stays storable.
+  if (search.budget != nullptr && search.budget->exhausted()) return *result;
   MemoEntry entry;
   entry.single = result;
   if (local != nullptr) entry.origin_scope = local->scope;
@@ -269,9 +279,16 @@ void ResultCache::merge_json(const Json& json) {
 }
 
 void ResultCache::save_file(const std::string& path) const {
-  // Write-then-rename so an interrupted save never leaves a truncated file
+  // Write-then-rename so a killed writer never leaves a truncated file
   // behind (load_file throws on malformed files rather than starting cold).
-  const std::string tmp = path + ".tmp";
+  // The temp name is unique per process *and* per save — concurrent writers
+  // (several constraint_sweep --cache runs, the daemon's idle snapshotter
+  // racing its shutdown flush) each stage into their own file and the last
+  // rename wins atomically, instead of truncating each other's half-written
+  // staging file and renaming garbage into place.
+  static std::atomic<std::uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_seq.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::trunc);
     ISEX_CHECK(out.good(), "cannot write cache file '" + tmp + "'");
@@ -281,6 +298,7 @@ void ResultCache::save_file(const std::string& path) const {
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp);  // don't strand the staging file
   ISEX_CHECK(!ec, "failed moving cache file into place: " + ec.message());
 }
 

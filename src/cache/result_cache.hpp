@@ -69,7 +69,11 @@ class ResultCache {
 
   /// find_best_cut through the memo table. `search` steers the engine on a
   /// miss (subtree-parallel options); because every engine is byte-identical
-  /// it never affects what a hit returns or what gets stored.
+  /// it never affects what a hit returns or what gets stored — with one
+  /// carve-out: a miss computed under a shared `search.budget` gate that
+  /// exhausted is a partial result the key cannot see, so it is returned to
+  /// the caller but never stored (hits stay free of budget charges either
+  /// way — a warm entry is the full enumeration's answer).
   SingleCutResult single_cut(const Dfg& g, const LatencyModel& latency,
                              const Constraints& constraints, CacheCounters* local = nullptr,
                              const CutSearchOptions& search = {});

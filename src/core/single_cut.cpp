@@ -63,7 +63,7 @@ class CutEngine {
         cons_(cons),
         gate_(&gate),
         mode_(mode),
-        limited_(cons.search_budget != 0),
+        limited_(gate.limited()),
         dynamic_words_(t.words),
         cut_(words(), 0),
         cp_(t.num_nodes, 0.0),
@@ -413,7 +413,10 @@ template <int kWords>
 SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
                            const Constraints& constraints, const CutSearchOptions& options) {
   using Engine = CutEngine<kWords>;
-  BudgetGate gate(constraints.search_budget);
+  // An externally shared gate (the service's per-request budget) overrides
+  // the per-search one; both enforce min(demand, budget) exactly.
+  BudgetGate local_gate(options.budget != nullptr ? 0 : constraints.search_budget);
+  BudgetGate& gate = options.budget != nullptr ? *options.budget : local_gate;
   SingleCutResult result;
 
   // Branch-and-bound prunes against the global running best, which subtree

@@ -39,6 +39,7 @@
 
 namespace isex {
 
+class BudgetGate;
 class Executor;
 
 /// Version of the identification algorithms' observable behaviour (results
@@ -87,6 +88,16 @@ struct CutSearchOptions {
   int split_depth = 0;
   /// Optional counter sink.
   SearchEngineStats* stats = nullptr;
+  /// Shared search-budget gate. When set it *overrides*
+  /// Constraints::search_budget: every search handed the same gate draws
+  /// tickets from one pool, so a request spanning many identification calls
+  /// can be budgeted as a whole (the exploration service's per-client
+  /// budget). Accounting stays exact — the cuts_considered charged against
+  /// the gate sum to min(demand, budget) — but as with any exhausting
+  /// budget, *which* cuts fill the pool is only reproducible serially. The
+  /// memo layer refuses to store results computed under a gate that was
+  /// exhausted (they are partial; the cache key cannot see the gate).
+  BudgetGate* budget = nullptr;
 };
 
 /// Finds the cut maximising M(S) under `constraints` (paper Problem 1).

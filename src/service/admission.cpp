@@ -1,0 +1,210 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+#include "core/serialize.hpp"
+#include "support/hash.hpp"
+
+namespace isex {
+
+// --- ServiceJob -------------------------------------------------------------
+
+ServiceJob::ServiceJob(RequestFrame frame, std::uint64_t fingerprint,
+                       std::uint64_t compat_key)
+    : frame_(std::move(frame)), fingerprint_(fingerprint), compat_key_(compat_key) {}
+
+void ServiceJob::publish(const std::string& event, const Json& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Deliver and drop dead subscribers in one pass; a sink returning false is
+  // a disconnected client, never an error.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i].second->emit(subscribers_[i].first, event, data)) {
+      if (kept != i) subscribers_[kept] = std::move(subscribers_[i]);
+      ++kept;
+    }
+  }
+  subscribers_.resize(kept);
+}
+
+void ServiceJob::publish_terminal(const std::string& event, const Json& data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    terminal_published_ = true;
+    terminal_event_ = event;
+    terminal_data_ = data;
+  }
+  publish(event, data);
+}
+
+void ServiceJob::attach(std::string id, EventSinkPtr sink, const Json& accepted_data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // `accepted` goes out under the job lock, so a concurrently publishing
+  // worker cannot interleave a phase event before it on this subscriber's
+  // connection.
+  if (!sink->emit(id, "accepted", accepted_data)) return;  // client already gone
+  if (terminal_published_) {
+    // The job raced to completion between the dedup lookup and this attach:
+    // hand the recorded result straight to the late subscriber.
+    sink->emit(id, terminal_event_, terminal_data_);
+    return;
+  }
+  subscribers_.emplace_back(std::move(id), std::move(sink));
+}
+
+bool ServiceJob::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terminal_published_;
+}
+
+// --- AdmissionQueue ---------------------------------------------------------
+
+AdmissionQueue::AdmissionQueue(std::size_t max_queue, std::size_t max_batch)
+    : max_queue_(std::max<std::size_t>(1, max_queue)),
+      max_batch_(std::max<std::size_t>(1, max_batch)) {}
+
+namespace {
+
+Json accepted_json(const AdmissionResult& result) {
+  Json j = Json::object();
+  j.set("fingerprint", fingerprint_hex(result.job->fingerprint()));
+  j.set("deduped", result.deduped);
+  j.set("batched", result.batched);
+  j.set("batch_size", static_cast<std::uint64_t>(result.batch_size));
+  j.set("queue_depth", static_cast<std::uint64_t>(result.queue_depth));
+  return j;
+}
+
+Json shutdown_error_json() {
+  Json j = Json::object();
+  j.set("code", std::string(kErrShuttingDown));
+  j.set("message", std::string("the daemon is draining; resubmit elsewhere"));
+  return j;
+}
+
+}  // namespace
+
+AdmissionResult AdmissionQueue::submit(RequestFrame frame, std::string id,
+                                       EventSinkPtr sink) {
+  const std::uint64_t fingerprint = request_fingerprint(frame);
+  const std::uint64_t compat = request_compat_key(frame);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_ || closed_) {
+    throw ServiceError(kErrShuttingDown, "the daemon is draining; resubmit elsewhere");
+  }
+
+  AdmissionResult result;
+  if (auto it = index_.find(fingerprint); it != index_.end()) {
+    // Identical computation already queued or running: attach, don't
+    // recompute. Attaching happens outside the queue lock — the job may be
+    // publishing its terminal event right now, and attach() replays it.
+    result.job = it->second;
+    result.deduped = true;
+    result.queue_depth = queue_.size();
+    lock.unlock();
+    result.job->attach(std::move(id), std::move(sink), accepted_json(result));
+    return result;
+  }
+
+  if (queue_.size() >= max_queue_) {
+    throw ServiceError(kErrQueueFull,
+                       "admission queue is full (" + std::to_string(max_queue_) +
+                           " queued requests); retry later");
+  }
+
+  // Reserve: the job enters the dedup index now (so identical frames attach
+  // to it) but the run queue only after the subscriber's `accepted` event is
+  // on the wire — a worker cannot emit a phase event ahead of it.
+  auto job = std::make_shared<ServiceJob>(std::move(frame), fingerprint, compat);
+  index_.emplace(fingerprint, job);
+  std::size_t group = 1;
+  for (const auto& queued : queue_) {
+    if (queued->compat_key() == compat) ++group;
+  }
+  result.job = job;
+  result.batched = group > 1;
+  result.batch_size = group;
+  result.queue_depth = queue_.size() + 1;
+  lock.unlock();
+
+  job->attach(std::move(id), std::move(sink), accepted_json(result));
+
+  lock.lock();
+  if (closed_) {
+    // close() slipped between the reservation and the push: no worker will
+    // ever run this job, so fail it loudly instead of parking the client.
+    index_.erase(fingerprint);
+    lock.unlock();
+    job->publish_terminal("error", shutdown_error_json());
+    return result;
+  }
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  cv_.notify_one();
+  return result;
+}
+
+std::vector<ServiceJobPtr> AdmissionQueue::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed
+
+  std::vector<ServiceJobPtr> batch;
+  batch.push_back(queue_.front());
+  queue_.pop_front();
+  const std::uint64_t compat = batch.front()->compat_key();
+  for (auto it = queue_.begin(); it != queue_.end() && batch.size() < max_batch_;) {
+    if ((*it)->compat_key() == compat) {
+      batch.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  in_flight_ += batch.size();
+  return batch;
+}
+
+void AdmissionQueue::finish(const ServiceJobPtr& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.erase(job->fingerprint());
+  if (in_flight_ > 0) --in_flight_;
+}
+
+void AdmissionQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && in_flight_ == 0;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t request_compat_key(const RequestFrame& frame) {
+  Json j = Json::object();
+  j.set("type", frame.type);
+  if (frame.single.has_value()) {
+    j.set("scheme", frame.single->scheme);
+    j.set("constraints", to_json(frame.single->constraints));
+  } else if (frame.portfolio.has_value()) {
+    j.set("scheme", frame.portfolio->scheme);
+    j.set("constraints", to_json(frame.portfolio->constraints));
+  }
+  return hash_bytes(j.dump());
+}
+
+}  // namespace isex

@@ -1,0 +1,166 @@
+// Admission and scheduling of exploration requests inside the daemon.
+//
+// Every parsed client frame becomes a ServiceJob in a bounded FIFO queue.
+// Three admission policies run at submit time, before any worker touches
+// the job:
+//
+//   * bounding — a full queue rejects with a structured `queue-full` error
+//     instead of letting one flood of requests grow memory without limit;
+//   * dedup    — a frame whose request fingerprint (protocol.hpp) matches a
+//     queued or in-flight job does not enqueue a second computation: the new
+//     client *attaches* to the existing job and receives its event stream
+//     (a late attacher may have missed early phase events, but the terminal
+//     report/error is recorded on the job and replayed, so every subscriber
+//     always gets exactly one terminal event);
+//   * batching — queued jobs that are compatible (same request type, scheme
+//     and microarchitectural constraints, so their identification searches
+//     share memo keys whenever workloads coincide) are handed to one worker
+//     as a single dispatch. The batch shares the worker's warm explorer
+//     state back-to-back while the remaining workers stay free for
+//     unrelated arrivals. `batched`/`batch_size` on the accepted event
+//     describe the compatible group at admission time.
+//
+// The queue knows nothing about sockets: subscribers are EventSinks, and a
+// sink returning false (client gone) is dropped from the job. Workers call
+// next_batch() (blocking) / finish(); close() wakes every worker for
+// shutdown, and drain() keeps workers running while refusing new work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace isex {
+
+/// Where a job's events go for one subscriber. Implementations must be
+/// thread-safe (workers publish from worker threads while readers attach)
+/// and must return false — never throw, never block indefinitely — once the
+/// subscriber is gone, so jobs self-clean dead clients.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Delivers one event frame for correlation tag `id`. False = subscriber
+  /// unreachable; the job drops it.
+  virtual bool emit(const std::string& id, const std::string& event, const Json& data) = 0;
+};
+
+using EventSinkPtr = std::shared_ptr<EventSink>;
+
+/// One admitted computation with its subscriber list. Created by the queue,
+/// executed by exactly one worker, observed by one or more subscribers
+/// (dedup attaches extras).
+class ServiceJob {
+ public:
+  ServiceJob(RequestFrame frame, std::uint64_t fingerprint, std::uint64_t compat_key);
+
+  /// The canonical request (the first frame admitted under this
+  /// fingerprint). Immutable after construction.
+  const RequestFrame& frame() const { return frame_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  std::uint64_t compat_key() const { return compat_key_; }
+
+  /// Publishes a phase event to every live subscriber (each under its own
+  /// correlation id); dead sinks are dropped.
+  void publish(const std::string& event, const Json& data);
+  /// Publishes the job's single terminal event (`report` or `error`) and
+  /// records it for subscribers that attach afterwards.
+  void publish_terminal(const std::string& event, const Json& data);
+  /// Adds a subscriber, first delivering its `accepted` event under the job
+  /// lock — so `accepted` reaches the wire before any phase event this
+  /// subscriber sees, even when it attaches to a job that is already
+  /// running. When the terminal event was already published, it is replayed
+  /// right after `accepted` — attaching is never a way to miss the result.
+  void attach(std::string id, EventSinkPtr sink, const Json& accepted_data);
+
+  /// True once publish_terminal ran (test introspection).
+  bool finished() const;
+
+ private:
+  const RequestFrame frame_;
+  const std::uint64_t fingerprint_;
+  const std::uint64_t compat_key_;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, EventSinkPtr>> subscribers_;
+  bool terminal_published_ = false;
+  std::string terminal_event_;
+  Json terminal_data_;
+};
+
+using ServiceJobPtr = std::shared_ptr<ServiceJob>;
+
+/// What submit() decided, echoed to the client on its `accepted` event.
+struct AdmissionResult {
+  ServiceJobPtr job;
+  bool deduped = false;        // attached to an existing job
+  bool batched = false;        // joined a compatible queued group
+  std::size_t batch_size = 1;  // size of that group, this request included
+  std::size_t queue_depth = 0; // queued jobs after this submit
+};
+
+class AdmissionQueue {
+ public:
+  /// `max_queue` bounds *queued* (not yet dispatched) jobs; `max_batch`
+  /// caps how many compatible jobs one next_batch() dispatch may coalesce.
+  explicit AdmissionQueue(std::size_t max_queue, std::size_t max_batch = 8);
+
+  /// Admits one frame for subscriber (`id`, `sink`), delivering the
+  /// subscriber's `accepted` event (fingerprint, deduped, batched,
+  /// batch_size, queue_depth) through the sink before the job can publish
+  /// anything else to it. Fresh jobs enter the run queue only after the
+  /// attach, so their full phase stream follows `accepted`. Throws
+  /// ServiceError(kErrQueueFull) when the queue is at capacity and
+  /// ServiceError(kErrShuttingDown) after drain()/close(); dedup attaches
+  /// never fail on a full queue (they add no work).
+  AdmissionResult submit(RequestFrame frame, std::string id, EventSinkPtr sink);
+
+  /// Blocks until work is available and returns the head job together with
+  /// every queued compatible job (one dispatch, see file comment). Empty
+  /// means the queue was closed — the worker should exit.
+  std::vector<ServiceJobPtr> next_batch();
+
+  /// Marks a dispatched job complete: its fingerprint leaves the dedup
+  /// index, so identical future frames recompute (typically a cache hit).
+  void finish(const ServiceJobPtr& job);
+
+  /// Stops admitting (submit → shutting-down) while letting queued and
+  /// in-flight jobs complete; idle() turning true then means the drain is
+  /// done.
+  void drain();
+  /// drain() plus waking every blocked next_batch() caller with "exit".
+  void close();
+
+  /// No queued and no dispatched-but-unfinished jobs.
+  bool idle() const;
+  std::size_t depth() const;
+
+ private:
+  const std::size_t max_queue_;
+  const std::size_t max_batch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ServiceJobPtr> queue_;
+  /// Dedup index over queued + in-flight jobs.
+  std::unordered_map<std::uint64_t, ServiceJobPtr> index_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool closed_ = false;
+};
+
+/// The batching compatibility key of a frame: request type, scheme and
+/// constraints (the dimensions under which two requests' identification
+/// searches share memo keys). Portfolios use the portfolio-level scheme and
+/// constraints.
+std::uint64_t request_compat_key(const RequestFrame& frame);
+
+}  // namespace isex

@@ -1,0 +1,87 @@
+#include "service/client.hpp"
+
+namespace isex {
+
+IsexClient::IsexClient(const std::string& path, std::size_t max_frame_bytes)
+    : fd_(connect_unix(path)), reader_(fd_.get(), max_frame_bytes) {}
+
+Json IsexClient::explore(const ExplorationRequest& request, std::uint64_t search_budget,
+                         const EventCallback& on_event) {
+  RequestFrame frame;
+  frame.type = "explore";
+  frame.search_budget = search_budget;
+  frame.single = request;
+  return run(std::move(frame), on_event);
+}
+
+Json IsexClient::explore_portfolio(const MultiExplorationRequest& request,
+                                   std::uint64_t search_budget,
+                                   const EventCallback& on_event) {
+  RequestFrame frame;
+  frame.type = "explore-portfolio";
+  frame.search_budget = search_budget;
+  frame.portfolio = request;
+  return run(std::move(frame), on_event);
+}
+
+Json IsexClient::ping() {
+  RequestFrame frame;
+  frame.type = "ping";
+  const std::string id = send_frame(std::move(frame));
+  while (true) {
+    std::optional<EventFrame> event = read_event();
+    if (!event.has_value()) {
+      throw SocketError("server closed the connection before answering the ping");
+    }
+    if (event->id != id) continue;  // pipelined traffic for other calls
+    if (event->event == "error") {
+      throw ServiceError(event->data.at("code").as_string(),
+                         event->data.at("message").as_string());
+    }
+    return event->data;  // "pong"
+  }
+}
+
+std::string IsexClient::send_frame(RequestFrame frame) {
+  if (frame.id.empty()) frame.id = "c" + std::to_string(next_id_++);
+  std::string id = frame.id;
+  send_line(dump_request_frame(frame));
+  return id;
+}
+
+void IsexClient::send_line(const std::string& line) {
+  std::string wire = line;
+  if (wire.empty() || wire.back() != '\n') wire += '\n';
+  if (!write_all(fd_.get(), wire)) {
+    throw SocketError("server closed the connection while sending");
+  }
+}
+
+std::optional<EventFrame> IsexClient::read_event() {
+  std::optional<std::string> line = reader_.read_frame();
+  if (!line.has_value()) return std::nullopt;
+  return parse_event_frame(*line);
+}
+
+Json IsexClient::collect_report(const std::string& id, const EventCallback& on_event) {
+  while (true) {
+    std::optional<EventFrame> event = read_event();
+    if (!event.has_value()) {
+      throw SocketError("server closed the connection before the report for '" + id + "'");
+    }
+    if (on_event) on_event(*event);
+    if (event->id != id) continue;
+    if (event->event == "error") {
+      throw ServiceError(event->data.at("code").as_string(),
+                         event->data.at("message").as_string());
+    }
+    if (event->event == "report") return event->data;
+  }
+}
+
+Json IsexClient::run(RequestFrame frame, const EventCallback& on_event) {
+  const std::string id = send_frame(std::move(frame));
+  return collect_report(id, on_event);
+}
+
+}  // namespace isex

@@ -1,0 +1,75 @@
+// Blocking C++ client for the exploration daemon: connects to the isexd
+// Unix-domain socket, sends one request frame per call and streams the
+// server's events until the terminal `report`/`error` arrives.
+//
+//   IsexClient client("/tmp/isex.sock");
+//   ExplorationRequest req;
+//   req.workload = "adpcmdecode";
+//   Json report = client.explore(req);   // the report event's payload
+//
+// Server-reported errors rethrow as ServiceError (with the structured
+// code); transport failures as SocketError. The raw send_line/read_event
+// surface exists for tests and tools that pipeline several requests on one
+// connection (responses interleave by correlation id; collect_report()
+// demultiplexes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "api/explorer.hpp"
+#include "api/portfolio.hpp"
+#include "service/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace isex {
+
+class IsexClient {
+ public:
+  /// Observes every event frame of a call, terminal included, before the
+  /// call returns.
+  using EventCallback = std::function<void(const EventFrame&)>;
+
+  /// Connects; throws SocketError when nothing listens at `path`.
+  explicit IsexClient(const std::string& path, std::size_t max_frame_bytes = 1 << 22);
+
+  /// Runs one single-application exploration on the daemon and returns the
+  /// `report` event's payload (fields: kind, report, store, and budget when
+  /// `search_budget` > 0). Blocks through the streamed phases.
+  Json explore(const ExplorationRequest& request, std::uint64_t search_budget = 0,
+               const EventCallback& on_event = {});
+
+  /// Portfolio flavour of explore().
+  Json explore_portfolio(const MultiExplorationRequest& request,
+                         std::uint64_t search_budget = 0,
+                         const EventCallback& on_event = {});
+
+  /// Round-trips a ping; returns the daemon's store status.
+  Json ping();
+
+  // --- pipelining / test surface -------------------------------------------
+
+  /// Sends a pre-built frame without waiting (assigns and returns the
+  /// correlation id when the frame's own id is empty).
+  std::string send_frame(RequestFrame frame);
+  /// Sends a raw line verbatim (protocol robustness tests).
+  void send_line(const std::string& line);
+  /// Reads the next event frame; empty when the server closed the stream.
+  std::optional<EventFrame> read_event();
+  /// Reads events until the terminal `report`/`error` for `id` arrives
+  /// (events for other ids pass through `on_event` too, tagged with their
+  /// own id). Returns the report payload; throws ServiceError on an error
+  /// event for `id` and SocketError when the stream ends first.
+  Json collect_report(const std::string& id, const EventCallback& on_event = {});
+
+ private:
+  Json run(RequestFrame frame, const EventCallback& on_event);
+
+  FdHandle fd_;
+  FrameReader reader_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace isex

@@ -1,0 +1,249 @@
+#include "service/daemon.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "core/search_tables.hpp"
+
+namespace isex {
+
+/// One accepted client connection: the reader thread's frame source and a
+/// thread-safe EventSink over the same fd. The object stays alive (and the
+/// fd open) as long as any job still holds it as a subscriber, so a client
+/// that half-closes after sending its requests still receives every
+/// response.
+class IsexDaemon::Connection : public EventSink {
+ public:
+  Connection(FdHandle fd, std::size_t max_frame_bytes)
+      : fd_(std::move(fd)), reader_(fd_.get(), max_frame_bytes) {}
+
+  ~Connection() override { join(); }
+
+  bool emit(const std::string& id, const std::string& event, const Json& data) override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (!alive_) return false;
+    try {
+      if (!write_all(fd_.get(), dump_event_frame(id, event, data))) {
+        alive_ = false;
+      }
+    } catch (const SocketError&) {
+      alive_ = false;  // EventSink contract: a dead client is false, not a throw
+    }
+    return alive_;
+  }
+
+  /// Runs `body` on the connection's reader thread.
+  template <typename Fn>
+  void start(Fn&& body) {
+    thread_ = std::thread(std::forward<Fn>(body));
+  }
+
+  std::optional<std::string> read_frame() { return reader_.read_frame(); }
+
+  void mark_reader_done() { reader_done_.store(true, std::memory_order_release); }
+  bool reader_done() const { return reader_done_.load(std::memory_order_acquire); }
+
+  /// Forces the blocking reader (and any pending writes) to fail — the
+  /// shutdown path's way of unsticking reader threads.
+  void shutdown_socket() {
+    // Shut the fd down before taking the write lock: a writer blocked in
+    // send() holds the lock and only the shutdown can unblock it.
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    alive_ = false;
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  FdHandle fd_;
+  FrameReader reader_;  // reader-thread-only
+  std::thread thread_;
+  std::atomic<bool> reader_done_{false};
+
+  std::mutex write_mu_;
+  bool alive_ = true;
+};
+
+IsexDaemon::IsexDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      store_(std::make_unique<ResultStore>(
+          ResultStoreConfig{config_.cache_file, config_.cache_config})),
+      listener_(std::make_unique<UnixListener>(config_.socket_path)),
+      queue_(config_.max_queue) {}
+
+IsexDaemon::~IsexDaemon() {
+  // serve() normally drains everything; this is the safety net for a daemon
+  // destroyed without serving (e.g. a test that only constructs it).
+  queue_.close();
+  for (auto& w : workers_) w.join();
+  reap_connections(/*join_all=*/true);
+}
+
+void IsexDaemon::serve() {
+  const int num_workers = std::max(1, config_.num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    FdHandle client = listener_->accept_client(config_.accept_timeout_ms);
+    if (client.valid()) {
+      auto conn = std::make_shared<Connection>(std::move(client), config_.max_frame_bytes);
+      conn->start([this, conn] { serve_connection(conn); });
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    reap_connections(/*join_all=*/false);
+    // Idle persistence: a no-op unless some request completed since the
+    // last snapshot (the store's dirty flag), so polling every accept tick
+    // is cheap.
+    if (queue_.idle()) store_->snapshot();
+  }
+
+  // Graceful drain: stop accepting, refuse new submissions, let admitted
+  // work publish its results, then tear down readers and persist.
+  listener_.reset();
+  queue_.drain();
+  while (!queue_.idle()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  queue_.close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  reap_connections(/*join_all=*/true);
+  store_->snapshot();
+}
+
+void IsexDaemon::worker_loop() {
+  while (true) {
+    std::vector<ServiceJobPtr> batch = queue_.next_batch();
+    if (batch.empty()) return;  // closed
+    for (const ServiceJobPtr& job : batch) {
+      run_job(job);
+      queue_.finish(job);
+    }
+  }
+}
+
+void IsexDaemon::run_job(const ServiceJobPtr& job) {
+  const RequestFrame& frame = job->frame();
+  try {
+    Explorer explorer(config_.latency, store_->cache(), config_.registry);
+    // Per-request budget: every identification search of this job draws on
+    // one gate, so the job's aggregate cuts_considered pins at
+    // min(demand, budget) no matter how the work is batched or threaded.
+    BudgetGate gate(frame.search_budget);
+    RunHooks hooks;
+    hooks.on_phase = [&job](const std::string& phase, const Json& data) {
+      job->publish(phase, data);
+    };
+    if (frame.search_budget > 0) hooks.budget_gate = &gate;
+
+    Json data = Json::object();
+    if (frame.single.has_value()) {
+      ExplorationReport report = explorer.run(*frame.single, hooks);
+      data.set("kind", std::string("exploration"));
+      data.set("report", report.to_json());
+    } else {
+      PortfolioReport report = explorer.run_portfolio(*frame.portfolio, hooks);
+      data.set("kind", std::string("portfolio"));
+      data.set("report", report.to_json());
+    }
+    if (frame.search_budget > 0) {
+      Json b = Json::object();
+      b.set("search_budget", gate.budget());
+      b.set("cuts_considered", gate.consumed());
+      b.set("exhausted", gate.exhausted());
+      data.set("budget", b);
+    }
+    store_->note_activity();
+    data.set("store", store_->status());
+    job->publish_terminal("report", data);
+  } catch (const ServiceError& e) {
+    Json data = Json::object();
+    data.set("code", e.code());
+    data.set("message", std::string(e.what()));
+    job->publish_terminal("error", data);
+  } catch (const std::exception& e) {
+    // A pipeline failure poisons this job only; the daemon keeps serving.
+    Json data = Json::object();
+    data.set("code", std::string(kErrInternal));
+    data.set("message", std::string(e.what()));
+    job->publish_terminal("error", data);
+  }
+}
+
+void IsexDaemon::serve_connection(const std::shared_ptr<Connection>& conn) {
+  try {
+    while (true) {
+      std::optional<std::string> line = conn->read_frame();
+      if (!line.has_value()) break;  // clean EOF (or peer died mid-frame)
+      if (line->empty()) continue;   // stray blank lines are harmless
+      if (!handle_line(conn, *line)) break;
+    }
+  } catch (const SocketError&) {
+    // Oversized frame or a read error: this connection is unusable, drop it.
+    // In-flight jobs it subscribed to self-clean on their next publish.
+  } catch (const std::exception&) {
+    // Defensive: no parse/admission failure should reach here (handle_line
+    // maps them to error events), but a reader thread must never terminate
+    // the daemon.
+  }
+  conn->mark_reader_done();
+}
+
+bool IsexDaemon::handle_line(const std::shared_ptr<Connection>& conn,
+                             const std::string& line) {
+  std::string id;
+  try {
+    RequestFrame frame = parse_request_frame(line, &id);
+    if (frame.type == "ping") {
+      return conn->emit(id, "pong", store_->status());
+    }
+    if (config_.max_search_budget > 0 &&
+        (frame.search_budget == 0 || frame.search_budget > config_.max_search_budget)) {
+      // Operator ceiling: unlimited or over-ceiling requests are clamped,
+      // and the clamp is visible in the report's budget section.
+      frame.search_budget = config_.max_search_budget;
+    }
+    queue_.submit(std::move(frame), id, conn);  // emits the accepted event
+    return true;
+  } catch (const ServiceError& e) {
+    Json data = Json::object();
+    data.set("code", e.code());
+    data.set("message", std::string(e.what()));
+    return conn->emit(id, "error", data);
+  }
+}
+
+void IsexDaemon::reap_connections(bool join_all) {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    std::vector<std::shared_ptr<Connection>> kept;
+    kept.reserve(conns_.size());
+    for (auto& conn : conns_) {
+      if (join_all) {
+        conn->shutdown_socket();
+        dead.push_back(std::move(conn));
+      } else if (conn->reader_done()) {
+        dead.push_back(std::move(conn));
+      } else {
+        kept.push_back(std::move(conn));
+      }
+    }
+    conns_.swap(kept);
+  }
+  // Joins happen outside the lock; destruction may be deferred further if a
+  // job still holds the connection as a subscriber (shared_ptr keeps the fd
+  // open until the terminal event went out).
+  for (auto& conn : dead) conn->join();
+}
+
+}  // namespace isex

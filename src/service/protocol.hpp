@@ -1,0 +1,149 @@
+// Wire protocol of the exploration service (`isexd`): newline-delimited,
+// version-tagged JSON frames over a Unix-domain socket.
+//
+// Client -> server, one frame per request:
+//   {"isex": 1, "id": "r1", "type": "explore",           "request": {...}}
+//   {"isex": 1, "id": "r2", "type": "explore-portfolio", "request": {...},
+//    "search_budget": 50000}
+//   {"isex": 1, "id": "p",  "type": "ping"}
+// `id` is a client-chosen correlation tag echoed on every response frame
+// (requests on one connection may be pipelined). `request` carries the
+// ExplorationRequest / MultiExplorationRequest fields serialized below —
+// named registry workloads only (graph payloads wait on the textual IR
+// frontend) and no emission options (artifacts are a local-caller feature;
+// the daemon rejects the key rather than silently dropping it).
+// `search_budget` is the *per-request* ticket budget: the daemon runs every
+// identification search of the request against one shared BudgetGate, so
+// the aggregate cuts_considered pins at min(demand, budget) exactly.
+//
+// Server -> client, a stream of phase events per request, ending in exactly
+// one `report` or `error`:
+//   {"isex": 1, "id": "r1", "event": "accepted",   "data": {fingerprint,
+//        deduped, batched, batch_size, queue_depth}}
+//   {"isex": 1, "id": "r1", "event": "extracted",  "data": {...}}
+//   {"isex": 1, "id": "r1", "event": "identified", "data": {...}}
+//   {"isex": 1, "id": "r1", "event": "selected",   "data": {...}}
+//   {"isex": 1, "id": "r1", "event": "report",     "data": {kind, report,
+//        store}}
+//   {"isex": 1, "id": "r1", "event": "error",      "data": {code, message}}
+// `report.data.report` is the full ExplorationReport / PortfolioReport JSON,
+// byte-identical to the in-process Explorer run against the same cache
+// state (modulo wall-clock timings; see stable_report_json). `store` adds
+// the shared ResultStore's lifetime totals next to the per-request deltas
+// already inside the report's own cache section.
+//
+// Malformed input never kills the daemon: every failure class maps to a
+// structured error frame (codes below) or, for transport-level garbage, to
+// a clean connection drop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/explorer.hpp"
+#include "api/portfolio.hpp"
+#include "support/json.hpp"
+
+namespace isex {
+
+/// Version tag carried by every frame in both directions. Bump on any
+/// incompatible change; the daemon rejects frames from other versions with
+/// an `unsupported-version` error instead of guessing.
+inline constexpr int kServiceProtocolVersion = 1;
+
+// Structured error codes (the `code` field of error events).
+inline constexpr const char* kErrBadFrame = "bad-frame";            // not a JSON object
+inline constexpr const char* kErrUnsupportedVersion = "unsupported-version";
+inline constexpr const char* kErrBadRequest = "bad-request";        // schema violation
+inline constexpr const char* kErrQueueFull = "queue-full";          // admission rejected
+inline constexpr const char* kErrShuttingDown = "shutting-down";    // daemon draining
+inline constexpr const char* kErrInternal = "internal";             // pipeline threw
+
+/// A protocol-level failure with its wire code. The daemon renders it as an
+/// error event; the client library rethrows it when the server reports one.
+class ServiceError : public Error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : Error(message), code_(std::move(code)) {}
+
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+// --- request serialization --------------------------------------------------
+// The service-visible subset of the request structs: everything JSON can
+// carry (named workloads, scheme, constraints, budgets, threading knobs).
+// from_json is strict — unknown keys, wrong types and out-of-range values
+// throw ServiceError(kErrBadRequest) so client typos surface as structured
+// errors instead of silently exploring defaults. to_json emits every
+// serializable field, so from_json(to_json(r)) round-trips exactly.
+
+Json to_json(const ExplorationRequest& request);
+ExplorationRequest exploration_request_from_json(const Json& j);
+
+Json to_json(const MultiExplorationRequest& request);
+MultiExplorationRequest multi_exploration_request_from_json(const Json& j);
+
+// --- frames -----------------------------------------------------------------
+
+/// One parsed client frame. Exactly one of `single` / `portfolio` is set
+/// for the explore types; neither for "ping".
+struct RequestFrame {
+  std::string id;    // client correlation tag (may be empty)
+  std::string type;  // "explore" | "explore-portfolio" | "ping"
+  /// Per-request search-ticket budget (0 = unlimited): enforced by the
+  /// daemon through one shared BudgetGate across every identification
+  /// search of the request.
+  std::uint64_t search_budget = 0;
+  std::optional<ExplorationRequest> single;
+  std::optional<MultiExplorationRequest> portfolio;
+};
+
+/// Parses and validates one client frame line. Throws ServiceError with
+/// kErrBadFrame (not JSON / not an object), kErrUnsupportedVersion, or
+/// kErrBadRequest (unknown type, malformed request body). When the frame is
+/// an object carrying an `id` string, `*id_out` receives it even on failure
+/// so the error event can still be correlated.
+RequestFrame parse_request_frame(const std::string& line, std::string* id_out = nullptr);
+
+/// Renders a client frame (the client library's send path).
+std::string dump_request_frame(const RequestFrame& frame);
+
+/// One parsed server frame.
+struct EventFrame {
+  std::string id;
+  std::string event;  // "accepted" | "extracted" | ... | "report" | "error"
+  Json data;
+};
+
+/// Renders one server event frame (terminating newline included).
+std::string dump_event_frame(const std::string& id, const std::string& event,
+                             const Json& data);
+
+/// Parses one server frame; throws ServiceError(kErrBadFrame /
+/// kErrUnsupportedVersion) on garbage.
+EventFrame parse_event_frame(const std::string& line);
+
+// --- dedup fingerprint ------------------------------------------------------
+
+/// Deterministic fingerprint of the *work* a frame asks for — type, the
+/// canonicalized request body and the search budget; the correlation id is
+/// excluded. Two frames with equal fingerprints are the same computation, so
+/// the admission layer runs one and attaches the other to its result.
+std::uint64_t request_fingerprint(const RequestFrame& frame);
+
+/// 16-hex-digit rendering used on the wire ("accepted" events).
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+// --- comparison helper ------------------------------------------------------
+
+/// `report` with its wall-clock "timings" section dropped (recursively for
+/// portfolio per-app sections, though today only the top level carries one):
+/// the stable remainder is byte-comparable across service and in-process
+/// runs — tests and the smoke clients diff exactly this.
+Json stable_report_json(const Json& report);
+
+}  // namespace isex

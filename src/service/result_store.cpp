@@ -1,0 +1,53 @@
+#include "service/result_store.hpp"
+
+namespace isex {
+
+ResultStore::ResultStore(ResultStoreConfig config)
+    : config_(std::move(config)),
+      cache_(std::make_shared<ResultCache>(config_.cache_config)) {
+  if (!config_.snapshot_path.empty()) {
+    warm_started_ = cache_->load_file(config_.snapshot_path);
+  }
+}
+
+void ResultStore::note_activity() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = true;
+  ++requests_served_;
+}
+
+bool ResultStore::snapshot() {
+  if (config_.snapshot_path.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_) return false;
+    // Clear before writing: a request that lands mid-save re-dirties the
+    // store and the *next* snapshot picks it up. (The alternative — clear
+    // after — would drop that request's entries from persistence until an
+    // unrelated later request re-dirties.)
+    dirty_ = false;
+  }
+  cache_->save_file(config_.snapshot_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snapshots_written_;
+  return true;
+}
+
+Json ResultStore::status() const {
+  const CacheCounters totals = cache_->counters();
+  Json j = Json::object();
+  j.set("entries", static_cast<std::uint64_t>(cache_->num_entries()));
+  j.set("dfg_entries", static_cast<std::uint64_t>(cache_->num_dfg_entries()));
+  j.set("hits", totals.hits);
+  j.set("misses", totals.misses);
+  j.set("dfg_hits", totals.dfg_hits);
+  j.set("dfg_misses", totals.dfg_misses);
+  j.set("cross_workload_hits", totals.cross_workload_hits);
+  std::lock_guard<std::mutex> lock(mu_);
+  j.set("requests_served", requests_served_);
+  j.set("snapshots_written", snapshots_written_);
+  j.set("warm_started", warm_started_);
+  return j;
+}
+
+}  // namespace isex

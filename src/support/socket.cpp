@@ -1,0 +1,155 @@
+#include "support/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace isex {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Fills a sockaddr_un for `path`, rejecting paths that do not fit the
+/// fixed-size sun_path field (the classic silent-truncation trap).
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw SocketError("socket path '" + path + "' is empty or longer than " +
+                      std::to_string(sizeof addr.sun_path - 1) + " bytes");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+FdHandle& FdHandle::operator=(FdHandle&& o) noexcept {
+  if (this != &o) {
+    reset(o.fd_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdHandle::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int FdHandle::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = unix_address(path);
+  fd_.reset(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw SocketError(errno_text("socket(AF_UNIX)"));
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nothing listens; remove it first. A *live*
+  // daemon on the same path is indistinguishable here — callers that care
+  // probe with connect_unix before constructing a listener.
+  ::unlink(path.c_str());
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw SocketError(errno_text("bind('" + path + "')"));
+  }
+  if (::listen(fd_.get(), 64) != 0) {
+    throw SocketError(errno_text("listen('" + path + "')"));
+  }
+}
+
+UnixListener::~UnixListener() {
+  fd_.reset();
+  ::unlink(path_.c_str());
+}
+
+FdHandle UnixListener::accept_client(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return FdHandle();  // signal: let the caller re-check
+    throw SocketError(errno_text("poll(listener)"));
+  }
+  if (ready == 0) return FdHandle();  // timeout
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) {
+    // The peer may already be gone between poll and accept; that is not a
+    // listener failure.
+    if (errno == ECONNABORTED || errno == EINTR || errno == EAGAIN) return FdHandle();
+    throw SocketError(errno_text("accept"));
+  }
+  return FdHandle(client);
+}
+
+FdHandle connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw SocketError(errno_text("socket(AF_UNIX)"));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw SocketError(errno_text("connect('" + path + "')"));
+  }
+  return fd;
+}
+
+FrameReader::FrameReader(int fd, std::size_t max_frame_bytes)
+    : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+std::optional<std::string> FrameReader::read_frame() {
+  while (true) {
+    // Scan only bytes not inspected by a previous call (the buffer may hold
+    // several pipelined frames).
+    const std::size_t pos = buffer_.find('\n', scanned_);
+    if (pos != std::string::npos) {
+      if (pos > max_frame_bytes_) {
+        throw SocketError("frame exceeds " + std::to_string(max_frame_bytes_) + " bytes");
+      }
+      std::string frame = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      scanned_ = 0;
+      return frame;
+    }
+    scanned_ = buffer_.size();
+    if (scanned_ > max_frame_bytes_) {
+      throw SocketError("frame exceeds " + std::to_string(max_frame_bytes_) + " bytes");
+    }
+    if (eof_) return std::nullopt;  // unterminated tail: the peer died mid-frame
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return std::nullopt;  // abrupt close == EOF
+      throw SocketError(errno_text("recv"));
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw SocketError(errno_text("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace isex

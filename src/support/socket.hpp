@@ -1,0 +1,108 @@
+// Minimal Unix-domain stream-socket helpers for the exploration service:
+// an RAII listener (bind/listen/accept with timeouts, stale-socket cleanup),
+// a blocking connect, and newline-delimited framing over a connected fd —
+// the transport under src/service/'s version-tagged JSON frames.
+//
+// Everything is local-IPC-only by design (AF_UNIX, no name resolution, no
+// TLS): the daemon trusts the filesystem permissions of its socket path.
+// Writes use MSG_NOSIGNAL so a client that disconnects mid-stream surfaces
+// as a false return, never as a process-killing SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+/// Transport-layer failure (bind/accept/read errors, oversized frames).
+/// Distinct from protocol-level errors so the daemon can tell "this
+/// connection is unusable" from "this frame was bad".
+class SocketError : public Error {
+ public:
+  explicit SocketError(const std::string& message) : Error(message) {}
+};
+
+/// Owns one file descriptor; closes it on destruction. Movable, not
+/// copyable — the one ownership story for sockets across the service.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& o) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the current fd (if any).
+  void reset(int fd = -1);
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket bound to `path`. The constructor unlinks a
+/// stale socket file first (a previous daemon that died without cleanup) and
+/// throws SocketError when the path is unbindable; the destructor closes and
+/// unlinks, so a drained daemon leaves no socket behind.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Waits up to `timeout_ms` for a connection: the accepted fd, or an
+  /// invalid handle on timeout (the daemon's shutdown-poll cadence). Throws
+  /// SocketError on listener failure.
+  FdHandle accept_client(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  FdHandle fd_;
+};
+
+/// Connects to the Unix-domain socket at `path`; throws SocketError when
+/// nothing listens there.
+FdHandle connect_unix(const std::string& path);
+
+/// Buffered reader of newline-delimited frames from a connected socket.
+/// One reader per connection; not thread-safe.
+class FrameReader {
+ public:
+  /// Frames longer than `max_frame_bytes` (delimiter excluded) throw — the
+  /// daemon's defence against a client streaming an unbounded line.
+  FrameReader(int fd, std::size_t max_frame_bytes);
+
+  /// Blocks for the next frame, stripped of its trailing '\n'. Empty
+  /// optional on clean EOF (peer closed); throws SocketError on read errors
+  /// or an oversized frame. A final unterminated partial line is treated as
+  /// EOF — a peer that died mid-frame never produced a frame.
+  std::optional<std::string> read_frame();
+
+ private:
+  int fd_;
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  // prefix of buffer_ already known newline-free
+  bool eof_ = false;
+};
+
+/// Writes all of `data`; false when the peer disconnected (EPIPE /
+/// ECONNRESET — the caller detaches the subscriber), throws SocketError on
+/// any other failure. Never raises SIGPIPE.
+bool write_all(int fd, std::string_view data);
+
+}  // namespace isex

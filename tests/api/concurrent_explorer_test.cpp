@@ -1,0 +1,111 @@
+// Concurrency contract of the shared-cache Explorer (the daemon's serving
+// mode): N threads running explorations against ONE ResultCache must
+// produce reports byte-identical to serial fresh-cache runs (timings and
+// cache counters excluded — those legitimately depend on interleaving), and
+// the per-request counter deltas must add up exactly to the cache's
+// lifetime totals.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/explorer.hpp"
+
+namespace isex {
+namespace {
+
+const LatencyModel kLat = LatencyModel::standard_018um();
+
+ExplorationRequest make_request(const std::string& workload, int nin, int nout) {
+  ExplorationRequest request;
+  request.workload = workload;
+  request.scheme = "iterative";
+  request.constraints.max_inputs = nin;
+  request.constraints.max_outputs = nout;
+  request.num_instructions = 6;
+  return request;
+}
+
+/// Report JSON minus the interleaving-dependent sections.
+std::string stable_dump(const ExplorationReport& report) {
+  const Json serialized = report.to_json();
+  Json filtered = Json::object();
+  for (const auto& [key, value] : serialized.as_object()) {
+    if (key != "timings" && key != "cache") filtered.set(key, value);
+  }
+  return filtered.dump();
+}
+
+TEST(ConcurrentExplorer, SharedCacheRunsAreByteIdenticalToSerialRuns) {
+  // Eight concurrent requests: four distinct computations, each submitted
+  // twice — so hits, misses and racing duplicate searches all occur.
+  std::vector<ExplorationRequest> requests;
+  for (int round = 0; round < 2; ++round) {
+    requests.push_back(make_request("adpcmdecode", 4, 2));
+    requests.push_back(make_request("sha1", 4, 2));
+    requests.push_back(make_request("adpcmdecode", 3, 1));
+    requests.push_back(make_request("fir", 2, 1));
+  }
+
+  // Serial baselines, each from a fresh cache (pure cold runs).
+  std::vector<std::string> baseline;
+  for (const ExplorationRequest& request : requests) {
+    const Explorer fresh(kLat);
+    baseline.push_back(stable_dump(fresh.run(request)));
+  }
+
+  auto shared = std::make_shared<ResultCache>();
+  std::vector<ExplorationReport> reports(requests.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    threads.emplace_back([&, i] {
+      // One Explorer per thread over the one cache — the daemon's shape.
+      const Explorer explorer(kLat, shared);
+      reports[i] = explorer.run(requests[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::uint64_t delta_hits = 0, delta_misses = 0, delta_dfg_hits = 0, delta_dfg_misses = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(stable_dump(reports[i]), baseline[i]) << "request " << i;
+    delta_hits += reports[i].cache.counters.hits;
+    delta_misses += reports[i].cache.counters.misses;
+    delta_dfg_hits += reports[i].cache.counters.dfg_hits;
+    delta_dfg_misses += reports[i].cache.counters.dfg_misses;
+  }
+
+  // The per-request deltas partition the lifetime totals exactly: every
+  // lookup is attributed to exactly one request, even under contention.
+  const CacheCounters totals = shared->counters();
+  EXPECT_EQ(delta_hits, totals.hits);
+  EXPECT_EQ(delta_misses, totals.misses);
+  EXPECT_EQ(delta_dfg_hits, totals.dfg_hits);
+  EXPECT_EQ(delta_dfg_misses, totals.dfg_misses);
+  EXPECT_GT(totals.misses, 0u);
+
+  // And a repeat through the warm shared cache is all-hit.
+  const Explorer warm(kLat, shared);
+  const ExplorationReport replay = warm.run(make_request("adpcmdecode", 4, 2));
+  EXPECT_EQ(stable_dump(replay), baseline[0]);
+  EXPECT_GT(replay.cache.counters.hits, 0u);
+  EXPECT_EQ(replay.cache.counters.misses, 0u);
+}
+
+TEST(ConcurrentExplorer, CacheHandleSharesOneCacheAcrossExplorers) {
+  const Explorer first(kLat);
+  const Explorer second(kLat, first.cache_handle());
+  EXPECT_EQ(&first.cache(), &second.cache());
+
+  first.run(make_request("fir", 3, 1));
+  const ExplorationReport warm = second.run(make_request("fir", 3, 1));
+  EXPECT_GT(warm.cache.counters.hits, 0u);
+  EXPECT_EQ(warm.cache.counters.misses, 0u);
+
+  EXPECT_THROW(Explorer(kLat, std::shared_ptr<ResultCache>()), Error);
+}
+
+}  // namespace
+}  // namespace isex

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "api/explorer.hpp"
 #include "dfg/random_dag.hpp"
@@ -224,6 +225,70 @@ TEST(ResultCache, LoadFileThrowsOnTruncatedFileInsteadOfSilentlyColdStarting) {
   }
   EXPECT_EQ(warm.num_entries(), 0u);
   std::remove(path.c_str());
+}
+
+TEST(ResultCache, SaveFileStaysLoadableUnderConcurrentWritersAndReaders) {
+  // Regression: save_file used to stage through the FIXED name "<path>.tmp",
+  // so two concurrent savers (several daemons or a daemon's idle snapshot
+  // racing its shutdown snapshot) truncated each other's half-written
+  // staging file and renamed garbage into place. Unique per-writer staging
+  // names plus the atomic rename mean every observer of <path> — including
+  // loads racing the writers — sees some complete snapshot.
+  const std::vector<Dfg> blocks = random_blocks(31, 3, 10);
+  ResultCache cache;
+  for (const Dfg& g : blocks) cache.single_cut(g, kLat, cons(4, 2));
+  const std::string path = testing::TempDir() + "isex_cache_concurrent_save.json";
+  cache.save_file(path);  // loaders below never race a missing file
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) cache.save_file(path);
+    });
+  }
+  std::vector<std::size_t> loaded_entries(2, 0);
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        ResultCache reader;
+        ASSERT_TRUE(reader.load_file(path));  // a torn file would throw here
+        loaded_entries[static_cast<std::size_t>(t)] = reader.num_entries();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ResultCache warm;
+  ASSERT_TRUE(warm.load_file(path));
+  EXPECT_EQ(warm.num_entries(), cache.num_entries());
+  EXPECT_EQ(loaded_entries[0], cache.num_entries());
+  EXPECT_EQ(loaded_entries[1], cache.num_entries());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, StaleStagingFileFromAKilledWriterIsHarmless) {
+  // A saver killed mid-write leaves its private "<path>.tmp.<pid>.<seq>"
+  // behind (and pre-fix writers left "<path>.tmp"). Neither may break the
+  // next save or be mistaken for the snapshot by a load.
+  const std::vector<Dfg> blocks = random_blocks(37, 2, 10);
+  ResultCache cache;
+  for (const Dfg& g : blocks) cache.single_cut(g, kLat, cons(4, 2));
+  const std::string path = testing::TempDir() + "isex_cache_stale_tmp.json";
+  const std::string stale_new = path + ".tmp.99999.7";
+  const std::string stale_old = path + ".tmp";
+  for (const std::string& stale : {stale_new, stale_old}) {
+    std::ofstream out(stale);
+    out << "{ half a snapsh";  // killed mid-write
+  }
+
+  cache.save_file(path);
+  ResultCache warm;
+  ASSERT_TRUE(warm.load_file(path));
+  EXPECT_EQ(warm.num_entries(), cache.num_entries());
+
+  std::remove(path.c_str());
+  std::remove(stale_new.c_str());
+  std::remove(stale_old.c_str());
 }
 
 TEST(ResultCache, MergeJsonRejectsMalformedPayloads) {

@@ -5,6 +5,9 @@
 // any thread count (the tasks share one atomic BudgetGate).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/reference_search.hpp"
 #include "core/search_tables.hpp"
 #include "core/single_cut.hpp"
@@ -80,6 +83,101 @@ TEST(SearchBudget, CutsConsideredPinsExactlyAtTheCutoff) {
     // deterministic for every thread count (which cuts filled the budget —
     // and hence the partial best — is only pinned serially).
     EXPECT_EQ(split.stats.cuts_considered, budget) << threads << " threads";
+  }
+}
+
+TEST(BudgetGateTest, ResetAndForkGiveFreshTicketPools) {
+  BudgetGate gate(5);
+  EXPECT_TRUE(gate.limited());
+  EXPECT_EQ(gate.budget(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(gate.consume());
+  EXPECT_FALSE(gate.consume());
+  EXPECT_TRUE(gate.exhausted());
+  EXPECT_EQ(gate.consumed(), 5u);
+
+  // fork(): same ceiling, untouched tickets — the daemon's per-request
+  // gates are forked from one configured prototype.
+  const std::unique_ptr<BudgetGate> forked = gate.fork();
+  EXPECT_EQ(forked->budget(), 5u);
+  EXPECT_EQ(forked->consumed(), 0u);
+  EXPECT_FALSE(forked->exhausted());
+  EXPECT_TRUE(forked->consume());
+  EXPECT_TRUE(gate.exhausted());  // the original is unaffected
+
+  // reset(): the same gate serves the next request from zero.
+  gate.reset();
+  EXPECT_EQ(gate.consumed(), 0u);
+  EXPECT_FALSE(gate.exhausted());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(gate.consume());
+  EXPECT_FALSE(gate.consume());
+
+  EXPECT_FALSE(BudgetGate(0).limited());
+}
+
+TEST(SearchBudget, ExternalGatePinsTheAggregateAcrossSearches) {
+  // The service's per-request budget: several identification searches draw
+  // on ONE shared gate (CutSearchOptions::budget), so the request's
+  // aggregate cuts_considered pins at min(demand, budget) exactly —
+  // regardless of how the demand splits across blocks.
+  std::vector<Dfg> graphs;
+  std::uint64_t total_demand = 0;
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    RandomDagConfig cfg;
+    cfg.num_ops = 20;
+    cfg.seed = seed;
+    graphs.push_back(random_dag(cfg));
+    total_demand += find_best_cut(graphs.back(), kLat, budgeted(0)).stats.cuts_considered;
+  }
+  ASSERT_GT(total_demand, 300u);
+
+  const std::uint64_t budget = total_demand / 2;
+  BudgetGate gate(budget);
+  CutSearchOptions options;
+  options.budget = &gate;
+  std::uint64_t aggregate = 0;
+  for (const Dfg& g : graphs) {
+    // Constraints say "unlimited": the external gate overrides them.
+    aggregate += find_best_cut(g, kLat, budgeted(0), options).stats.cuts_considered;
+  }
+  EXPECT_EQ(aggregate, budget);  // exact, not <=
+  EXPECT_EQ(gate.consumed(), budget);
+  EXPECT_TRUE(gate.exhausted());
+
+  // A roomy shared gate consumes exactly the demand and changes nothing.
+  BudgetGate roomy(total_demand * 2);
+  options.budget = &roomy;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const SingleCutResult shared = find_best_cut(graphs[i], kLat, budgeted(0), options);
+    const SingleCutResult plain = find_best_cut(graphs[i], kLat, budgeted(0));
+    EXPECT_EQ(shared.cut, plain.cut) << i;
+    EXPECT_EQ(shared.merit, plain.merit) << i;
+    EXPECT_EQ(shared.stats.cuts_considered, plain.stats.cuts_considered) << i;
+    EXPECT_FALSE(shared.stats.budget_exhausted) << i;
+  }
+  EXPECT_EQ(roomy.consumed(), total_demand);
+  EXPECT_FALSE(roomy.exhausted());
+
+  // The external gate also overrides a per-search constraint budget: the
+  // ticket pool is the request's, not the constraint's.
+  BudgetGate wide(total_demand * 2);
+  options.budget = &wide;
+  const SingleCutResult overridden = find_best_cut(graphs[0], kLat, budgeted(10), options);
+  EXPECT_FALSE(overridden.stats.budget_exhausted);
+  EXPECT_GT(overridden.stats.cuts_considered, 10u);
+}
+
+TEST(SearchBudget, ExternalGateIsExactUnderSubtreeParallelism) {
+  const Dfg g = budget_graph();
+  const std::uint64_t demand = find_best_cut(g, kLat, budgeted(0)).stats.cuts_considered;
+  const std::uint64_t budget = demand / 3;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    BudgetGate gate(budget);
+    const SingleCutResult split =
+        find_best_cut(g, kLat, budgeted(0), CutSearchOptions{&pool, 3, nullptr, &gate});
+    EXPECT_TRUE(split.stats.budget_exhausted) << threads << " threads";
+    EXPECT_EQ(split.stats.cuts_considered, budget) << threads << " threads";
+    EXPECT_EQ(gate.consumed(), budget) << threads << " threads";
   }
 }
 

@@ -1,0 +1,319 @@
+// Robustness of the daemon against hostile or broken clients: malformed
+// frames, oversized payloads, unknown versions and mid-stream disconnects
+// must produce a structured error event or a clean connection drop — never
+// a daemon crash — and the admission queue's bounding/batching/dedup rules
+// must hold deterministically.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace isex {
+namespace {
+
+std::string temp_socket_path(const std::string& tag) {
+  return testing::TempDir() + "isexr-" + tag + "-" +
+         std::to_string(static_cast<unsigned>(::getpid())) + ".sock";
+}
+
+class DaemonRunner {
+ public:
+  explicit DaemonRunner(DaemonConfig config)
+      : daemon_(std::move(config)), thread_([this] { daemon_.serve(); }) {}
+
+  ~DaemonRunner() {
+    daemon_.request_stop();
+    thread_.join();
+  }
+
+  IsexDaemon& daemon() { return daemon_; }
+  const std::string& socket() const { return daemon_.socket_path(); }
+
+ private:
+  IsexDaemon daemon_;
+  std::thread thread_;
+};
+
+DaemonConfig base_config(const std::string& tag) {
+  DaemonConfig config;
+  config.socket_path = temp_socket_path(tag);
+  config.accept_timeout_ms = 20;
+  return config;
+}
+
+ExplorationRequest tiny_request() {
+  ExplorationRequest request;
+  request.workload = "fir";
+  request.constraints.max_inputs = 2;
+  request.constraints.max_outputs = 1;
+  request.num_instructions = 2;
+  return request;
+}
+
+/// Waits (bounded) until the daemon's store reports `served` requests.
+void wait_for_served(IsexDaemon& daemon, std::uint64_t served) {
+  for (int i = 0; i < 500; ++i) {
+    if (daemon.store().status().at("requests_served").as_uint() >= served) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "daemon never served " << served << " request(s)";
+}
+
+TEST(ServiceRobustness, MalformedFramesGetStructuredErrorsAndTheConnectionLivesOn) {
+  DaemonRunner runner(base_config("bad"));
+  IsexClient client(runner.socket());
+
+  struct Case {
+    const char* line;
+    const char* code;
+    const char* id;  // expected correlation id on the error event
+  };
+  const Case cases[] = {
+      {"this is not json at all", "bad-frame", ""},
+      {"[1, 2, 3]", "bad-frame", ""},
+      {R"({"id": "u1", "type": "ping"})", "bad-frame", "u1"},  // no version tag
+      {R"({"isex": 99, "id": "u2", "type": "ping"})", "unsupported-version", "u2"},
+      {R"({"isex": 1, "id": "u3", "type": "frobnicate"})", "bad-request", "u3"},
+      {R"({"isex": 1, "id": "u4", "type": "explore"})", "bad-request", "u4"},
+      {R"({"isex": 1, "id": "u5", "type": "explore", "request": {"workload": "no-such-kernel"}})",
+       "bad-request", "u5"},
+      {R"({"isex": 1, "id": "u6", "type": "explore", "request": {"workload": "fir", "num_instrctions": 3}})",
+       "bad-request", "u6"},
+      {R"({"isex": 1, "id": "u7", "type": "ping", "request": {}})", "bad-request", "u7"},
+      {R"({"isex": 1, "id": "u8", "type": "explore", "request": {"workload": "fir", "emission": {}}})",
+       "bad-request", "u8"},
+  };
+  for (const Case& c : cases) {
+    client.send_line(std::string(c.line) + "\n");
+    const std::optional<EventFrame> event = client.read_event();
+    ASSERT_TRUE(event.has_value()) << c.line;
+    EXPECT_EQ(event->event, "error") << c.line;
+    EXPECT_EQ(event->id, c.id) << c.line;
+    EXPECT_EQ(event->data.at("code").as_string(), c.code) << c.line;
+  }
+
+  // Stray blank lines are ignored, and the battered connection still serves
+  // a real request end to end.
+  client.send_line("\n");
+  const Json payload = client.explore(tiny_request());
+  EXPECT_EQ(payload.at("kind").as_string(), "exploration");
+}
+
+TEST(ServiceRobustness, OversizedFramesDropOnlyTheOffendingConnection) {
+  DaemonConfig config = base_config("big");
+  config.max_frame_bytes = 4096;
+  DaemonRunner runner(config);
+
+  IsexClient offender(runner.socket());
+  offender.send_line(std::string(100000, 'x') + "\n");
+  // The daemon drops the connection rather than buffering without bound:
+  // the event stream ends without a frame.
+  EXPECT_FALSE(offender.read_event().has_value());
+
+  // The daemon itself is unharmed: a fresh connection works.
+  IsexClient client(runner.socket());
+  EXPECT_GE(client.ping().at("requests_served").as_uint(), 0u);
+  EXPECT_EQ(client.explore(tiny_request()).at("kind").as_string(), "exploration");
+}
+
+TEST(ServiceRobustness, MidStreamDisconnectsNeverKillTheDaemon) {
+  DaemonRunner runner(base_config("eof"));
+
+  {
+    // Disconnect right after submitting: the job runs to completion and its
+    // publisher quietly drops the dead subscriber.
+    IsexClient hit_and_run(runner.socket());
+    RequestFrame frame;
+    frame.type = "explore";
+    frame.single = tiny_request();
+    hit_and_run.send_frame(std::move(frame));
+  }  // socket closes here, mid-stream
+  wait_for_served(runner.daemon(), 1);
+
+  {
+    // A partial frame (no terminating newline) followed by EOF is a clean
+    // detach, not a parse attempt.
+    FdHandle fd = connect_unix(runner.socket());
+    ASSERT_TRUE(write_all(fd.get(), R"({"isex": 1, "type": "pi)"));
+  }
+
+  {
+    // Immediate disconnect without a single byte.
+    FdHandle fd = connect_unix(runner.socket());
+  }
+
+  // After all of that the daemon still serves normally.
+  IsexClient client(runner.socket());
+  const Json payload = client.explore(tiny_request());
+  EXPECT_EQ(payload.at("kind").as_string(), "exploration");
+  EXPECT_GE(payload.at("store").at("requests_served").as_uint(), 2u);
+}
+
+// --- admission-queue policies (deterministic, no sockets) -------------------
+
+/// Records every event it receives; optionally plays dead.
+class RecordingSink : public EventSink {
+ public:
+  bool emit(const std::string& id, const std::string& event, const Json& data) override {
+    if (dead) return false;
+    std::lock_guard<std::mutex> lock(mu);
+    events.emplace_back(id, event);
+    last_data = data;
+    return true;
+  }
+
+  std::vector<std::pair<std::string, std::string>> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return events;
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<std::string, std::string>> events;
+  Json last_data;
+  bool dead = false;
+};
+
+RequestFrame frame_for(const std::string& workload, int num_instructions = 4) {
+  RequestFrame frame;
+  frame.type = "explore";
+  frame.single = tiny_request();
+  frame.single->workload = workload;
+  frame.single->num_instructions = num_instructions;
+  return frame;
+}
+
+TEST(ServiceRobustness, AdmissionQueueBoundsAndDedupsDeterministically) {
+  AdmissionQueue queue(/*max_queue=*/2);
+  auto sink = std::make_shared<RecordingSink>();
+
+  // Two distinct jobs fill the queue; the third distinct one is rejected.
+  EXPECT_FALSE(queue.submit(frame_for("fir"), "a", sink).deduped);
+  EXPECT_FALSE(queue.submit(frame_for("sha1"), "b", sink).deduped);
+  try {
+    queue.submit(frame_for("crc32"), "c", sink);
+    FAIL() << "third distinct submit should hit the bound";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), std::string(kErrQueueFull));
+  }
+
+  // A duplicate of a queued job attaches instead — dedup adds no work, so
+  // it succeeds even at capacity.
+  const AdmissionResult dup = queue.submit(frame_for("fir"), "d", sink);
+  EXPECT_TRUE(dup.deduped);
+  EXPECT_EQ(queue.depth(), 2u);
+
+  // Every admitted subscriber got exactly one accepted event, in order.
+  const auto events = sink->snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& [id, event] : events) EXPECT_EQ(event, "accepted");
+  EXPECT_EQ(events[0].first, "a");
+  EXPECT_EQ(events[2].first, "d");
+
+  // Workers see the dedup: the fir batch carries both subscribers on ONE
+  // job. Finishing it reopens both the bound and the fingerprint.
+  std::vector<ServiceJobPtr> batch = queue.next_batch();
+  ASSERT_EQ(batch.size(), 2u);  // fir + sha1 share scheme/constraints
+  for (const ServiceJobPtr& job : batch) {
+    job->publish_terminal("report", Json::object());
+    queue.finish(job);
+  }
+  EXPECT_TRUE(queue.idle());
+  EXPECT_FALSE(queue.submit(frame_for("fir"), "e", sink).deduped);
+  const std::vector<ServiceJobPtr> leftover = queue.next_batch();
+  ASSERT_EQ(leftover.size(), 1u);
+  queue.finish(leftover[0]);
+
+  // After drain(), everything is refused with shutting-down.
+  queue.drain();
+  try {
+    queue.submit(frame_for("gsm"), "f", sink);
+    FAIL() << "post-drain submit should be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), std::string(kErrShuttingDown));
+  }
+  queue.close();
+  EXPECT_TRUE(queue.next_batch().empty());
+}
+
+TEST(ServiceRobustness, BatchingCoalescesCompatibleQueuedJobsOnly) {
+  AdmissionQueue queue(/*max_queue=*/8, /*max_batch=*/3);
+  auto sink = std::make_shared<RecordingSink>();
+
+  queue.submit(frame_for("fir"), "a", sink);
+  const AdmissionResult b = queue.submit(frame_for("sha1"), "b", sink);
+  EXPECT_TRUE(b.batched);  // same scheme + constraints as the queued fir job
+  EXPECT_EQ(b.batch_size, 2u);
+
+  // Different constraints break compatibility (disjoint memo keys); a
+  // different num_instructions alone does not — the key is type + scheme +
+  // constraints.
+  RequestFrame other = frame_for("crc32");
+  other.single->constraints.max_inputs = 4;
+  EXPECT_FALSE(queue.submit(std::move(other), "c", sink).batched);
+  EXPECT_TRUE(queue.submit(frame_for("gsm", /*num_instructions=*/7), "d", sink).batched);
+  queue.submit(frame_for("g721"), "e", sink);
+
+  // One dispatch takes the head and every compatible queued job, capped at
+  // max_batch — the incompatible crc32 job stays for the next worker.
+  const std::vector<ServiceJobPtr> first = queue.next_batch();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0]->frame().single->workload, "fir");
+  EXPECT_EQ(first[1]->frame().single->workload, "sha1");
+  EXPECT_EQ(first[2]->frame().single->workload, "gsm");
+  const std::vector<ServiceJobPtr> second = queue.next_batch();
+  ASSERT_EQ(second.size(), 1u);  // crc32's constraints differ from g721's
+  EXPECT_EQ(second[0]->frame().single->workload, "crc32");
+  const std::vector<ServiceJobPtr> third = queue.next_batch();
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0]->frame().single->workload, "g721");
+}
+
+TEST(ServiceRobustness, DeadSubscribersAreDroppedAndLateAttachersReplayTheTerminal) {
+  ServiceJob job(frame_for("fir"), 1, 2);
+  auto alive = std::make_shared<RecordingSink>();
+  auto dying = std::make_shared<RecordingSink>();
+  job.attach("a", alive, Json::object());
+  job.attach("d", dying, Json::object());
+
+  job.publish("extracted", Json::object());
+  dying->dead = true;  // client vanishes mid-stream
+  job.publish("identified", Json::object());
+  job.publish("selected", Json::object());
+
+  Json terminal = Json::object();
+  terminal.set("kind", std::string("exploration"));
+  job.publish_terminal("report", terminal);
+  EXPECT_TRUE(job.finished());
+
+  // The live subscriber saw the full stream; the dead one stopped cold and
+  // was dropped without disturbing anything.
+  std::vector<std::string> alive_events;
+  for (const auto& [id, event] : alive->snapshot()) alive_events.push_back(event);
+  const std::vector<std::string> full = {"accepted", "extracted", "identified",
+                                         "selected", "report"};
+  EXPECT_EQ(alive_events, full);
+  EXPECT_EQ(dying->snapshot().size(), 2u);  // accepted + extracted only
+
+  // A subscriber attaching after the fact still gets accepted + the
+  // recorded terminal — never a silent hang.
+  auto late = std::make_shared<RecordingSink>();
+  job.attach("l", late, Json::object());
+  const auto late_events = late->snapshot();
+  ASSERT_EQ(late_events.size(), 2u);
+  EXPECT_EQ(late_events[0].second, "accepted");
+  EXPECT_EQ(late_events[1].second, "report");
+  EXPECT_EQ(late->last_data.at("kind").as_string(), "exploration");
+}
+
+}  // namespace
+}  // namespace isex

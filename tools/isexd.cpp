@@ -1,0 +1,106 @@
+// isexd — the exploration daemon. Serves ExplorationRequest /
+// MultiExplorationRequest JSON frames over a Unix-domain socket against one
+// process-wide result store (see src/service/).
+//
+//   isexd --socket /tmp/isex.sock --threads 2 --cache-file /var/tmp/isex.memo
+//
+// SIGINT/SIGTERM trigger a graceful drain: queued and running requests
+// still publish their results, the memo snapshot is written, the socket
+// file is removed.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/daemon.hpp"
+
+namespace {
+
+isex::IsexDaemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();  // single atomic store
+}
+
+void usage(std::ostream& out) {
+  out << "usage: isexd --socket PATH [options]\n"
+         "  --socket PATH            Unix-domain socket to listen on (required)\n"
+         "  --threads N              concurrent exploration workers (default 2)\n"
+         "  --cache-file PATH        persist the identification memo here; warm-starts\n"
+         "                           on boot, snapshots on idle and on shutdown\n"
+         "  --max-queue N            bound on queued requests (default 64)\n"
+         "  --max-frame-bytes N      bound on one request line (default 1 MiB)\n"
+         "  --max-search-budget N    clamp per-request search budgets to N tickets\n"
+         "                           (default 0 = no clamp)\n"
+         "  --help                   this text\n";
+}
+
+std::uint64_t parse_count(const std::string& flag, const std::string& value) {
+  try {
+    const long long n = std::stoll(value);
+    if (n < 0) throw std::invalid_argument("negative");
+    return static_cast<std::uint64_t>(n);
+  } catch (const std::exception&) {
+    std::cerr << "isexd: " << flag << " wants a non-negative integer, got '" << value
+              << "'\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  isex::DaemonConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "isexd: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      config.socket_path = next();
+    } else if (arg == "--threads") {
+      config.num_workers = static_cast<int>(parse_count(arg, next()));
+    } else if (arg == "--cache-file") {
+      config.cache_file = next();
+    } else if (arg == "--max-queue") {
+      config.max_queue = static_cast<std::size_t>(parse_count(arg, next()));
+    } else if (arg == "--max-frame-bytes") {
+      config.max_frame_bytes = static_cast<std::size_t>(parse_count(arg, next()));
+    } else if (arg == "--max-search-budget") {
+      config.max_search_budget = parse_count(arg, next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "isexd: unknown flag '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (config.socket_path.empty()) {
+    std::cerr << "isexd: --socket is required\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    isex::IsexDaemon daemon(config);
+    g_daemon = &daemon;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::cerr << "isexd: listening on " << config.socket_path
+              << (daemon.store().warm_started() ? " (warm-started memo)" : "") << "\n";
+    daemon.serve();
+    g_daemon = nullptr;
+    std::cerr << "isexd: drained, bye\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "isexd: " << e.what() << "\n";
+    return 1;
+  }
+}
