@@ -9,8 +9,12 @@
 // the enumeration entirely; `--no-cache` opts every request out (the
 // selections are byte-identical either way).
 //
-// Usage: constraint_sweep [workload-name] [--cache FILE | --no-cache]
+// Usage: constraint_sweep [workload-name] [--ir FILE] [--cache FILE | --no-cache]
 //        (default workload: adpcmdecode)
+//
+// `--ir FILE` sweeps a textual `.isex` workload file instead of a registry
+// kernel — equivalently, pass the file path as the workload name: the
+// registry dispatches path-looking names to the file loader.
 #include <iostream>
 
 #include "api/explorer.hpp"
@@ -30,11 +34,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       cache_file = argv[++i];
+    } else if (arg == "--ir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--ir needs a FILE argument\n";
+        return 1;
+      }
+      name = argv[++i];  // find_workload dispatches path-looking names
     } else if (arg == "--no-cache") {
       use_cache = false;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option '" << arg
-                << "' (usage: constraint_sweep [workload] [--cache FILE | --no-cache])\n";
+                << "' (usage: constraint_sweep [workload] [--ir FILE] "
+                   "[--cache FILE | --no-cache])\n";
       return 1;
     } else {
       name = arg;

@@ -14,15 +14,27 @@
 //       a repeat request, and that every client got a full event stream.
 //       Exits nonzero on any violation.
 //
+//   isex_client --socket /tmp/isex.sock --ir FILE [--twin NAME]
+//       Ships the textual `.isex` kernel FILE to the daemon as a protocol-v2
+//       `ir_text` request (the kernel travels inside the frame — the daemon
+//       never touches client paths), then runs the same exploration in
+//       process and asserts the two stable reports are byte-identical. With
+//       `--twin NAME` the local run uses the registry workload NAME instead
+//       of the text, proving the text round-trips the builder kernel through
+//       the full wire path. Exits nonzero on any mismatch.
+//
 // Local in-process equivalents of these requests live in
 // examples/quickstart.cpp and examples/portfolio.cpp; this driver is about
 // the wire path.
 #include <atomic>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/explorer.hpp"
 #include "service/client.hpp"
 
 using namespace isex;
@@ -191,23 +203,91 @@ int run_smoke(const std::string& socket_path) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Stable report minus the per-request cache-counter delta: the daemon's
+/// shared store may already be warm when the request lands, which shifts
+/// hits/misses without changing a single selected instruction.
+std::string comparable_report(const Json& report) {
+  const Json stable = stable_report_json(report);
+  Json filtered = Json::object();
+  for (const auto& [key, value] : stable.as_object()) {
+    if (key == "cache") continue;
+    filtered.set(key, value);
+  }
+  return filtered.dump();
+}
+
+int run_ir(const std::string& socket_path, const std::string& ir_file,
+           const std::string& twin) {
+  std::ifstream in(ir_file, std::ios::binary);
+  if (!in) {
+    std::cerr << "isex_client: cannot read " << ir_file << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  ExplorationRequest request = quickstart_request();
+  request.workload.clear();
+  request.ir_text = buf.str();
+
+  std::cout << "exploring " << ir_file << " over the socket (ir_text):\n";
+  IsexClient client(socket_path);
+  const Json payload = client.explore(request, /*search_budget=*/0, print_event);
+  const std::string served = comparable_report(payload.at("report"));
+
+  // The parity twin runs in process on a cold explorer: same constraints,
+  // same kernel — by text, or by registry name with --twin.
+  ExplorationRequest local = request;
+  if (!twin.empty()) {
+    local.ir_text.clear();
+    local.workload = twin;
+  }
+  const Explorer explorer;
+  const std::string in_process = comparable_report(explorer.run(local).to_json());
+
+  if (served != in_process) {
+    std::cerr << "isex_client: daemon report diverges from the in-process "
+              << (twin.empty() ? "text" : "registry twin '" + twin + "'") << " run\n"
+              << "  daemon: " << served << "\n  local:  " << in_process << "\n";
+    return 1;
+  }
+  std::cout << "daemon report byte-identical to the in-process "
+            << (twin.empty() ? std::string("text run") : "registry twin " + twin) << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/isex.sock";
+  std::string ir_file;
+  std::string twin;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--ir" && i + 1 < argc) {
+      ir_file = argv[++i];
+    } else if (arg == "--twin" && i + 1 < argc) {
+      twin = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
     } else {
-      std::cerr << "usage: isex_client [--socket PATH] [--smoke]\n";
+      std::cerr << "usage: isex_client [--socket PATH] [--smoke | --ir FILE [--twin NAME]]\n";
       return 2;
     }
   }
+  if (smoke && !ir_file.empty()) {
+    std::cerr << "--smoke and --ir are mutually exclusive\n";
+    return 2;
+  }
+  if (!twin.empty() && ir_file.empty()) {
+    std::cerr << "--twin needs --ir FILE\n";
+    return 2;
+  }
   try {
+    if (!ir_file.empty()) return run_ir(socket_path, ir_file, twin);
     return smoke ? run_smoke(socket_path) : run_demo(socket_path);
   } catch (const std::exception& e) {
     std::cerr << "isex_client: " << e.what() << "\n";

@@ -4,7 +4,8 @@
 // identify() for one block, run_blocks() for raw graphs, run() for a named
 // workload. With `--emit-dir DIR` the graph-level artifacts (cut-highlighted
 // dot rendering plus the attribution manifest) are written to disk through
-// the emission backends.
+// the emission backends. With `--ir FILE` the full-pipeline run at the end
+// explores a textual `.isex` workload file instead of the hand-built graph.
 #include <iostream>
 #include <string>
 
@@ -16,9 +17,12 @@ using namespace isex;
 
 int main(int argc, char** argv) {
   std::string emit_dir;
+  std::string ir_file;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--emit-dir" && i + 1 < argc) {
       emit_dir = argv[++i];
+    } else if (std::string(argv[i]) == "--ir" && i + 1 < argc) {
+      ir_file = argv[++i];
     }
   }
   // A tiny multiply-accumulate-saturate kernel:
@@ -70,18 +74,26 @@ int main(int argc, char** argv) {
             << to_dot(g, std::span<const BitVector>{&best.cut, 1});
 
   // The same exploration as one pipeline call, reported as JSON. Graph-only
-  // requests can still emit graph-level artifacts (dot + manifest).
+  // requests can still emit graph-level artifacts (dot + manifest); with
+  // --ir the request names a `.isex` file instead (find_workload dispatches
+  // path-looking names to the textual-IR loader).
   ExplorationRequest request;
-  request.graphs.push_back(g);
+  if (ir_file.empty()) {
+    request.graphs.push_back(g);
+    request.num_instructions = 1;
+  } else {
+    request.workload = ir_file;
+    request.num_instructions = 8;
+  }
   request.scheme = "iterative";
   request.constraints = cons;
-  request.num_instructions = 1;
   if (!emit_dir.empty()) {
     request.emission.targets = {"dot", "manifest"};
     request.emission.out_dir = emit_dir;
   }
   const ExplorationReport report = explorer.run(request);
-  std::cout << "\nStructured report of the full pipeline (scheme 'iterative'):\n\n"
+  std::cout << "\nStructured report of the full pipeline (scheme 'iterative'"
+            << (ir_file.empty() ? "" : ", workload " + ir_file) << "):\n\n"
             << report.to_json_string() << "\n";
   if (!emit_dir.empty()) {
     std::cout << "\nwrote " << report.emission.artifacts.size() << " artifacts to "

@@ -1,0 +1,31 @@
+// libFuzzer entry point over the textual-IR parser: any byte sequence must
+// either parse into a verified module or throw a structured ParseError —
+// crashes, assertion failures, and non-ParseError exceptions are findings.
+// Build with -DISEX_BUILD_FUZZERS=ON (requires a clang toolchain;
+// -fsanitize=fuzzer is added by CMake). Seed it from the checked-in corpus:
+//
+//   ./parse_module_fuzzer tests/corpus/
+//
+// The deterministic slice of this property runs in every ctest invocation
+// as tests/text/mutation_test.cpp.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+
+#include "text/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    isex::parse_module(text);
+  } catch (const isex::ParseError&) {
+    // Structured rejection — the contract.
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "non-ParseError escaped parse_module: %s\n", e.what());
+    std::abort();
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "emit/plan.hpp"
 #include "emit/verify.hpp"
 #include "support/assert.hpp"
+#include "text/workload_file.hpp"
 
 namespace isex {
 
@@ -112,12 +113,18 @@ ExplorationReport Explorer::run(const ExplorationRequest& request) const {
 
 ExplorationReport Explorer::run(const ExplorationRequest& request,
                                 const RunHooks& hooks) const {
+  if (!request.ir_text.empty()) {
+    ISEX_CHECK(request.workload.empty(),
+               "ExplorationRequest sets both a workload name and ir_text");
+    Workload w = load_workload_string(request.ir_text);
+    return run(w, request, hooks);
+  }
   if (!request.workload.empty()) {
     Workload w = find_workload(request.workload);
     return run(w, request, hooks);
   }
   ISEX_CHECK(!request.graphs.empty(),
-             "ExplorationRequest needs a workload name or user graphs");
+             "ExplorationRequest needs a workload name, ir_text or user graphs");
   return run_blocks(request.graphs, request, hooks);
 }
 
@@ -147,7 +154,11 @@ Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
                                                      bool use_dfg_cache, bool need_module,
                                                      CacheCounters* local) const {
   ExtractedBlocks out;
-  if (use_dfg_cache && (out.snapshot = cache_->lookup_dfgs(workload.name(), options,
+  // Cache under the content-fingerprinted key: a parsed .isex twin of a
+  // registry kernel warm-hits its entries, and a divergent module served
+  // under a familiar name cannot poison them.
+  const std::string key = workload.cache_key();
+  if (use_dfg_cache && (out.snapshot = cache_->lookup_dfgs(key, options,
                                                            &out.base_cycles, local))) {
     // AFU construction reads the module, which a fresh workload instance
     // only has in shape after preprocessing (idempotent when already done).
@@ -162,7 +173,7 @@ Explorer::ExtractedBlocks Explorer::extract_workload(Workload& workload,
     // it — the cache and this pipeline share one copy.
     out.snapshot = std::make_shared<const std::vector<Dfg>>(std::move(out.owned));
     out.owned.clear();
-    cache_->store_dfgs(workload.name(), options, out.snapshot, out.base_cycles, local);
+    cache_->store_dfgs(key, options, out.snapshot, out.base_cycles, local);
     out.blocks = *out.snapshot;
   } else {
     out.blocks = out.owned;

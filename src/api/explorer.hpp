@@ -45,6 +45,12 @@ struct ExplorationRequest {
   /// User-provided per-block DFGs (used when `workload` is empty). The base
   /// cycle count then falls back to the blocks' static cycle estimate.
   std::vector<Dfg> graphs;
+  /// Textual `.isex` workload document (see text/workload_file.hpp): the
+  /// kernel travels inside the request, so a service client can explore a
+  /// graph the server has never seen. Mutually exclusive with `workload`;
+  /// takes precedence over `graphs`. The parsed twin of a registry kernel
+  /// shares the extraction cache with it (keys are content-fingerprinted).
+  std::string ir_text;
 
   /// Selection scheme name resolved against the registry ("iterative",
   /// "optimal", "optimal-dp", "clubbing", "maxmiso", "area", or user-added).

@@ -305,10 +305,18 @@ Dfg Dfg::from_block(const Module& module, const Function& fn, BlockId block, dou
     // block's own perspective those uses happen elsewhere.
     for (ValueId v : other.operands) live_out[v.index] = 1;
   }
-  for (const auto& [value_index, nid] : value_node) {
-    if (!nid.valid()) continue;
-    if (live_out[value_index]) {
-      g.add_output(nid, "out:" + value_name(fn, ValueId{value_index}));
+  // Output nodes are created in program order of their producing
+  // instructions — a deterministic order that depends only on the block's
+  // structure, never on raw value-arena indices, so a module reconstructed
+  // from its textual dump fingerprints identically to the built original.
+  for (InstrId id : bb.instrs) {
+    const Instruction& ins = fn.instr(id);
+    if (ins.op == Opcode::phi || info(ins.op).is_terminator) continue;
+    if (!ins.result.valid()) continue;
+    const auto it = value_node.find(ins.result.index);
+    if (it == value_node.end() || !it->second.valid()) continue;
+    if (live_out[ins.result.index]) {
+      g.add_output(it->second, "out:" + value_name(fn, ins.result));
     }
   }
 

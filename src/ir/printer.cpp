@@ -1,8 +1,76 @@
 #include "ir/printer.hpp"
 
+#include <charconv>
 #include <sstream>
 
 namespace isex {
+
+namespace {
+
+/// Dense result number of an instr-kind value: instruction results are
+/// counted in (block order, program order), the only order reconstructible
+/// from the printed text. Returns false when the defining instruction is not
+/// reachable through any block list (transient pass states).
+bool dense_result_index(const Function& fn, ValueId v, std::uint32_t* out) {
+  std::uint32_t next = 0;
+  for (std::size_t bi = 0; bi < fn.num_blocks(); ++bi) {
+    for (InstrId id : fn.block(BlockId{static_cast<std::uint32_t>(bi)}).instrs) {
+      const Instruction& ins = fn.instr(id);
+      if (ins.dead || !ins.result.valid()) continue;
+      if (ins.result == v) {
+        *out = next;
+        return true;
+      }
+      ++next;
+    }
+  }
+  return false;
+}
+
+/// Shortest decimal form that parses back to exactly the same double — keeps
+/// custom-op area annotations byte-stable through print -> parse -> print.
+std::string double_to_string(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+/// Operand-space name inside a custom-op micro-program: t0..t(k-1) are the
+/// instruction's inputs, t(k+i) is micro i's result.
+std::string micro_operand(int index) { return "t" + std::to_string(index); }
+
+void print_custom_op(std::ostream& os, const CustomOp& op) {
+  os << "  custom " << op.name << " inputs " << op.num_inputs << " latency "
+     << op.latency_cycles << " area " << double_to_string(op.area_macs) << " {\n";
+  for (std::size_t i = 0; i < op.micros.size(); ++i) {
+    const CustomOp::Micro& m = op.micros[i];
+    os << "    " << micro_operand(op.num_inputs + static_cast<int>(i)) << " = "
+       << name_of(m.op);
+    if (m.op == Opcode::konst) {
+      os << " " << m.imm;
+    } else {
+      bool first = true;
+      for (const int operand : {m.a, m.b, m.c}) {
+        if (operand < 0) continue;
+        os << (first ? " " : ", ") << micro_operand(operand);
+        first = false;
+      }
+      if (m.op == Opcode::load) {
+        os << ", rom " << m.imm;
+      } else if (m.imm != 0) {
+        os << ", #" << m.imm;
+      }
+    }
+    os << "\n";
+  }
+  os << "    out";
+  for (std::size_t i = 0; i < op.outputs.size(); ++i) {
+    os << (i == 0 ? " " : ", ") << micro_operand(op.outputs[i]);
+  }
+  os << "\n  }\n";
+}
+
+}  // namespace
 
 std::string value_name(const Function& fn, ValueId v) {
   if (!v.valid()) return "<none>";
@@ -12,8 +80,11 @@ std::string value_name(const Function& fn, ValueId v) {
       return "arg" + std::to_string(def.payload);
     case ValueKind::konst:
       return std::to_string(def.imm);
-    case ValueKind::instr:
-      return "v" + std::to_string(v.index);
+    case ValueKind::instr: {
+      std::uint32_t dense = 0;
+      if (dense_result_index(fn, v, &dense)) return "v" + std::to_string(dense);
+      return "v?" + std::to_string(v.index);  // detached instruction (debug only)
+    }
   }
   return "<bad>";
 }
@@ -31,6 +102,7 @@ void print_function(std::ostream& os, const Module& module, const Function& fn) 
     os << bb.name << ":  ; bb" << bi << "\n";
     for (InstrId id : bb.instrs) {
       const Instruction& ins = fn.instr(id);
+      if (ins.dead) continue;
       os << "  ";
       if (ins.result.valid()) os << value_name(fn, ins.result) << " = ";
       os << name_of(ins.op);
@@ -49,6 +121,10 @@ void print_function(std::ostream& os, const Module& module, const Function& fn) 
         first = false;
       }
       if (ins.op == Opcode::extract) os << ", #" << ins.imm;
+      // ROM hint on a load: imm = 1 + read-only segment index. Dropping it
+      // would silently change what the DFG extractor admits into cuts, so
+      // the textual form carries it explicitly.
+      if (ins.op == Opcode::load && ins.imm > 0) os << ", rom " << (ins.imm - 1);
       os << "\n";
     }
   }
@@ -59,7 +135,18 @@ void print_module(std::ostream& os, const Module& module) {
   os << "module " << module.name() << "\n";
   for (const MemSegment& seg : module.segments()) {
     os << "  segment " << seg.name << " @" << seg.base << " x" << seg.size_words
-       << (seg.read_only ? " ro" : "") << "\n";
+       << (seg.read_only ? " ro" : "");
+    if (!seg.init.empty()) {
+      os << " init [";
+      for (std::size_t i = 0; i < seg.init.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << seg.init[i];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < module.num_custom_ops(); ++i) {
+    print_custom_op(os, module.custom_op(static_cast<int>(i)));
   }
   for (const Function& fn : module.functions()) {
     print_function(os, module, fn);
@@ -69,6 +156,12 @@ void print_module(std::ostream& os, const Module& module) {
 std::string function_to_string(const Module& module, const Function& fn) {
   std::ostringstream os;
   print_function(os, module, fn);
+  return os.str();
+}
+
+std::string module_to_string(const Module& module) {
+  std::ostringstream os;
+  print_module(os, module);
   return os.str();
 }
 

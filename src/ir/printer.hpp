@@ -1,5 +1,8 @@
 // Human-readable dumps of IR functions and modules, for debugging, examples
-// and golden tests.
+// and golden tests — and the *definition* of the textual IR surface that
+// src/text/parser.hpp accepts: print_module emits a fully re-parseable,
+// canonical form (dense value numbering, segment init data, custom-op
+// micro-programs), so print(parse(print(m))) == print(m) byte-for-byte.
 #pragma once
 
 #include <ostream>
@@ -9,12 +12,20 @@
 
 namespace isex {
 
-/// "v12" / "42" (constants print as literals) / "arg0".
+/// Canonical spelling of a value: "arg0" for parameters, the bare literal
+/// ("42", "-7") for constants, and "vN" for instruction results — where N is
+/// the value's *dense* result number (block order, program order), not its
+/// raw arena index. Constants are therefore lexically distinct from value
+/// names (a name never starts with a digit or '-'), and the numbering is
+/// reconstructible from the text alone, which is what makes the printed form
+/// re-parseable into a byte-identical reprint.
 std::string value_name(const Function& fn, ValueId v);
 
 void print_function(std::ostream& os, const Module& module, const Function& fn);
 void print_module(std::ostream& os, const Module& module);
 
 std::string function_to_string(const Module& module, const Function& fn);
+/// The canonical textual form of the whole module (what parse_module reads).
+std::string module_to_string(const Module& module);
 
 }  // namespace isex

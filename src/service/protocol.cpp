@@ -115,9 +115,12 @@ void check_workload_name(const std::string& name, const char* what) {
   if (name.empty()) {
     throw ServiceError(kErrBadRequest,
                        std::string(what) +
-                           ": the service explores named registry workloads; graph "
-                           "payloads need the textual IR frontend");
+                           ": the service explores named registry workloads or an "
+                           "ir_text payload");
   }
+  // Registry membership is the whole check: a path-looking name (which
+  // find_workload would read from the daemon host's disk) is not in the
+  // registry and fails here — clients ship kernels via ir_text, never paths.
   const std::vector<std::string> known = workload_names();
   if (std::find(known.begin(), known.end(), name) == known.end()) {
     throw ServiceError(kErrBadRequest, std::string(what) + ": unknown workload '" + name +
@@ -169,10 +172,11 @@ int frame_version(const Json& j) {
   } catch (const Error&) {
     throw ServiceError(kErrBadFrame, "'isex' version tag is not an integer");
   }
-  if (version != kServiceProtocolVersion) {
+  if (version < kMinServiceProtocolVersion || version > kServiceProtocolVersion) {
     throw ServiceError(kErrUnsupportedVersion,
                        "protocol version " + std::to_string(version) +
-                           " is not supported (this daemon speaks version " +
+                           " is not supported (this daemon speaks versions " +
+                           std::to_string(kMinServiceProtocolVersion) + " through " +
                            std::to_string(kServiceProtocolVersion) + ")");
   }
   return version;
@@ -196,6 +200,9 @@ Json parse_frame_object(const std::string& line, const char* what) {
 Json to_json(const ExplorationRequest& request) {
   Json j = Json::object();
   j.set("workload", request.workload);
+  // Emitted only when set: absent-field canonicalization keeps the dedup
+  // fingerprints of plain registry requests identical to protocol v1.
+  if (!request.ir_text.empty()) j.set("ir_text", request.ir_text);
   j.set("scheme", request.scheme);
   j.set("constraints", to_json(request.constraints));
   j.set("num_instructions", request.num_instructions);
@@ -214,6 +221,8 @@ ExplorationRequest exploration_request_from_json(const Json& j) {
     for_known_keys(j, "request", [&](const std::string& key, const Json& value) {
       if (key == "workload") {
         request.workload = value.as_string();
+      } else if (key == "ir_text") {
+        request.ir_text = value.as_string();
       } else if (key == "scheme") {
         request.scheme = value.as_string();
       } else if (key == "constraints") {
@@ -234,8 +243,8 @@ ExplorationRequest exploration_request_from_json(const Json& j) {
         request.name_prefix = value.as_string();
       } else if (key == "graphs") {
         throw ServiceError(kErrBadRequest,
-                           "request: graph payloads are not servable yet — name a "
-                           "registry workload");
+                           "request: pre-extracted graphs are not servable — ship the "
+                           "kernel as an ir_text workload document instead");
       } else if (key == "emission" || key == "build_afus" || key == "rewrite" ||
                  key == "emit_verilog") {
         throw ServiceError(kErrBadRequest,
@@ -246,7 +255,12 @@ ExplorationRequest exploration_request_from_json(const Json& j) {
       }
       return true;
     });
-    check_workload_name(request.workload, "request");
+    if (request.ir_text.empty()) {
+      check_workload_name(request.workload, "request");
+    } else if (!request.workload.empty()) {
+      throw ServiceError(kErrBadRequest,
+                         "request: 'workload' and 'ir_text' are mutually exclusive");
+    }
     check_common_knobs(request.num_instructions, request.num_threads,
                        request.subtree_split_depth);
     return request;
@@ -320,7 +334,8 @@ MultiExplorationRequest multi_exploration_request_from_json(const Json& j) {
   });
 }
 
-RequestFrame parse_request_frame(const std::string& line, std::string* id_out) {
+RequestFrame parse_request_frame(const std::string& line, std::string* id_out,
+                                 int* version_out) {
   const Json j = parse_frame_object(line, "request frame");
   // Surface the correlation id before any validation can throw, so error
   // events stay addressable.
@@ -328,9 +343,11 @@ RequestFrame parse_request_frame(const std::string& line, std::string* id_out) {
       id != nullptr && id->type() == Json::Type::string && id_out != nullptr) {
     *id_out = id->as_string();
   }
-  frame_version(j);
+  const int version = frame_version(j);
+  if (version_out != nullptr) *version_out = version;
 
   RequestFrame frame;
+  frame.version = version;
   for_known_keys(j, "frame", [&](const std::string& key, const Json& value) {
     if (key == "isex") return true;  // checked above
     if (key == "id") {
@@ -359,6 +376,11 @@ RequestFrame parse_request_frame(const std::string& line, std::string* id_out) {
   }
   if (frame.type == "explore") {
     frame.single = exploration_request_from_json(*request);
+    if (!frame.single->ir_text.empty() && frame.version < 2) {
+      throw ServiceError(kErrBadRequest,
+                         "request: ir_text needs protocol version 2 (frame is tagged " +
+                             std::to_string(frame.version) + ")");
+    }
   } else if (frame.type == "explore-portfolio") {
     frame.portfolio = multi_exploration_request_from_json(*request);
   } else {
@@ -371,7 +393,7 @@ RequestFrame parse_request_frame(const std::string& line, std::string* id_out) {
 
 std::string dump_request_frame(const RequestFrame& frame) {
   Json j = Json::object();
-  j.set("isex", kServiceProtocolVersion);
+  j.set("isex", frame.version);
   j.set("id", frame.id);
   j.set("type", frame.type);
   if (frame.search_budget != 0) j.set("search_budget", frame.search_budget);
@@ -384,9 +406,9 @@ std::string dump_request_frame(const RequestFrame& frame) {
 }
 
 std::string dump_event_frame(const std::string& id, const std::string& event,
-                             const Json& data) {
+                             const Json& data, int version) {
   Json j = Json::object();
-  j.set("isex", kServiceProtocolVersion);
+  j.set("isex", version);
   j.set("id", id);
   j.set("event", event);
   j.set("data", data);

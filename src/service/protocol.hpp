@@ -9,9 +9,10 @@
 // `id` is a client-chosen correlation tag echoed on every response frame
 // (requests on one connection may be pipelined). `request` carries the
 // ExplorationRequest / MultiExplorationRequest fields serialized below —
-// named registry workloads only (graph payloads wait on the textual IR
-// frontend) and no emission options (artifacts are a local-caller feature;
-// the daemon rejects the key rather than silently dropping it).
+// a registry workload name or (version >= 2) an `ir_text` textual workload
+// document travelling inside the frame, but never a host file path, and no
+// emission options (artifacts are a local-caller feature; the daemon
+// rejects the key rather than silently dropping it).
 // `search_budget` is the *per-request* ticket budget: the daemon runs every
 // identification search of the request against one shared BudgetGate, so
 // the aggregate cuts_considered pins at min(demand, budget) exactly.
@@ -48,9 +49,18 @@
 namespace isex {
 
 /// Version tag carried by every frame in both directions. Bump on any
-/// incompatible change; the daemon rejects frames from other versions with
-/// an `unsupported-version` error instead of guessing.
-inline constexpr int kServiceProtocolVersion = 1;
+/// incompatible change; the daemon rejects frames from versions outside
+/// [kMinServiceProtocolVersion, kServiceProtocolVersion] with an
+/// `unsupported-version` error instead of guessing.
+///
+/// Version history:
+///   1 — named registry workloads only.
+///   2 — adds `request.ir_text`: a textual `.isex` workload document carried
+///       inside the frame, so clients can serve graphs the daemon host has
+///       never seen. v1 frames are still accepted (and answered with
+///       v1-tagged events); a v1 frame carrying ir_text is a bad-request.
+inline constexpr int kServiceProtocolVersion = 2;
+inline constexpr int kMinServiceProtocolVersion = 1;
 
 // Structured error codes (the `code` field of error events).
 inline constexpr const char* kErrBadFrame = "bad-frame";            // not a JSON object
@@ -94,6 +104,10 @@ MultiExplorationRequest multi_exploration_request_from_json(const Json& j);
 struct RequestFrame {
   std::string id;    // client correlation tag (may be empty)
   std::string type;  // "explore" | "explore-portfolio" | "ping"
+  /// Protocol version the frame arrived under (parse) or is rendered with
+  /// (dump). Every event the daemon answers with echoes this version, so a
+  /// v1 client never reads a frame tagged with a version it would reject.
+  int version = kServiceProtocolVersion;
   /// Per-request search-ticket budget (0 = unlimited): enforced by the
   /// daemon through one shared BudgetGate across every identification
   /// search of the request.
@@ -106,8 +120,11 @@ struct RequestFrame {
 /// kErrBadFrame (not JSON / not an object), kErrUnsupportedVersion, or
 /// kErrBadRequest (unknown type, malformed request body). When the frame is
 /// an object carrying an `id` string, `*id_out` receives it even on failure
-/// so the error event can still be correlated.
-RequestFrame parse_request_frame(const std::string& line, std::string* id_out = nullptr);
+/// so the error event can still be correlated; `*version_out` likewise
+/// receives the frame's version tag as soon as it is known, so the error
+/// event can be rendered in the sender's dialect.
+RequestFrame parse_request_frame(const std::string& line, std::string* id_out = nullptr,
+                                 int* version_out = nullptr);
 
 /// Renders a client frame (the client library's send path).
 std::string dump_request_frame(const RequestFrame& frame);
@@ -119,9 +136,10 @@ struct EventFrame {
   Json data;
 };
 
-/// Renders one server event frame (terminating newline included).
+/// Renders one server event frame (terminating newline included). `version`
+/// tags the frame; the daemon passes each subscriber's request version.
 std::string dump_event_frame(const std::string& id, const std::string& event,
-                             const Json& data);
+                             const Json& data, int version = kServiceProtocolVersion);
 
 /// Parses one server frame; throws ServiceError(kErrBadFrame /
 /// kErrUnsupportedVersion) on garbage.

@@ -1,0 +1,120 @@
+#include "text/corpus_gen.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "text/workload_file.hpp"
+#include "workloads/util.hpp"
+
+namespace isex {
+
+namespace {
+
+bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Workload generate_workload(const CorpusGenConfig& config) {
+  ISEX_CHECK(config.num_ops >= 1, "corpus_gen: num_ops must be >= 1");
+  ISEX_CHECK(config.num_params >= 0, "corpus_gen: negative num_params");
+  ISEX_CHECK(config.loop_trips >= 1, "corpus_gen: loop_trips must be >= 1");
+  ISEX_CHECK(is_pow2(config.out_words), "corpus_gen: out_words must be a power of two");
+  ISEX_CHECK(config.rom_words == 0 || is_pow2(config.rom_words),
+             "corpus_gen: rom_words must be 0 or a power of two");
+
+  Rng rng(config.seed);
+  const std::string name = "gen" + std::to_string(config.seed);
+  auto module = std::make_unique<Module>(name);
+  module->add_segment("out", config.out_words);
+  int rom_index = -1;
+  if (config.rom_words > 0) {
+    std::vector<std::int32_t> table;
+    table.reserve(config.rom_words);
+    for (std::uint32_t i = 0; i < config.rom_words; ++i) {
+      table.push_back(static_cast<std::int32_t>(rng.uniform(-4096, 4096)));
+    }
+    rom_index = 1;  // second registered segment
+    module->add_segment("rom", config.rom_words, std::move(table), /*read_only=*/true);
+  }
+
+  IrBuilder b(*module, name, config.num_params);
+
+  // Pool of values the random DAG may draw operands from; seeded with the
+  // parameters and a few constants, grown by every emitted op.
+  std::vector<ValueId> pool;
+  for (int i = 0; i < config.num_params; ++i) pool.push_back(b.param(i));
+  pool.push_back(b.konst(1));
+  pool.push_back(b.konst(rng.uniform(2, 255)));
+  pool.push_back(b.konst(rng.uniform(-4096, -2)));
+  const auto pick = [&]() { return pool[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))]; };
+
+  CountedLoop loop = begin_counted_loop(b, b.konst(config.loop_trips));
+  const ValueId acc = loop_var(b, loop, b.konst(0));
+  pool.push_back(loop.index);
+  pool.push_back(acc);
+  enter_loop_body(b, loop);
+
+  ValueId last = acc;
+  for (int i = 0; i < config.num_ops; ++i) {
+    const int kind = static_cast<int>(rng.uniform(0, rom_index >= 0 ? 11 : 10));
+    ValueId v;
+    switch (kind) {
+      case 0: v = b.add(pick(), pick()); break;
+      case 1: v = b.sub(pick(), pick()); break;
+      case 2: v = b.mul(pick(), pick()); break;
+      case 3: v = b.and_(pick(), pick()); break;
+      case 4: v = b.or_(pick(), pick()); break;
+      case 5: v = b.xor_(pick(), pick()); break;
+      case 6: v = b.shl(pick(), b.konst(rng.uniform(1, 15))); break;
+      case 7: v = b.shr_u(pick(), b.konst(rng.uniform(1, 15))); break;
+      case 8: v = b.not_(pick()); break;
+      case 9: v = b.select(b.lt_s(pick(), pick()), pick(), pick()); break;
+      case 10: v = b.sext16(pick()); break;
+      default: {
+        // ROM lookup: mask the index into the table, add the base address.
+        const MemSegment& rom = module->segments()[static_cast<std::size_t>(rom_index)];
+        const ValueId index = b.and_(pick(), b.konst(config.rom_words - 1));
+        const ValueId addr = b.add(index, b.konst(rom.base));
+        v = b.load_rom(addr, rom_index);
+        break;
+      }
+    }
+    pool.push_back(v);
+    last = v;
+  }
+
+  // Fold the body into the accumulator and store a word per iteration.
+  const ValueId acc_next = b.xor_(b.add(last, acc), pick());
+  const MemSegment& out = module->segments()[0];
+  const ValueId slot = b.and_(loop.index, b.konst(config.out_words - 1));
+  b.store(b.add(slot, b.konst(out.base)), acc_next);
+  const std::pair<ValueId, ValueId> updates[] = {{acc, acc_next}};
+  end_counted_loop(b, loop, updates);
+  b.ret(acc);
+
+  std::vector<std::int32_t> args;
+  for (int i = 0; i < config.num_params; ++i) {
+    args.push_back(static_cast<std::int32_t>(rng.uniform(-1000, 1000)));
+  }
+
+  // Expected outputs by probe run, exactly like a loaded .isex file.
+  auto reader = segment_reader("out", config.out_words);
+  std::vector<std::int32_t> expected;
+  {
+    Memory mem(*module);
+    Interpreter interp(*module, mem);
+    interp.run(*module->find_function(name), args);
+    expected = reader(*module, mem);
+  }
+  return Workload(name, std::move(module), name, std::move(args), std::move(reader),
+                  std::move(expected));
+}
+
+std::string generate_workload_text(const CorpusGenConfig& config) {
+  return dump_workload(generate_workload(config));
+}
+
+}  // namespace isex

@@ -1,0 +1,42 @@
+// Seeded random-kernel generator for the textual-IR corpus.
+//
+// Each seed deterministically produces a verifiable workload: a counted loop
+// whose body is a random expression DAG over the parameters, the loop index,
+// loop-carried accumulators and (optionally) lookups into a random-filled
+// ROM table, storing into an output segment every iteration. The shapes —
+// phis, ROM-hinted loads, stores, comparison/select mixes — cover exactly
+// the IR surface the parser and the exploration pipeline must handle, while
+// always terminating under the interpreter, so generated kernels are safe
+// to load, probe and sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace isex {
+
+struct CorpusGenConfig {
+  std::uint64_t seed = 1;
+  /// Random data operations per loop body.
+  int num_ops = 24;
+  int num_params = 2;
+  /// Loop trip count (bounds the interpreter probe run).
+  int loop_trips = 16;
+  /// Output segment size in words; must be a power of two (the store address
+  /// is masked into range).
+  std::uint32_t out_words = 8;
+  /// ROM table size in words (power of two); 0 disables ROM lookups.
+  std::uint32_t rom_words = 16;
+};
+
+/// Generates the workload for `config`. Deterministic: equal configs yield
+/// byte-identical dump_workload() documents. Throws Error on a config with
+/// non-power-of-two segment sizes or no operations.
+Workload generate_workload(const CorpusGenConfig& config);
+
+/// dump_workload(generate_workload(config)) — the `.isex` document.
+std::string generate_workload_text(const CorpusGenConfig& config);
+
+}  // namespace isex

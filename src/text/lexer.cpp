@@ -1,0 +1,166 @@
+#include "text/lexer.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace isex {
+
+namespace {
+
+bool is_ident_start(unsigned char c) { return std::isalpha(c) != 0 || c == '_'; }
+bool is_ident_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '_' || c == '.';
+}
+bool is_punct(char c) {
+  switch (c) {
+    case '(':
+    case ')':
+    case '{':
+    case '}':
+    case '[':
+    case ']':
+    case ',':
+    case '=':
+    case ':':
+    case '@':
+    case '#':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Printable rendering of an unexpected byte for the error message.
+std::string describe_byte(unsigned char c) {
+  if (std::isprint(c) != 0) return std::string("'") + static_cast<char>(c) + "'";
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%02x", c);
+  return std::string("byte ") + buf;
+}
+
+}  // namespace
+
+std::string describe_token(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::identifier:
+      return "identifier '" + token.text + "'";
+    case TokenKind::number:
+      return "number " + std::to_string(token.value);
+    case TokenKind::punct:
+      return "'" + token.text + "'";
+    case TokenKind::newline:
+      return "end of line";
+    case TokenKind::eof:
+      return "end of input";
+  }
+  return "<bad token>";
+}
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  SourceLoc loc;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++loc.line;
+        loc.col = 1;
+      } else {
+        ++loc.col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    const SourceLoc at = loc;
+    if (c == '\n') {
+      // Collapse is the parser's job; every physical line break is a token
+      // so column/line reporting stays exact.
+      out.push_back({.kind = TokenKind::newline, .text = "\n", .loc = at});
+      advance(1);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (i < n && text[i] != '\n') advance(1);
+      continue;
+    }
+    if (is_ident_start(static_cast<unsigned char>(c))) {
+      std::size_t len = 1;
+      while (i + len < n && is_ident_char(static_cast<unsigned char>(text[i + len]))) ++len;
+      out.push_back({.kind = TokenKind::identifier,
+                     .text = std::string(text.substr(i, len)),
+                     .loc = at});
+      advance(len);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0)) {
+      std::size_t len = (c == '-') ? 2 : 1;
+      while (i + len < n && std::isdigit(static_cast<unsigned char>(text[i + len])) != 0) ++len;
+      bool is_float = false;
+      // Optional fraction and exponent (custom-op area annotations).
+      if (i + len + 1 < n && text[i + len] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + len + 1])) != 0) {
+        is_float = true;
+        len += 2;
+        while (i + len < n && std::isdigit(static_cast<unsigned char>(text[i + len])) != 0) {
+          ++len;
+        }
+      }
+      if (i + len < n && (text[i + len] == 'e' || text[i + len] == 'E')) {
+        std::size_t e = len + 1;
+        if (i + e < n && (text[i + e] == '+' || text[i + e] == '-')) ++e;
+        if (i + e < n && std::isdigit(static_cast<unsigned char>(text[i + e])) != 0) {
+          is_float = true;
+          len = e + 1;
+          while (i + len < n && std::isdigit(static_cast<unsigned char>(text[i + len])) != 0) {
+            ++len;
+          }
+        }
+      }
+      const std::string digits(text.substr(i, len));
+      Token token{TokenKind::number, digits, 0, 0.0, is_float, at};
+      errno = 0;
+      char* end = nullptr;
+      if (is_float) {
+        token.fvalue = std::strtod(digits.c_str(), &end);
+        if (errno == ERANGE || end != digits.c_str() + digits.size()) {
+          throw ParseError(at, "numeric literal",
+                           "numeric literal '" + digits + "' is out of range");
+        }
+      } else {
+        const long long v = std::strtoll(digits.c_str(), &end, 10);
+        if (errno == ERANGE || end != digits.c_str() + digits.size()) {
+          throw ParseError(at, "integer literal",
+                           "integer literal '" + digits + "' does not fit a 64-bit value");
+        }
+        token.value = static_cast<std::int64_t>(v);
+        token.fvalue = static_cast<double>(v);
+      }
+      out.push_back(std::move(token));
+      advance(len);
+      continue;
+    }
+    if (is_punct(c)) {
+      out.push_back({.kind = TokenKind::punct, .text = std::string(1, c), .loc = at});
+      advance(1);
+      continue;
+    }
+    throw ParseError(at, "token",
+                     "unexpected " + describe_byte(static_cast<unsigned char>(c)) +
+                         " outside the token alphabet");
+  }
+  out.push_back({.kind = TokenKind::eof, .loc = loc});
+  return out;
+}
+
+}  // namespace isex

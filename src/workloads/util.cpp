@@ -15,14 +15,17 @@ std::vector<std::int32_t> random_samples(std::size_t n, std::int32_t lo, std::in
   return out;
 }
 
+std::vector<std::int32_t> SegmentReader::operator()(const Module& module,
+                                                    const Memory& mem) const {
+  const MemSegment* seg = module.find_segment(segment);
+  ISEX_CHECK(seg != nullptr, "output segment missing: " + segment);
+  ISEX_CHECK(count <= seg->size_words, "reading past segment: " + segment);
+  return mem.read_words(seg->base, count);
+}
+
 std::function<std::vector<std::int32_t>(const Module&, const Memory&)> segment_reader(
     std::string name, std::uint32_t count) {
-  return [name = std::move(name), count](const Module& module, const Memory& mem) {
-    const MemSegment* seg = module.find_segment(name);
-    ISEX_CHECK(seg != nullptr, "output segment missing: " + name);
-    ISEX_CHECK(count <= seg->size_words, "reading past segment: " + name);
-    return mem.read_words(seg->base, count);
-  };
+  return SegmentReader{std::move(name), count};
 }
 
 ValueId emit_cond_update(IrBuilder& b, ValueId cond, ValueId current,

@@ -18,6 +18,16 @@ namespace isex {
 std::vector<std::int32_t> random_samples(std::size_t n, std::int32_t lo, std::int32_t hi,
                                          std::uint64_t seed);
 
+/// Output reader fetching `count` words from segment `segment`. A named type
+/// (not a lambda) so the textual frontend can recover the output spec of a
+/// registry workload through std::function::target<SegmentReader>() when
+/// dumping it to a .isex file.
+struct SegmentReader {
+  std::string segment;
+  std::uint32_t count = 0;
+  std::vector<std::int32_t> operator()(const Module& module, const Memory& mem) const;
+};
+
 /// Returns a reader that fetches `count` words from segment `name`.
 std::function<std::vector<std::int32_t>(const Module&, const Memory&)> segment_reader(
     std::string name, std::uint32_t count);

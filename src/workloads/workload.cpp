@@ -1,8 +1,13 @@
 #include "workloads/workload.hpp"
 
+#include <cstdio>
+
+#include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "passes/pipeline.hpp"
 #include "support/assert.hpp"
+#include "support/hash.hpp"
+#include "text/workload_file.hpp"
 
 namespace isex {
 
@@ -20,6 +25,24 @@ Workload::Workload(std::string name, std::unique_ptr<Module> module, std::string
   ISEX_CHECK(module_ != nullptr, "workload needs a module");
   ISEX_CHECK(module_->find_function(entry_) != nullptr, "missing entry " + entry_);
   verify_module(*module_);
+
+  // Content fingerprint over everything exploration observes: the canonical
+  // module text (deterministic by construction), the entry point and the
+  // arguments. Computed before any pass runs, so equal sources — builder
+  // registry or parsed .isex twin — fingerprint equal.
+  std::uint64_t h = hash_bytes(module_to_string(*module_));
+  h = hash_combine(h, hash_bytes(entry_));
+  for (const std::int32_t a : args_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)));
+  }
+  fingerprint_ = h;
+}
+
+std::string Workload::cache_key() const {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fingerprint_));
+  return name_ + "#" + hex;
 }
 
 const Function& Workload::entry() const {
@@ -117,6 +140,12 @@ std::vector<std::string> workload_names() {
 }
 
 Workload find_workload(const std::string& name) {
+  // Names that look like paths load from disk: a file path works anywhere a
+  // registry name does (CLI flags, portfolio lists, corpus sweeps).
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 5 && name.ends_with(".isex"))) {
+    return load_workload_file(name);
+  }
   for (const WorkloadEntry& entry : kWorkloadRegistry) {
     if (name == entry.name) {
       Workload w = entry.make();

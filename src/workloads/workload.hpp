@@ -31,8 +31,24 @@ class Workload {
   Module& module() { return *module_; }
   const Module& module() const { return *module_; }
   const Function& entry() const;
+  const std::string& entry_name() const { return entry_; }
   const std::vector<std::int32_t>& args() const { return args_; }
   const std::vector<std::int32_t>& expected_outputs() const { return expected_; }
+  const std::function<std::vector<std::int32_t>(const Module&, const Memory&)>& read_outputs()
+      const {
+    return read_outputs_;
+  }
+
+  /// Hash of the workload's observable content at construction: canonical
+  /// module text, entry name and arguments. Two workloads with the same
+  /// fingerprint explore identically, whatever their names.
+  std::uint64_t content_fingerprint() const { return fingerprint_; }
+
+  /// Extraction-cache key: "name#<16-hex fingerprint>". Keying caches on
+  /// content (not just the name) lets a file-loaded twin of a registry
+  /// kernel share warm entries, and stops a divergent module served under a
+  /// registry name from poisoning that name's cache.
+  std::string cache_key() const;
 
   /// Runs the kernel on a fresh memory image; returns outputs read back.
   std::vector<std::int32_t> run(ExecResult* exec = nullptr, Profile* profile = nullptr) const;
@@ -64,6 +80,7 @@ class Workload {
   std::vector<std::int32_t> args_;
   std::function<std::vector<std::int32_t>(const Module&, const Memory&)> read_outputs_;
   std::vector<std::int32_t> expected_;
+  std::uint64_t fingerprint_ = 0;
   bool preprocessed_ = false;
   bool mutated_ = false;
 };

@@ -134,7 +134,9 @@ TEST(ServiceProtocol, FrameParsingMapsEveryFailureToItsCode) {
   const std::string untagged = expect_request_error(
       R"({"id": "x", "type": "ping"})", kErrBadFrame);
   EXPECT_NE(untagged.find("isex"), std::string::npos);
-  expect_request_error(R"({"isex": 2, "id": "x", "type": "ping"})",
+  expect_request_error(R"({"isex": 3, "id": "x", "type": "ping"})",
+                       kErrUnsupportedVersion);
+  expect_request_error(R"({"isex": 0, "id": "x", "type": "ping"})",
                        kErrUnsupportedVersion);
   // Schema violations are bad-request, not bad-frame.
   expect_request_error(R"({"isex": 1, "id": "x", "type": "frobnicate"})",

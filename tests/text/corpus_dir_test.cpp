@@ -1,0 +1,64 @@
+// Keeps the checked-in corpus (tests/corpus/*.isex) honest: every file must
+// load, the registry dumps must match what the current builders emit byte-
+// for-byte (a builder change without a corpus refresh fails here, not in
+// some downstream consumer), and the generated kernels must match their
+// seeds. Refresh with:
+//
+//   isex_corpus dump tests/corpus && isex_corpus gen tests/corpus --count 4 --seed-base 100
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "text/corpus_gen.hpp"
+#include "text/workload_file.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() { return fs::path(ISEX_SOURCE_DIR) / "tests" / "corpus"; }
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CorpusDir, EveryCheckedInDocumentLoadsAndRuns) {
+  int count = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() != ".isex") continue;
+    ++count;
+    const Workload w = load_workload_file(entry.path().string());
+    EXPECT_EQ(w.run(), w.expected_outputs()) << entry.path();
+  }
+  EXPECT_GE(count, 16) << "corpus unexpectedly shrank";
+}
+
+TEST(CorpusDir, RegistryDumpsAreCurrent) {
+  for (const std::string& name : workload_names()) {
+    const fs::path path = corpus_dir() / (name + ".isex");
+    ASSERT_TRUE(fs::exists(path)) << path << " missing — refresh the corpus";
+    EXPECT_EQ(read_file(path), dump_workload(find_workload(name)))
+        << name << ": checked-in dump is stale — refresh the corpus";
+  }
+}
+
+TEST(CorpusDir, GeneratedKernelsMatchTheirSeeds) {
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus_dir())) {
+    const std::string stem = entry.path().stem().string();
+    if (entry.path().extension() != ".isex" || stem.rfind("gen", 0) != 0) continue;
+    CorpusGenConfig config;
+    config.seed = std::stoull(stem.substr(3));
+    EXPECT_EQ(read_file(entry.path()), generate_workload_text(config))
+        << stem << ": checked-in generated kernel is stale — refresh the corpus";
+  }
+}
+
+}  // namespace
+}  // namespace isex

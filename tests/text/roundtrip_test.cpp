@@ -1,0 +1,55 @@
+// The printer is the parser's specification, and this file is the lock
+// between them: for every registry workload, print -> parse -> print must be
+// byte-idempotent, and the dump -> load -> dump workload document likewise —
+// so the canonical text is a faithful, stable serialization of the IR the
+// builders produce.
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "text/parser.hpp"
+#include "text/workload_file.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+namespace {
+
+class TextRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TextRoundTrip, PrintParsePrintIsByteIdempotent) {
+  const Workload w = find_workload(GetParam());
+  const std::string first = module_to_string(w.module());
+  const std::unique_ptr<Module> reparsed = parse_module(first);
+  EXPECT_EQ(module_to_string(*reparsed), first);
+}
+
+TEST_P(TextRoundTrip, DumpLoadDumpPreservesDocumentAndFingerprint) {
+  const Workload original = find_workload(GetParam());
+  const std::string document = dump_workload(original);
+  const Workload loaded = load_workload_string(document);
+  EXPECT_EQ(dump_workload(loaded), document);
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.entry_name(), original.entry_name());
+  EXPECT_EQ(loaded.args(), original.args());
+  // Equal fingerprints are what routes text- and builder-loaded twins into
+  // the same extraction-cache entry.
+  EXPECT_EQ(loaded.content_fingerprint(), original.content_fingerprint());
+  EXPECT_EQ(loaded.cache_key(), original.cache_key());
+}
+
+TEST_P(TextRoundTrip, LoadedWorkloadRunsToTheSameOutputs) {
+  const Workload original = find_workload(GetParam());
+  const Workload loaded = load_workload_string(dump_workload(original));
+  // The loader's probe run re-derives the expected outputs from scratch;
+  // they must agree with the builder's native reference.
+  EXPECT_EQ(loaded.expected_outputs(), original.expected_outputs());
+  EXPECT_EQ(loaded.run(), loaded.expected_outputs());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, TextRoundTrip,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace isex

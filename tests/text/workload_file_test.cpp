@@ -1,0 +1,162 @@
+// Contract of the `.isex` workload document layer: header directives and
+// their defaults, the loader's probe-derived expected outputs, structured
+// failures for bad headers, and the determinism of the seeded corpus
+// generator that produces these documents in bulk.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "text/corpus_gen.hpp"
+#include "text/lexer.hpp"
+#include "text/workload_file.hpp"
+#include "workloads/workload.hpp"
+
+namespace isex {
+namespace {
+
+constexpr const char* kTinyModule =
+    "module tiny\n"
+    "\n"
+    "segment out @0 x2\n"
+    "\n"
+    "func tiny(arg0) {\n"
+    "entry:\n"
+    "  v0 = add arg0, 41\n"
+    "  store 0, v0\n"
+    "  ret v0\n"
+    "}\n";
+
+TEST(WorkloadFile, HeaderDirectivesAreApplied) {
+  const Workload w = load_workload_string(
+      "workload renamed\n"
+      "entry tiny\n"
+      "args [1]\n"
+      "outputs segment out x2\n" +
+      std::string(kTinyModule));
+  EXPECT_EQ(w.name(), "renamed");
+  EXPECT_EQ(w.entry_name(), "tiny");
+  EXPECT_EQ(w.args(), std::vector<std::int32_t>({1}));
+  // The probe run derives the expected outputs: out[0] = 1 + 41.
+  EXPECT_EQ(w.expected_outputs(), std::vector<std::int32_t>({42, 0}));
+  EXPECT_EQ(w.run(), w.expected_outputs());
+}
+
+TEST(WorkloadFile, HeaderDefaultsComeFromTheModule) {
+  // No directives at all: name <- module name, entry <- the function named
+  // like the module, args <- empty, outputs <- none.
+  const Workload w = load_workload_string(
+      "module tiny\n"
+      "\n"
+      "func tiny() {\n"
+      "entry:\n"
+      "  v0 = add 1, 41\n"
+      "  ret v0\n"
+      "}\n");
+  EXPECT_EQ(w.name(), "tiny");
+  EXPECT_EQ(w.entry_name(), "tiny");
+  EXPECT_TRUE(w.args().empty());
+  EXPECT_TRUE(w.expected_outputs().empty());
+}
+
+TEST(WorkloadFile, SoleFunctionIsTheDefaultEntry) {
+  const Workload w = load_workload_string(
+      "module doc\n"
+      "\n"
+      "func kernel() {\n"
+      "entry:\n"
+      "  v0 = mul 14, 3\n"
+      "  ret v0\n"
+      "}\n");
+  EXPECT_EQ(w.entry_name(), "kernel");
+}
+
+struct BadHeader {
+  const char* label;
+  const char* header;
+};
+
+class WorkloadFileErrors : public ::testing::TestWithParam<BadHeader> {};
+
+TEST_P(WorkloadFileErrors, RejectsWithAStructuredError) {
+  EXPECT_THROW(load_workload_string(std::string(GetParam().header) + kTinyModule),
+               Error)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadHeaders, WorkloadFileErrors,
+    ::testing::Values(BadHeader{"unknown_directive", "frobnicate yes\n"},
+                      BadHeader{"duplicate_workload", "workload a\nworkload b\n"},
+                      BadHeader{"duplicate_entry", "entry tiny\nentry tiny\n"},
+                      BadHeader{"unknown_entry", "entry missing\n"},
+                      BadHeader{"unknown_output_segment", "outputs segment rom x2\n"},
+                      BadHeader{"malformed_args", "args 1, 2\n"},
+                      BadHeader{"arg_count_mismatch", "args [1, 2]\n"},
+                      BadHeader{"missing_args_for_params", ""},
+                      BadHeader{"malformed_outputs", "outputs out\n"}),
+    [](const ::testing::TestParamInfo<BadHeader>& info) { return info.param.label; });
+
+TEST(WorkloadFile, ParseErrorsShiftToDocumentLineNumbers) {
+  // Two header lines before the module: a parse failure on module line 4
+  // must be reported as document line 6.
+  try {
+    load_workload_string(
+        "workload w\n"
+        "entry m\n"
+        "module m\n"
+        "func m() {\n"
+        "entry:\n"
+        "  v0 = frobnicate 1\n"
+        "  ret v0\n"
+        "}\n");
+    FAIL() << "unknown opcode unexpectedly loaded";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 6) << e.what();
+  }
+}
+
+TEST(WorkloadFile, FileLoaderWrapsErrorsWithThePath) {
+  const std::string path = testing::TempDir() + "broken.isex";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "module broken\nfunc broken() {\n";
+  }
+  try {
+    load_workload_file(path);
+    FAIL() << "truncated file unexpectedly loaded";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(load_workload_file(testing::TempDir() + "does-not-exist.isex"), Error);
+}
+
+TEST(CorpusGen, EqualConfigsYieldByteIdenticalDocuments) {
+  CorpusGenConfig config;
+  config.seed = 7;
+  EXPECT_EQ(generate_workload_text(config), generate_workload_text(config));
+  CorpusGenConfig other = config;
+  other.seed = 8;
+  EXPECT_NE(generate_workload_text(other), generate_workload_text(config));
+}
+
+TEST(CorpusGen, GeneratedDocumentsLoadAndRunToTheirExpectedOutputs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    CorpusGenConfig config;
+    config.seed = seed;
+    const Workload loaded = load_workload_string(generate_workload_text(config));
+    EXPECT_EQ(loaded.run(), loaded.expected_outputs()) << "seed " << seed;
+    EXPECT_FALSE(loaded.expected_outputs().empty()) << "seed " << seed;
+  }
+}
+
+TEST(CorpusGen, GeneratedKernelsSurviveTheFullPipeline) {
+  CorpusGenConfig config;
+  config.seed = 42;
+  Workload w = generate_workload(config);
+  w.preprocess();
+  EXPECT_EQ(w.run(), w.expected_outputs());
+  EXPECT_FALSE(w.extract_dfgs().empty());
+}
+
+}  // namespace
+}  // namespace isex

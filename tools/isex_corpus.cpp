@@ -1,0 +1,214 @@
+// isex_corpus — corpus management for the textual IR frontend.
+//
+//   isex_corpus dump DIR                  write every registry workload to
+//                                         DIR/<name>.isex
+//   isex_corpus gen DIR [--count N]       generate N seeded random kernels
+//               [--seed-base S]           (seeds S, S+1, ...) into DIR
+//   isex_corpus sweep DIR [options]       load every DIR/*.isex, run the
+//                                         valid ones as one portfolio
+//                                         exploration, write a summary JSON
+//
+// sweep options:
+//   --out FILE          summary JSON destination (default: stdout)
+//   --scheme NAME       portfolio scheme (default joint-iterative)
+//   --max-inputs N      Nin constraint  (default 4)
+//   --max-outputs N     Nout constraint (default 2)
+//   --num-instructions N  joint opcode budget (default 16)
+//
+// The sweep summary records per-file status (parse/probe failures do not
+// abort the sweep; they are reported and the file is skipped) plus the full
+// PortfolioReport of the surviving kernels. Exit status: 0 when every file
+// loaded and the exploration ran, 1 otherwise.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/explorer.hpp"
+#include "text/corpus_gen.hpp"
+#include "text/workload_file.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace isex;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: isex_corpus dump DIR\n"
+         "       isex_corpus gen DIR [--count N] [--seed-base S]\n"
+         "       isex_corpus sweep DIR [--out FILE] [--scheme NAME]\n"
+         "                   [--max-inputs N] [--max-outputs N] [--num-instructions N]\n";
+  return code;
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << text) || !out.flush()) {
+    throw Error("cannot write " + path.string());
+  }
+}
+
+int run_dump(const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const std::string& name : workload_names()) {
+    const Workload w = find_workload(name);
+    write_file(dir / (name + ".isex"), dump_workload(w));
+    std::cout << "wrote " << (dir / (name + ".isex")).string() << "\n";
+  }
+  return 0;
+}
+
+int run_gen(const fs::path& dir, int count, std::uint64_t seed_base) {
+  fs::create_directories(dir);
+  for (int i = 0; i < count; ++i) {
+    CorpusGenConfig config;
+    config.seed = seed_base + static_cast<std::uint64_t>(i);
+    const std::string text = generate_workload_text(config);
+    const std::string name = "gen" + std::to_string(config.seed) + ".isex";
+    write_file(dir / name, text);
+    std::cout << "wrote " << (dir / name).string() << "\n";
+  }
+  return 0;
+}
+
+/// 16-hex content fingerprint (mirrors Workload::cache_key's suffix).
+std::string fingerprint_hex_of(const Workload& w) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(w.content_fingerprint()));
+  return std::string(buf);
+}
+
+struct SweepOptions {
+  std::string out_file;
+  std::string scheme = "joint-iterative";
+  int max_inputs = 4;
+  int max_outputs = 2;
+  int num_instructions = 16;
+};
+
+int run_sweep(const fs::path& dir, const SweepOptions& options) {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".isex") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Json summary = Json::object();
+  summary.set("corpus_dir", dir.string());
+  Json per_file = Json::array();
+  std::vector<fs::path> valid;
+  int failed = 0;
+  for (const fs::path& file : files) {
+    Json entry = Json::object();
+    entry.set("file", file.filename().string());
+    try {
+      const Workload w = load_workload_file(file.string());
+      entry.set("status", std::string("ok"));
+      entry.set("workload", w.name());
+      entry.set("fingerprint", fingerprint_hex_of(w));
+      valid.push_back(file);
+    } catch (const std::exception& e) {
+      entry.set("status", std::string("error"));
+      entry.set("message", std::string(e.what()));
+      ++failed;
+    }
+    per_file.push_back(std::move(entry));
+  }
+  summary.set("files", std::move(per_file));
+  summary.set("num_files", static_cast<std::int64_t>(files.size()));
+  summary.set("num_ok", static_cast<std::int64_t>(valid.size()));
+  summary.set("num_failed", static_cast<std::int64_t>(failed));
+
+  bool swept = false;
+  if (!valid.empty()) {
+    MultiExplorationRequest request;
+    request.scheme = options.scheme;
+    request.constraints.max_inputs = options.max_inputs;
+    request.constraints.max_outputs = options.max_outputs;
+    request.num_instructions = options.num_instructions;
+    for (const fs::path& file : valid) {
+      PortfolioWorkloadRequest wr;
+      wr.workload = file.string();  // find_workload dispatches paths
+      request.workloads.push_back(std::move(wr));
+    }
+    try {
+      Explorer explorer;
+      const PortfolioReport report = explorer.run_portfolio(request);
+      summary.set("report", report.to_json());
+      swept = true;
+    } catch (const std::exception& e) {
+      summary.set("sweep_error", std::string(e.what()));
+    }
+  }
+
+  const std::string text = summary.dump(2) + "\n";
+  if (options.out_file.empty()) {
+    std::cout << text;
+  } else {
+    write_file(options.out_file, text);
+    std::cout << "wrote " << options.out_file << " (" << valid.size() << "/" << files.size()
+              << " kernels explored)\n";
+  }
+  return (failed == 0 && (valid.empty() || swept) && !files.empty()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  const fs::path dir = argv[2];
+  try {
+    if (command == "dump") {
+      if (argc != 3) return usage(std::cerr, 2);
+      return run_dump(dir);
+    }
+    if (command == "gen") {
+      int count = 4;
+      std::uint64_t seed_base = 1;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--count" && i + 1 < argc) {
+          count = std::stoi(argv[++i]);
+        } else if (arg == "--seed-base" && i + 1 < argc) {
+          seed_base = static_cast<std::uint64_t>(std::stoull(argv[++i]));
+        } else {
+          return usage(std::cerr, 2);
+        }
+      }
+      return run_gen(dir, count, seed_base);
+    }
+    if (command == "sweep") {
+      SweepOptions options;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+          options.out_file = argv[++i];
+        } else if (arg == "--scheme" && i + 1 < argc) {
+          options.scheme = argv[++i];
+        } else if (arg == "--max-inputs" && i + 1 < argc) {
+          options.max_inputs = std::stoi(argv[++i]);
+        } else if (arg == "--max-outputs" && i + 1 < argc) {
+          options.max_outputs = std::stoi(argv[++i]);
+        } else if (arg == "--num-instructions" && i + 1 < argc) {
+          options.num_instructions = std::stoi(argv[++i]);
+        } else {
+          return usage(std::cerr, 2);
+        }
+      }
+      return run_sweep(dir, options);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "isex_corpus: " << e.what() << "\n";
+    return 1;
+  }
+  return usage(std::cerr, 2);
+}
