@@ -41,6 +41,17 @@ using namespace isex;
 
 namespace {
 
+/// Connection policy shared by every mode, filled from flags.
+ClientOptions g_options;
+/// Server-side per-request deadline applied to the demo requests (0 = none).
+std::uint64_t g_deadline_ms = 0;
+
+// Exit codes: 0 ok, 1 generic failure, 2 usage, then one per client error
+// class so scripts can branch on the failure mode.
+constexpr int kExitConnect = 3;     // ConnectError: no daemon at the socket
+constexpr int kExitDisconnect = 4;  // DisconnectError: daemon died mid-stream
+constexpr int kExitTimeout = 5;     // TimeoutError: --timeout-ms fired
+
 ExplorationRequest quickstart_request() {
   ExplorationRequest request;
   request.workload = "adpcmdecode";
@@ -72,17 +83,25 @@ void print_event(const EventFrame& event) {
 }
 
 int run_demo(const std::string& socket_path) {
-  IsexClient client(socket_path);
+  IsexClient client(socket_path, g_options);
   std::cout << "daemon status: " << client.ping().dump() << "\n";
 
+  ExplorationRequest single_request = quickstart_request();
+  single_request.deadline_ms = g_deadline_ms;
   std::cout << "exploring adpcmdecode over the socket:\n";
-  Json single = client.explore(quickstart_request(), /*search_budget=*/0, print_event);
+  Json single = client.explore(single_request, /*search_budget=*/0, print_event);
   const Json& report = single.at("report");
   std::cout << "  -> " << report.at("cuts").as_array().size() << " instructions, speedup "
             << report.at("estimated_speedup").dump() << "\n";
+  if (const Json* partial = report.find("partial"); partial != nullptr && partial->as_bool()) {
+    std::cout << "  -> PARTIAL (" << report.at("partial_reason").as_string()
+              << "): best selection found before the deadline\n";
+  }
 
+  MultiExplorationRequest multi_request = portfolio_request();
+  multi_request.deadline_ms = g_deadline_ms;
   std::cout << "exploring the adpcm+sha1 portfolio over the socket:\n";
-  Json multi = client.explore_portfolio(portfolio_request(), 0, print_event);
+  Json multi = client.explore_portfolio(multi_request, 0, print_event);
   std::cout << "  -> weighted speedup "
             << multi.at("report").at("weighted_speedup").dump() << "\n";
   std::cout << "store after both: " << multi.at("store").dump() << "\n";
@@ -101,7 +120,7 @@ struct SmokeOutcome {
 SmokeOutcome smoke_run(const std::string& socket_path, const ExplorationRequest& request) {
   SmokeOutcome outcome;
   try {
-    IsexClient client(socket_path);
+    IsexClient client(socket_path, g_options);
     int phases = 0;
     Json payload = client.explore(request, 0, [&](const EventFrame& event) {
       if (event.event == "accepted" && event.data.at("deduped").as_bool()) {
@@ -231,7 +250,7 @@ int run_ir(const std::string& socket_path, const std::string& ir_file,
   request.ir_text = buf.str();
 
   std::cout << "exploring " << ir_file << " over the socket (ir_text):\n";
-  IsexClient client(socket_path);
+  IsexClient client(socket_path, g_options);
   const Json payload = client.explore(request, /*search_budget=*/0, print_event);
   const std::string served = comparable_report(payload.at("report"));
 
@@ -263,6 +282,13 @@ int main(int argc, char** argv) {
   std::string ir_file;
   std::string twin;
   bool smoke = false;
+  const auto count_flag = [&](int* i) -> std::uint64_t {
+    if (*i + 1 >= argc) {
+      std::cerr << "isex_client: " << argv[*i] << " needs a value\n";
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(std::stoll(argv[++*i]));
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
@@ -273,8 +299,20 @@ int main(int argc, char** argv) {
       twin = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--deadline-ms") {
+      g_deadline_ms = count_flag(&i);
+    } else if (arg == "--timeout-ms") {
+      g_options.request_timeout_ms = count_flag(&i);
+    } else if (arg == "--connect-attempts") {
+      g_options.connect_attempts = static_cast<int>(count_flag(&i));
+    } else if (arg == "--reconnect-attempts") {
+      g_options.reconnect_attempts = static_cast<int>(count_flag(&i));
     } else {
-      std::cerr << "usage: isex_client [--socket PATH] [--smoke | --ir FILE [--twin NAME]]\n";
+      std::cerr << "usage: isex_client [--socket PATH] [--deadline-ms N] [--timeout-ms N]\n"
+                   "                   [--connect-attempts N] [--reconnect-attempts N]\n"
+                   "                   [--smoke | --ir FILE [--twin NAME]]\n"
+                   "exit codes: 0 ok, 1 failure, 2 usage, 3 connect refused,\n"
+                   "            4 disconnected mid-stream, 5 client timeout\n";
       return 2;
     }
   }
@@ -289,6 +327,15 @@ int main(int argc, char** argv) {
   try {
     if (!ir_file.empty()) return run_ir(socket_path, ir_file, twin);
     return smoke ? run_smoke(socket_path) : run_demo(socket_path);
+  } catch (const TimeoutError& e) {
+    std::cerr << "isex_client: timeout: " << e.what() << "\n";
+    return kExitTimeout;
+  } catch (const DisconnectError& e) {
+    std::cerr << "isex_client: disconnected: " << e.what() << "\n";
+    return kExitDisconnect;
+  } catch (const ConnectError& e) {
+    std::cerr << "isex_client: connect failed: " << e.what() << "\n";
+    return kExitConnect;
   } catch (const std::exception& e) {
     std::cerr << "isex_client: " << e.what() << "\n";
     return 1;

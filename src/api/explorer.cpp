@@ -10,6 +10,7 @@
 #include "emit/plan.hpp"
 #include "emit/verify.hpp"
 #include "support/assert.hpp"
+#include "support/cancellation.hpp"
 #include "text/workload_file.hpp"
 
 namespace isex {
@@ -202,6 +203,17 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   report.num_instructions = request.num_instructions;
   report.cache.enabled = request.use_cache;
 
+  // One cancel token for the whole run: the caller's (the service arms the
+  // job's token from the frame's deadline and lets the watchdog trip it), or
+  // a run-local one armed from request.deadline_ms. Null when neither asks
+  // for cancellation — the default path carries no token at all.
+  CancelToken deadline_token;
+  CancelToken* cancel = hooks.cancel;
+  if (cancel == nullptr && request.deadline_ms > 0) {
+    deadline_token.arm_deadline_ms(request.deadline_ms);
+    cancel = &deadline_token;
+  }
+
   // --- profile + extract ---------------------------------------------------
   ExtractedBlocks extracted;
   if (workload != nullptr) {
@@ -230,6 +242,10 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
     data.set("extract_ms", report.timings.extract_ms);
     notify(hooks, "extracted", std::move(data));
   }
+  // Phase boundary: a deadline that expired during extraction trips the
+  // token now, so the searches below exit on their first poll instead of
+  // waiting out a full clock stride.
+  if (cancel != nullptr) cancel->expired();
 
   // --- identify + select ---------------------------------------------------
   // The single-workload pipeline is a one-bundle portfolio: the scheme sees
@@ -262,8 +278,13 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
                       &local,
                       request.subtree_split_depth,
                       &engine_stats,
-                      hooks.budget_gate};
+                      hooks.budget_gate,
+                      cancel};
   report.selection = portfolio_to_single(scheme.select(inputs));
+  if (cancel != nullptr && (cancel->expired() || cancel->cancelled())) {
+    report.partial = true;
+    report.partial_reason = cancel->reason();
+  }
   report.timings.identify_ms = ms_since(t_identify);
   report.engine.subtree_split_depth = request.subtree_split_depth;
   report.engine.subtree_tasks = engine_stats.subtree_tasks.load();
@@ -303,7 +324,9 @@ ExplorationReport Explorer::run_pipeline(Workload* workload, std::span<const Dfg
   }
 
   // --- AFU construction / rewrite-verify / artifact emission ---------------
-  if (emission.active()) {
+  // A cut-short selection must not produce artifacts: partial instruction
+  // sets would rewrite/emit as if they were the search's answer.
+  if (emission.active() && !report.partial) {
     const auto t_emit = Clock::now();
     emit_single(workload, blocks, request, emission, report);
     report.timings.emit_ms = ms_since(t_emit);
@@ -397,6 +420,14 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request,
   report.max_area_macs = request.max_area_macs;
   report.cache.enabled = request.use_cache;
 
+  // Same one-token-per-run policy as run_pipeline.
+  CancelToken deadline_token;
+  CancelToken* cancel = hooks.cancel;
+  if (cancel == nullptr && request.deadline_ms > 0) {
+    deadline_token.arm_deadline_ms(request.deadline_ms);
+    cancel = &deadline_token;
+  }
+
   const SelectionScheme& scheme = registry_->get(request.scheme);
   if (!scheme.supports_portfolio() && request.workloads.size() > 1) {
     throw Error("scheme '" + request.scheme +
@@ -477,6 +508,8 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request,
     data.set("extract_ms", report.timings.extract_ms);
     notify(hooks, "extracted", std::move(data));
   }
+  // Phase boundary (see run_pipeline).
+  if (cancel != nullptr) cancel->expired();
 
   // --- joint identification + selection ------------------------------------
   const auto t_identify = Clock::now();
@@ -503,8 +536,13 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request,
                       &local,
                       request.subtree_split_depth,
                       &engine_stats,
-                      hooks.budget_gate};
+                      hooks.budget_gate,
+                      cancel};
   report.selection = scheme.select(inputs);
+  if (cancel != nullptr && (cancel->expired() || cancel->cancelled())) {
+    report.partial = true;
+    report.partial_reason = cancel->reason();
+  }
   report.timings.identify_ms = ms_since(t_identify);
   report.engine.subtree_split_depth = request.subtree_split_depth;
   report.engine.subtree_tasks = engine_stats.subtree_tasks.load();
@@ -575,7 +613,8 @@ PortfolioReport Explorer::run_portfolio(const MultiExplorationRequest& request,
   }
 
   // --- AFU construction / rewrite-verify / artifact emission ---------------
-  if (emission.active()) {
+  // Partial selections emit nothing (see run_pipeline).
+  if (emission.active() && !report.partial) {
     const auto t_emit = Clock::now();
     // One AFU per selected instruction, synthesized from its origin
     // application's pristine module (before any verifying rewrite) — only

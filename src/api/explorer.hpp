@@ -84,6 +84,15 @@ struct ExplorationRequest {
   /// should not retain. report.cache records what the cache did.
   bool use_cache = true;
 
+  /// Wall-clock deadline for the whole run in milliseconds (0 = none).
+  /// When it expires mid-run the identification searches stop at their next
+  /// poll, the report returns the best-so-far selection flagged
+  /// `partial: true` with partial_reason "deadline_exceeded", artifact
+  /// emission is skipped, and nothing partial is stored in the shared
+  /// ResultCache. Ignored when the caller supplies RunHooks::cancel (the
+  /// service arms the job's own token from the frame's deadline instead).
+  std::uint64_t deadline_ms = 0;
+
   /// Artifact emission and rewrite verification, resolved against the
   /// Explorer's EmitterRegistry (targets "verilog", "c-intrinsics", "dot",
   /// "manifest", ...). Contradictory or no-op combinations are rejected with
@@ -132,6 +141,13 @@ struct RunHooks {
   /// per-client budget (see CutSearchOptions::budget). Null = per-search
   /// Constraints::search_budget semantics, unchanged.
   BudgetGate* budget_gate = nullptr;
+  /// Shared cancel token for this run (may be null). The pipeline polls it
+  /// inside every identification search and at phase boundaries; a tripped
+  /// token yields a best-so-far report flagged partial (reason attached)
+  /// instead of an error, and suppresses artifact emission. The service's
+  /// watchdog and per-job deadlines cancel through this. When set it takes
+  /// precedence over request.deadline_ms — arm the deadline on the token.
+  CancelToken* cancel = nullptr;
 };
 
 class Explorer {

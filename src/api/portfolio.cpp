@@ -137,6 +137,11 @@ Json PortfolioReport::to_json() const {
   // Present only when subtree parallelism was requested (matches
   // ExplorationReport::to_json).
   if (engine.subtree_split_depth != 0) j.set("engine", isex::to_json(engine));
+  // Present only on cut-short runs (matches ExplorationReport::to_json).
+  if (partial) {
+    j.set("partial", true);
+    j.set("partial_reason", partial_reason);
+  }
   return j;
 }
 
@@ -175,6 +180,11 @@ PortfolioReport PortfolioReport::from_json(const Json& j) {
   r.cache.counters.cross_workload_hits = c.at("cross_workload_hits").as_uint();
   // Absent in reports from serial-engine requests and in archived files.
   if (const Json* e = j.find("engine")) r.engine = engine_from_json(*e);
+  // Absent in complete reports and in archived files.
+  if (const Json* p = j.find("partial")) {
+    r.partial = p->as_bool();
+    r.partial_reason = j.at("partial_reason").as_string();
+  }
   return r;
 }
 

@@ -76,6 +76,11 @@ struct MultiExplorationRequest {
   /// surfaced as cross-workload hits in the report.
   bool use_cache = true;
 
+  /// Wall-clock deadline for the whole run in milliseconds (0 = none); same
+  /// semantics as ExplorationRequest::deadline_ms — a best-so-far report
+  /// flagged `partial: true`, no emission, no cache poisoning.
+  std::uint64_t deadline_ms = 0;
+
   /// Artifact emission: one Verilog AFU per selected instruction plus
   /// per-application wrappers/intrinsics, with optional rewrite-verify of
   /// every bundled workload. Module-consuming targets require every
@@ -156,6 +161,12 @@ struct PortfolioReport {
   ReportTimings timings;
   CacheReport cache;
   EngineReport engine;
+
+  /// True when the run was cut short (deadline, watchdog, client cancel);
+  /// see ExplorationReport::partial — same semantics and serialization
+  /// (emitted only when set).
+  bool partial = false;
+  std::string partial_reason;
 
   /// The raw selection (bit vectors usable against the extracted DFGs); not
   /// serialized.

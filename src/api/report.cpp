@@ -203,6 +203,11 @@ Json ExplorationReport::to_json() const {
   // reports keep their historical byte layout, and warm runs (no searches)
   // stay comparable to cold ones.
   if (engine.subtree_split_depth != 0) j.set("engine", isex::to_json(engine));
+  // Present only on cut-short runs, for the same layout-stability reason.
+  if (partial) {
+    j.set("partial", true);
+    j.set("partial_reason", partial_reason);
+  }
   return j;
 }
 
@@ -244,6 +249,11 @@ ExplorationReport ExplorationReport::from_json(const Json& j) {
   }
   // Absent in reports from serial-engine requests and in archived files.
   if (const Json* e = j.find("engine")) r.engine = engine_from_json(*e);
+  // Absent in complete reports and in archived files.
+  if (const Json* p = j.find("partial")) {
+    r.partial = p->as_bool();
+    r.partial_reason = j.at("partial_reason").as_string();
+  }
   return r;
 }
 

@@ -136,6 +136,15 @@ struct ExplorationReport {
   CacheReport cache;
   EngineReport engine;
 
+  /// True when the run was cut short (deadline, watchdog, client cancel):
+  /// the cuts above are the best selection found before the cancellation,
+  /// not the full search's answer, and emission was skipped. Serialized
+  /// only when set — complete reports keep their historical byte layout.
+  bool partial = false;
+  /// Why the run was cut short (e.g. "deadline_exceeded"); empty when
+  /// `partial` is false.
+  std::string partial_reason;
+
   /// Verilog of each synthesized AFU (the "verilog" emission target / legacy
   /// request.emit_verilog); not serialized — see emission.artifacts for the
   /// hashed, disk-written form.

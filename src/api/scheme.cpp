@@ -96,14 +96,15 @@ void register_builtin_schemes(SchemeRegistry& registry) {
         return select_optimal(in.bundles[0].blocks, in.latency,
                               in.constraints, in.num_instructions,
                               OptimalMode::greedy_increments, in.executor, in.cache,
-                              in.cache_counters);
+                              in.cache_counters, in.search_options());
       }));
   registry.add(std::make_unique<SingleWorkloadScheme>(
       "optimal-dp", "exact DP allocation over the best(b, m) tables",
       [](const SchemeInputs& in) {
         return select_optimal(in.bundles[0].blocks, in.latency,
                               in.constraints, in.num_instructions, OptimalMode::exact_dp,
-                              in.executor, in.cache, in.cache_counters);
+                              in.executor, in.cache, in.cache_counters,
+                              in.search_options());
       }));
   registry.add(std::make_unique<SingleWorkloadScheme>(
       "clubbing", "Clubbing baseline, candidates ranked by merit",

@@ -73,10 +73,17 @@ struct SchemeInputs {
   /// per-client budget enforcement (see CutSearchOptions::budget). Schemes
   /// need no special handling: the gate rides search_options().
   BudgetGate* budget_gate = nullptr;
+  /// Shared per-request cancel token (may be null). When set, every
+  /// identification of this request polls it at the budget gate's cadence;
+  /// a tripped token makes searches return best-so-far results flagged
+  /// stats.cancelled, which the memo layer refuses to store. Like the gate,
+  /// it rides search_options() — schemes need no special handling.
+  CancelToken* cancel = nullptr;
 
   /// The CutSearchOptions this request asks schemes to search with.
   CutSearchOptions search_options() const {
-    return CutSearchOptions{executor, subtree_split_depth, engine_stats, budget_gate};
+    return CutSearchOptions{executor, subtree_split_depth, engine_stats, budget_gate,
+                            cancel};
   }
 
   /// The blocks of the portfolio's only bundle. Single-application schemes

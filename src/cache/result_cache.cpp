@@ -11,6 +11,7 @@
 #include "core/search_tables.hpp"
 #include "core/serialize.hpp"
 #include "support/assert.hpp"
+#include "support/cancellation.hpp"
 #include "support/hash.hpp"
 
 namespace isex {
@@ -117,12 +118,14 @@ SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latenc
   // regardless of their search options.
   auto result = std::make_shared<const SingleCutResult>(
       find_best_cut(g, latency, constraints, search));
-  // A shared request gate is invisible to the memo key (`constraints` still
-  // says whatever the client asked for), so a search it cut short is a
-  // partial answer that must never be served to a caller with budget left.
-  // A search that finished without exhausting the gate is the complete
-  // enumeration and stays storable.
+  // A shared request gate or cancel token is invisible to the memo key
+  // (`constraints` still says whatever the client asked for), so a search
+  // cut short by either is a partial answer that must never be served to a
+  // caller with budget left. A search that finished without exhausting the
+  // gate or tripping the token is the complete enumeration and stays
+  // storable.
   if (search.budget != nullptr && search.budget->exhausted()) return *result;
+  if (search.cancel != nullptr && search.cancel->cancelled()) return *result;
   MemoEntry entry;
   entry.single = result;
   if (local != nullptr) entry.origin_scope = local->scope;
@@ -132,7 +135,7 @@ SingleCutResult ResultCache::single_cut(const Dfg& g, const LatencyModel& latenc
 
 MultiCutResult ResultCache::multi_cut(const Dfg& g, const LatencyModel& latency,
                                       const Constraints& constraints, int num_cuts,
-                                      CacheCounters* local) {
+                                      CacheCounters* local, const CutSearchOptions& search) {
   ISEX_CHECK(num_cuts >= 1, "multi-cut memo needs num_cuts >= 1");
   MemoKey key{dfg_fingerprint(g), latency_signature(latency), constraints, num_cuts};
   if (std::optional<MemoEntry> hit = lookup_memo(key, local)) {
@@ -140,7 +143,10 @@ MultiCutResult ResultCache::multi_cut(const Dfg& g, const LatencyModel& latency,
     return *hit->multi;
   }
   auto result = std::make_shared<const MultiCutResult>(
-      find_best_cuts(g, latency, constraints, num_cuts));
+      find_best_cuts(g, latency, constraints, num_cuts, search));
+  // Same partial-result store refusal as single_cut above.
+  if (search.budget != nullptr && search.budget->exhausted()) return *result;
+  if (search.cancel != nullptr && search.cancel->cancelled()) return *result;
   MemoEntry entry;
   entry.multi = result;
   if (local != nullptr) entry.origin_scope = local->scope;
@@ -324,9 +330,9 @@ SingleCutResult cached_single_cut(ResultCache* cache, const Dfg& g,
 
 MultiCutResult cached_multi_cut(ResultCache* cache, const Dfg& g, const LatencyModel& latency,
                                 const Constraints& constraints, int num_cuts,
-                                CacheCounters* local) {
-  if (cache == nullptr) return find_best_cuts(g, latency, constraints, num_cuts);
-  return cache->multi_cut(g, latency, constraints, num_cuts, local);
+                                CacheCounters* local, const CutSearchOptions& search) {
+  if (cache == nullptr) return find_best_cuts(g, latency, constraints, num_cuts, search);
+  return cache->multi_cut(g, latency, constraints, num_cuts, local, search);
 }
 
 }  // namespace isex

@@ -71,16 +71,20 @@ class ResultCache {
   /// miss (subtree-parallel options); because every engine is byte-identical
   /// it never affects what a hit returns or what gets stored — with one
   /// carve-out: a miss computed under a shared `search.budget` gate that
-  /// exhausted is a partial result the key cannot see, so it is returned to
-  /// the caller but never stored (hits stay free of budget charges either
-  /// way — a warm entry is the full enumeration's answer).
+  /// exhausted — or under a `search.cancel` token that tripped — is a
+  /// partial result the key cannot see, so it is returned to the caller but
+  /// never stored (hits stay free of budget charges either way — a warm
+  /// entry is the full enumeration's answer).
   SingleCutResult single_cut(const Dfg& g, const LatencyModel& latency,
                              const Constraints& constraints, CacheCounters* local = nullptr,
                              const CutSearchOptions& search = {});
-  /// find_best_cuts through the memo table.
+  /// find_best_cuts through the memo table; `search` threads the shared
+  /// budget gate / cancel token with the same partial-result store refusal
+  /// as single_cut (the multi-cut engine ignores its parallelism knobs).
   MultiCutResult multi_cut(const Dfg& g, const LatencyModel& latency,
                            const Constraints& constraints, int num_cuts,
-                           CacheCounters* local = nullptr);
+                           CacheCounters* local = nullptr,
+                           const CutSearchOptions& search = {});
 
   // --- extraction cache ----------------------------------------------------
   /// A shared snapshot of the cached extraction (null on miss); the graphs
@@ -177,6 +181,7 @@ SingleCutResult cached_single_cut(ResultCache* cache, const Dfg& g,
                                   const CutSearchOptions& search = {});
 MultiCutResult cached_multi_cut(ResultCache* cache, const Dfg& g, const LatencyModel& latency,
                                 const Constraints& constraints, int num_cuts,
-                                CacheCounters* local = nullptr);
+                                CacheCounters* local = nullptr,
+                                const CutSearchOptions& search = {});
 
 }  // namespace isex

@@ -61,6 +61,10 @@ struct EnumerationStats {
   std::uint64_t pruned_bound = 0;
   std::uint64_t best_updates = 0;
   bool budget_exhausted = false;
+  /// The search was cut short by a cooperative CancelToken (deadline or
+  /// watchdog); the result is the best found so far. Like budget_exhausted,
+  /// cancelled results are partial and the memo layer refuses to store them.
+  bool cancelled = false;
 
   EnumerationStats& operator+=(const EnumerationStats& o) {
     cuts_considered += o.cuts_considered;
@@ -71,6 +75,7 @@ struct EnumerationStats {
     pruned_bound += o.pruned_bound;
     best_updates += o.best_updates;
     budget_exhausted |= o.budget_exhausted;
+    cancelled |= o.cancelled;
     return *this;
   }
 };

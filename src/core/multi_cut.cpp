@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/search_tables.hpp"
+#include "support/cancellation.hpp"
 
 namespace isex {
 
@@ -23,8 +24,16 @@ constexpr std::int8_t kExcluded = -1;
 // sums/suffix bounds, and the shared exact BudgetGate.
 class MultiCutSearch {
  public:
-  MultiCutSearch(const Dfg& g, const SearchTables& t, const Constraints& cons, int m)
-      : t_(t), cons_(cons), m_(m), gate_(cons.search_budget) {
+  MultiCutSearch(const Dfg& g, const SearchTables& t, const Constraints& cons, int m,
+                 const CutSearchOptions& options)
+      : t_(t),
+        cons_(cons),
+        m_(m),
+        // An externally shared gate overrides the per-search one, exactly as
+        // in the single-cut runner.
+        owned_gate_(options.budget != nullptr ? 0 : cons.search_budget),
+        gate_(options.budget != nullptr ? *options.budget : owned_gate_),
+        cancel_(options.cancel) {
     const std::size_t n = g.num_nodes();
     state_.assign(n, kUndecided);
     reach_mask_.assign(n, 0);
@@ -43,6 +52,7 @@ class MultiCutSearch {
     walk(0);
     best_.stats = stats_;
     best_.stats.budget_exhausted = gate_.exhausted();
+    best_.stats.cancelled = cancel_ != nullptr && cancel_->cancelled();
     return best_;
   }
 
@@ -79,6 +89,7 @@ class MultiCutSearch {
 
   void walk(std::size_t k) {
     if (gate_.exhausted()) return;
+    if (cancel_ != nullptr && cancel_->poll()) return;
 
     std::size_t auto_end = k;
     while (auto_end < t_.order.size() && !t_.candidate[auto_end]) ++auto_end;
@@ -99,7 +110,9 @@ class MultiCutSearch {
     while (open < m_ && cut_size_[open] > 0) ++open;
     const int max_label = std::min(m_ - 1, open);
 
-    for (int c = 0; c <= max_label && !gate_.exhausted(); ++c) {
+    for (int c = 0; c <= max_label && !gate_.exhausted() &&
+                    !(cancel_ != nullptr && cancel_->cancelled());
+         ++c) {
       if (!gate_.consume()) break;
       ++stats_.cuts_considered;
       const Frame f = include(u, c);
@@ -147,7 +160,7 @@ class MultiCutSearch {
     }
 
     // 0-branch: exclude u.
-    if (!gate_.exhausted()) {
+    if (!gate_.exhausted() && !(cancel_ != nullptr && cancel_->cancelled())) {
       state_[u] = kExcluded;
       reach_mask_[u] = succ_reach_mask(u);
       walk(auto_end + 1);
@@ -286,7 +299,9 @@ class MultiCutSearch {
   const SearchTables& t_;
   const Constraints cons_;
   const int m_;
-  BudgetGate gate_;
+  BudgetGate owned_gate_;
+  BudgetGate& gate_;
+  CancelToken* cancel_;
 
   std::vector<std::int8_t> state_;
   std::vector<std::uint32_t> reach_mask_;
@@ -307,12 +322,18 @@ class MultiCutSearch {
 }  // namespace
 
 MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
-                              const Constraints& constraints, int num_cuts) {
+                              const Constraints& constraints, int num_cuts,
+                              const CutSearchOptions& options) {
   ISEX_CHECK(g.finalized(), "find_best_cuts: graph not finalized");
   ISEX_CHECK(num_cuts >= 1 && num_cuts <= kMaxCuts, "num_cuts must be in [1, 8]");
   const SearchTables tables = SearchTables::build(g, latency);
-  MultiCutSearch search(g, tables, constraints, num_cuts);
+  MultiCutSearch search(g, tables, constraints, num_cuts, options);
   return search.run();
+}
+
+MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints, int num_cuts) {
+  return find_best_cuts(g, latency, constraints, num_cuts, CutSearchOptions{});
 }
 
 }  // namespace isex

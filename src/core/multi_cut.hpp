@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/constraints.hpp"
+#include "core/single_cut.hpp"
 #include "dfg/cut.hpp"
 #include "dfg/dfg.hpp"
 #include "latency/latency_model.hpp"
@@ -28,5 +29,13 @@ struct MultiCutResult {
 /// under `constraints` for each cut.
 MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
                               const Constraints& constraints, int num_cuts);
+
+/// As above, honouring the shared budget gate and cancel token of `options`
+/// (same override/refusal semantics as the single-cut engine). The
+/// (M+1)-ary walk is recursive and does not subtree-split: executor and
+/// split_depth are ignored, and results are independent of both.
+MultiCutResult find_best_cuts(const Dfg& g, const LatencyModel& latency,
+                              const Constraints& constraints, int num_cuts,
+                              const CutSearchOptions& options);
 
 }  // namespace isex

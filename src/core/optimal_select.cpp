@@ -70,7 +70,8 @@ SelectionResult assemble(std::span<const Dfg> blocks, const std::vector<BlockTab
 SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& latency,
                                const Constraints& constraints, int num_instructions,
                                OptimalMode mode, Executor* executor, ResultCache* cache,
-                               CacheCounters* cache_counters) {
+                               CacheCounters* cache_counters,
+                               const CutSearchOptions& search) {
   ISEX_CHECK(num_instructions >= 1, "need at least one instruction slot");
   if (executor == nullptr) executor = &serial_executor();
   const int max_per_block = std::min(num_instructions, 8);
@@ -86,7 +87,8 @@ SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& 
     std::vector<MultiCutResult> found(pending.size());
     executor->parallel_for(pending.size(), [&](std::size_t i) {
       const auto& [b, m] = pending[i];
-      found[i] = cached_multi_cut(cache, blocks[b], latency, constraints, m, cache_counters);
+      found[i] =
+          cached_multi_cut(cache, blocks[b], latency, constraints, m, cache_counters, search);
     });
     for (std::size_t i = 0; i < pending.size(); ++i) {
       apply(tables[pending[i].first], std::move(found[i]), pending[i].second, accounting);
@@ -130,7 +132,8 @@ SelectionResult select_optimal(std::span<const Dfg> blocks, const LatencyModel& 
     executor->parallel_for(blocks.size(), [&](std::size_t b) {
       for (int m = 1; m <= max_per_block; ++m) {
         if (!needs_fill(filled[b], m)) break;
-        MultiCutResult r = cached_multi_cut(cache, blocks[b], latency, constraints, m, cache_counters);
+        MultiCutResult r = cached_multi_cut(cache, blocks[b], latency, constraints, m,
+                                            cache_counters, search);
         if (!apply(filled[b], std::move(r), m, local[b])) break;
       }
     });

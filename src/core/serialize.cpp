@@ -34,6 +34,10 @@ Json to_json(const EnumerationStats& s) {
   j.set("pruned_bound", s.pruned_bound);
   j.set("best_updates", s.best_updates);
   j.set("budget_exhausted", s.budget_exhausted);
+  // Emitted only when set: complete results keep their historical byte
+  // layout (and cancelled results never reach the persisted memo anyway —
+  // the store-refusal discipline).
+  if (s.cancelled) j.set("cancelled", s.cancelled);
   return j;
 }
 
@@ -47,6 +51,7 @@ EnumerationStats stats_from_json(const Json& j) {
   s.pruned_bound = j.at("pruned_bound").as_uint();
   s.best_updates = j.at("best_updates").as_uint();
   s.budget_exhausted = j.at("budget_exhausted").as_bool();
+  if (const Json* c = j.find("cancelled")) s.cancelled = c->as_bool();
   return s;
 }
 

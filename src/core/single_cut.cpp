@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/search_tables.hpp"
+#include "support/cancellation.hpp"
 #include "support/parallel.hpp"
 
 namespace isex {
@@ -58,10 +59,12 @@ class CutEngine {
   /// deterministic merge (the split generator and every subtree task).
   enum class Mode { direct, record };
 
-  CutEngine(const SearchTables& t, const Constraints& cons, BudgetGate& gate, Mode mode)
+  CutEngine(const SearchTables& t, const Constraints& cons, BudgetGate& gate,
+            CancelToken* cancel, Mode mode)
       : t_(t),
         cons_(cons),
         gate_(&gate),
+        cancel_(cancel),
         mode_(mode),
         limited_(gate.limited()),
         dynamic_words_(t.words),
@@ -103,7 +106,8 @@ class CutEngine {
         take_zero_branch(f);
         continue;
       }
-      if (f.ci >= num_cand || (limited_ && gate_->exhausted())) {
+      if (f.ci >= num_cand || (limited_ && gate_->exhausted()) ||
+          (cancel_ != nullptr && cancel_->poll())) {
         stack_.pop_back();
         continue;
       }
@@ -298,8 +302,10 @@ class CutEngine {
 
   void spawn(std::uint32_t resume_ci) {
     // An exhausted budget makes every further task a no-op (its worker
-    // exits on the shared gate immediately); don't count ghosts.
+    // exits on the shared gate immediately); don't count ghosts. Same for
+    // a tripped cancel token.
     if (limited_ && gate_->exhausted()) return;
+    if (cancel_ != nullptr && cancel_->cancelled()) return;
     SubtreeTask task;
     task.decisions.assign(path_.begin(), path_.begin() + resume_ci);
     task.resume_ci = resume_ci;
@@ -370,6 +376,7 @@ class CutEngine {
   const SearchTables& t_;
   const Constraints& cons_;
   BudgetGate* gate_;
+  CancelToken* cancel_;
   const Mode mode_;
   const bool limited_;
   const std::size_t dynamic_words_;
@@ -424,7 +431,7 @@ SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
   // searches stay serial (and stat-exact).
   const bool split = options.split_depth > 0 && !constraints.branch_and_bound;
   if (!split) {
-    Engine engine(tables, constraints, gate, Engine::Mode::direct);
+    Engine engine(tables, constraints, gate, options.cancel, Engine::Mode::direct);
     engine.search(0, 0, nullptr);
     result.merit = engine.best_merit();
     result.cut = to_bitvector(g.num_nodes(), engine.best_cut_words());
@@ -435,7 +442,7 @@ SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
   } else {
     // Generator: the serial engine over the first split_depth candidate
     // decisions, recording each surviving depth-limit descent as a task.
-    Engine generator(tables, constraints, gate, Engine::Mode::record);
+    Engine generator(tables, constraints, gate, options.cancel, Engine::Mode::record);
     std::vector<SubtreeTask> tasks;
     generator.search(0, options.split_depth, &tasks);
 
@@ -447,7 +454,7 @@ SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
     Executor* executor =
         options.executor != nullptr ? options.executor : &serial_executor();
     executor->parallel_for(tasks.size(), [&](std::size_t i) {
-      Engine worker(tables, constraints, gate, Engine::Mode::record);
+      Engine worker(tables, constraints, gate, options.cancel, Engine::Mode::record);
       worker.replay(tasks[i]);
       worker.search(tasks[i].resume_ci, 0, nullptr);
       outcomes[i] = TaskOutcome{worker.stats(), worker.take_slots()};
@@ -491,6 +498,7 @@ SingleCutResult run_search(const Dfg& g, const SearchTables& tables,
     }
   }
   result.stats.budget_exhausted = gate.exhausted();
+  result.stats.cancelled = options.cancel != nullptr && options.cancel->cancelled();
   return result;
 }
 

@@ -40,6 +40,7 @@
 namespace isex {
 
 class BudgetGate;
+class CancelToken;
 class Executor;
 
 /// Version of the identification algorithms' observable behaviour (results
@@ -98,6 +99,13 @@ struct CutSearchOptions {
   /// memo layer refuses to store results computed under a gate that was
   /// exhausted (they are partial; the cache key cannot see the gate).
   BudgetGate* budget = nullptr;
+  /// Cooperative cancellation, polled at the budget gate's cadence (once
+  /// per search-tree node). A token that never trips changes nothing —
+  /// results stay byte-identical for any thread count. Once tripped the
+  /// search returns its best-so-far with stats.cancelled set, and the memo
+  /// layer refuses to store the result (same discipline as an exhausted
+  /// gate: the cache key cannot see the token).
+  CancelToken* cancel = nullptr;
 };
 
 /// Finds the cut maximising M(S) under `constraints` (paper Problem 1).

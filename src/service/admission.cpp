@@ -11,7 +11,12 @@ namespace isex {
 
 ServiceJob::ServiceJob(RequestFrame frame, std::uint64_t fingerprint,
                        std::uint64_t compat_key)
-    : frame_(std::move(frame)), fingerprint_(fingerprint), compat_key_(compat_key) {}
+    : frame_(std::move(frame)), fingerprint_(fingerprint), compat_key_(compat_key) {
+  // Armed before the job is shared with any worker thread (arm_deadline_ms
+  // is pre-share-only); the clock starts at admission, so queue wait counts
+  // against the deadline.
+  if (frame_.deadline_ms > 0) cancel_.arm_deadline_ms(frame_.deadline_ms);
+}
 
 void ServiceJob::publish(const std::string& event, const Json& data) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -108,9 +113,16 @@ AdmissionResult AdmissionQueue::submit(RequestFrame frame, std::string id,
   }
 
   if (queue_.size() >= max_queue_) {
+    // Load shedding with a hint: the backlog clears roughly one dispatch at
+    // a time, so suggest a backoff proportional to the depth the client is
+    // behind. Clients jitter on top (see IsexClient); the hint only has to
+    // spread retries, not predict completion.
+    Json details = Json::object();
+    details.set("retry_after_ms", static_cast<std::uint64_t>(100 * queue_.size()));
     throw ServiceError(kErrQueueFull,
                        "admission queue is full (" + std::to_string(max_queue_) +
-                           " queued requests); retry later");
+                           " queued requests); retry later",
+                       std::move(details));
   }
 
   // Reserve: the job enters the dedup index now (so identical frames attach
@@ -163,13 +175,30 @@ std::vector<ServiceJobPtr> AdmissionQueue::next_batch() {
     }
   }
   in_flight_ += batch.size();
+  const auto now = std::chrono::steady_clock::now();
+  for (const ServiceJobPtr& job : batch) running_.emplace(job.get(), std::make_pair(job, now));
   return batch;
 }
 
 void AdmissionQueue::finish(const ServiceJobPtr& job) {
   std::lock_guard<std::mutex> lock(mu_);
   index_.erase(job->fingerprint());
+  running_.erase(job.get());
   if (in_flight_ > 0) --in_flight_;
+}
+
+std::size_t AdmissionQueue::cancel_overrunning(std::uint64_t max_ms,
+                                               const std::string& reason) {
+  const auto cutoff = std::chrono::steady_clock::now() - std::chrono::milliseconds(max_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t cancelled = 0;
+  for (auto& [ptr, entry] : running_) {
+    if (entry.second <= cutoff && !entry.first->cancel().cancelled()) {
+      entry.first->cancel().cancel(reason);
+      ++cancelled;
+    }
+  }
+  return cancelled;
 }
 
 void AdmissionQueue::drain() {

@@ -26,6 +26,7 @@
 // shutdown, and drain() keeps workers running while refusing new work.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "support/cancellation.hpp"
 
 namespace isex {
 
@@ -68,6 +70,12 @@ class ServiceJob {
   std::uint64_t fingerprint() const { return fingerprint_; }
   std::uint64_t compat_key() const { return compat_key_; }
 
+  /// The job's cancellation token, armed from the frame's deadline_ms at
+  /// construction (queue wait counts against the deadline — an expired
+  /// request must not start burning CPU). The worker threads it into the
+  /// run as RunHooks::cancel; the watchdog cancels it on overrun.
+  CancelToken& cancel() { return cancel_; }
+
   /// Publishes a phase event to every live subscriber (each under its own
   /// correlation id); dead sinks are dropped.
   void publish(const std::string& event, const Json& data);
@@ -88,6 +96,7 @@ class ServiceJob {
   const RequestFrame frame_;
   const std::uint64_t fingerprint_;
   const std::uint64_t compat_key_;
+  CancelToken cancel_;
 
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, EventSinkPtr>> subscribers_;
@@ -118,9 +127,10 @@ class AdmissionQueue {
   /// batch_size, queue_depth) through the sink before the job can publish
   /// anything else to it. Fresh jobs enter the run queue only after the
   /// attach, so their full phase stream follows `accepted`. Throws
-  /// ServiceError(kErrQueueFull) when the queue is at capacity and
-  /// ServiceError(kErrShuttingDown) after drain()/close(); dedup attaches
-  /// never fail on a full queue (they add no work).
+  /// ServiceError(kErrQueueFull) when the queue is at capacity — with a
+  /// `retry_after_ms` hint in the error details so shedding is actionable —
+  /// and ServiceError(kErrShuttingDown) after drain()/close(); dedup
+  /// attaches never fail on a full queue (they add no work).
   AdmissionResult submit(RequestFrame frame, std::string id, EventSinkPtr sink);
 
   /// Blocks until work is available and returns the head job together with
@@ -131,6 +141,13 @@ class AdmissionQueue {
   /// Marks a dispatched job complete: its fingerprint leaves the dedup
   /// index, so identical future frames recompute (typically a cache hit).
   void finish(const ServiceJobPtr& job);
+
+  /// Cancels (with `reason`) every dispatched-but-unfinished job that has
+  /// been running longer than `max_ms`. Cooperative: the worker notices at
+  /// its next cancellation poll and terminates the job with a partial
+  /// report. Returns how many jobs were newly cancelled. The daemon's
+  /// watchdog thread calls this periodically.
+  std::size_t cancel_overrunning(std::uint64_t max_ms, const std::string& reason);
 
   /// Stops admitting (submit → shutting-down) while letting queued and
   /// in-flight jobs complete; idle() turning true then means the drain is
@@ -152,6 +169,11 @@ class AdmissionQueue {
   std::deque<ServiceJobPtr> queue_;
   /// Dedup index over queued + in-flight jobs.
   std::unordered_map<std::uint64_t, ServiceJobPtr> index_;
+  /// Dispatched-but-unfinished jobs with their dispatch stamps (the
+  /// watchdog's scan set).
+  std::unordered_map<ServiceJob*,
+                     std::pair<ServiceJobPtr, std::chrono::steady_clock::time_point>>
+      running_;
   std::size_t in_flight_ = 0;
   bool draining_ = false;
   bool closed_ = false;

@@ -1,15 +1,56 @@
 #include "service/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace isex {
 
 IsexClient::IsexClient(const std::string& path, std::size_t max_frame_bytes)
-    : fd_(connect_unix(path)), reader_(fd_.get(), max_frame_bytes) {}
+    : IsexClient(path, ClientOptions{max_frame_bytes}) {}
+
+IsexClient::IsexClient(const std::string& path, ClientOptions options)
+    : path_(path),
+      options_(options),
+      rng_(options.jitter_seed),
+      reader_(-1, options.max_frame_bytes) {
+  connect_with_retry();
+}
+
+void IsexClient::connect_with_retry() {
+  const int attempts = std::max(1, options_.connect_attempts);
+  std::uint64_t backoff = options_.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fd_ = connect_unix(path_);
+      reader_ = FrameReader(fd_.get(), options_.max_frame_bytes);
+      return;
+    } catch (const SocketError& e) {
+      if (attempt + 1 >= attempts) {
+        throw ConnectError("cannot connect to '" + path_ + "' after " +
+                           std::to_string(attempts) + " attempt(s): " + e.what());
+      }
+      sleep_backoff(&backoff);
+    }
+  }
+}
+
+void IsexClient::sleep_backoff(std::uint64_t* backoff) {
+  // Full jitter: sleep uniformly in [1, interval], then double the interval
+  // (capped). Spreads a thundering herd of retrying clients instead of
+  // synchronizing them on the exact exponential schedule.
+  const std::uint64_t cap = std::max<std::uint64_t>(1, *backoff);
+  const std::uint64_t wait = 1 + rng_() % cap;
+  std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  *backoff = std::min(options_.backoff_max_ms, cap * 2);
+}
 
 Json IsexClient::explore(const ExplorationRequest& request, std::uint64_t search_budget,
                          const EventCallback& on_event) {
   RequestFrame frame;
   frame.type = "explore";
   frame.search_budget = search_budget;
+  frame.deadline_ms = request.deadline_ms;  // frame-level field (protocol v3)
   frame.single = request;
   return run(std::move(frame), on_event);
 }
@@ -20,9 +61,21 @@ Json IsexClient::explore_portfolio(const MultiExplorationRequest& request,
   RequestFrame frame;
   frame.type = "explore-portfolio";
   frame.search_budget = search_budget;
+  frame.deadline_ms = request.deadline_ms;
   frame.portfolio = request;
   return run(std::move(frame), on_event);
 }
+
+namespace {
+
+[[noreturn]] void rethrow_error_event(const EventFrame& event) {
+  // The whole data object rides along as details, so structured extras
+  // (retry_after_ms on queue-full) stay machine-readable at the call site.
+  throw ServiceError(event.data.at("code").as_string(),
+                     event.data.at("message").as_string(), event.data);
+}
+
+}  // namespace
 
 Json IsexClient::ping() {
   RequestFrame frame;
@@ -31,13 +84,10 @@ Json IsexClient::ping() {
   while (true) {
     std::optional<EventFrame> event = read_event();
     if (!event.has_value()) {
-      throw SocketError("server closed the connection before answering the ping");
+      throw DisconnectError("server closed the connection before answering the ping");
     }
     if (event->id != id) continue;  // pipelined traffic for other calls
-    if (event->event == "error") {
-      throw ServiceError(event->data.at("code").as_string(),
-                         event->data.at("message").as_string());
-    }
+    if (event->event == "error") rethrow_error_event(*event);
     return event->data;  // "pong"
   }
 }
@@ -53,35 +103,75 @@ void IsexClient::send_line(const std::string& line) {
   std::string wire = line;
   if (wire.empty() || wire.back() != '\n') wire += '\n';
   if (!write_all(fd_.get(), wire)) {
-    throw SocketError("server closed the connection while sending");
+    throw DisconnectError("server closed the connection while sending");
   }
 }
 
 std::optional<EventFrame> IsexClient::read_event() {
+  // The per-request timeout covers every wait on the wire — a ping against
+  // a wedged daemon times out just like an exploration would.
+  if (options_.request_timeout_ms > 0) {
+    bool timed_out = false;
+    std::optional<std::string> line = reader_.read_frame(
+        static_cast<int>(options_.request_timeout_ms), &timed_out);
+    if (timed_out) {
+      throw TimeoutError("no event within " +
+                         std::to_string(options_.request_timeout_ms) + " ms");
+    }
+    if (!line.has_value()) return std::nullopt;
+    return parse_event_frame(*line);
+  }
   std::optional<std::string> line = reader_.read_frame();
   if (!line.has_value()) return std::nullopt;
   return parse_event_frame(*line);
 }
 
 Json IsexClient::collect_report(const std::string& id, const EventCallback& on_event) {
+  const bool timed = options_.request_timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.request_timeout_ms);
   while (true) {
-    std::optional<EventFrame> event = read_event();
-    if (!event.has_value()) {
-      throw SocketError("server closed the connection before the report for '" + id + "'");
+    int wait_ms = -1;
+    if (timed) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+      wait_ms = remaining > 0 ? static_cast<int>(remaining) : 0;
     }
-    if (on_event) on_event(*event);
-    if (event->id != id) continue;
-    if (event->event == "error") {
-      throw ServiceError(event->data.at("code").as_string(),
-                         event->data.at("message").as_string());
+    bool timed_out = false;
+    std::optional<std::string> line = reader_.read_frame(wait_ms, &timed_out);
+    if (timed_out) {
+      throw TimeoutError("no terminal event for '" + id + "' within " +
+                         std::to_string(options_.request_timeout_ms) + " ms");
     }
-    if (event->event == "report") return event->data;
+    if (!line.has_value()) {
+      throw DisconnectError("server closed the connection before the report for '" + id +
+                            "'");
+    }
+    EventFrame event = parse_event_frame(*line);
+    if (on_event) on_event(event);
+    if (event.id != id) continue;
+    if (event.event == "error") rethrow_error_event(event);
+    if (event.event == "report") return event.data;
   }
 }
 
 Json IsexClient::run(RequestFrame frame, const EventCallback& on_event) {
-  const std::string id = send_frame(std::move(frame));
-  return collect_report(id, on_event);
+  if (frame.id.empty()) frame.id = "c" + std::to_string(next_id_++);
+  std::uint64_t backoff = options_.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      send_line(dump_request_frame(frame));
+      return collect_report(frame.id, on_event);
+    } catch (const DisconnectError&) {
+      // Re-dial and re-send under the same correlation id: the daemon dedups
+      // identical in-flight work by fingerprint and answers completed work
+      // from its cache, so a retry never doubles the computation.
+      if (attempt >= options_.reconnect_attempts) throw;
+      sleep_backoff(&backoff);
+      connect_with_retry();
+    }
+  }
 }
 
 }  // namespace isex

@@ -5,18 +5,33 @@
 //   IsexClient client("/tmp/isex.sock");
 //   ExplorationRequest req;
 //   req.workload = "adpcmdecode";
+//   req.deadline_ms = 2000;              // daemon answers partial if late
 //   Json report = client.explore(req);   // the report event's payload
 //
-// Server-reported errors rethrow as ServiceError (with the structured
-// code); transport failures as SocketError. The raw send_line/read_event
-// surface exists for tests and tools that pipeline several requests on one
-// connection (responses interleave by correlation id; collect_report()
-// demultiplexes).
+// Failure taxonomy (all derive from SocketError, so legacy catch sites keep
+// working, and each is distinct for callers that branch on it — isex_client
+// maps them to distinct exit codes):
+//   * ConnectError    — no daemon reachable at the path, after the
+//                       configured dial retries;
+//   * DisconnectError — the connection died mid-stream (daemon crashed or
+//                       dropped us), after the configured reconnect retries;
+//   * TimeoutError    — the per-request client-side timeout fired first.
+// Server-reported errors rethrow as ServiceError (with the structured code
+// and details). The raw send_line/read_event surface exists for tests and
+// tools that pipeline several requests on one connection (responses
+// interleave by correlation id; collect_report() demultiplexes).
+//
+// Retry policy: dialing retries `connect_attempts` times and a mid-request
+// disconnect re-dials and re-sends up to `reconnect_attempts` times, both
+// under exponential backoff with full jitter (seeded, so tests are
+// deterministic). Re-sending is safe: the daemon dedups identical in-flight
+// requests by fingerprint and answers completed ones from its cache.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <random>
 #include <string>
 
 #include "api/explorer.hpp"
@@ -26,18 +41,67 @@
 
 namespace isex {
 
+/// No daemon reachable at the socket path (connection refused / missing
+/// socket), after every configured dial attempt. Retryable by its nature —
+/// the daemon may simply not be up yet.
+class ConnectError : public SocketError {
+ public:
+  explicit ConnectError(const std::string& message) : SocketError(message) {}
+};
+
+/// The connection died between the request going out and its terminal event
+/// arriving, after every configured reconnect attempt.
+class DisconnectError : public SocketError {
+ public:
+  explicit DisconnectError(const std::string& message) : SocketError(message) {}
+};
+
+/// The client-side request timeout fired before the terminal event. Distinct
+/// from a *server-side* deadline_ms, which produces a normal report flagged
+/// `partial: true` rather than an error.
+class TimeoutError : public SocketError {
+ public:
+  explicit TimeoutError(const std::string& message) : SocketError(message) {}
+};
+
+/// Connection and retry policy of one IsexClient.
+struct ClientOptions {
+  /// Bound on one received wire frame (reports can be large).
+  std::size_t max_frame_bytes = 1 << 22;
+  /// Client-side ceiling on waiting for a request's terminal event in
+  /// milliseconds (0 = wait forever). Fires TimeoutError; pair it with a
+  /// slightly smaller request deadline_ms so the daemon usually answers
+  /// (partially) first.
+  std::uint64_t request_timeout_ms = 0;
+  /// Dial attempts before ConnectError (>= 1).
+  int connect_attempts = 1;
+  /// Mid-request re-dial + re-send attempts before DisconnectError.
+  int reconnect_attempts = 0;
+  /// First backoff interval; doubles per retry up to `backoff_max_ms`, with
+  /// full jitter (the actual sleep is uniform in [1, interval]).
+  std::uint64_t backoff_initial_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Seed of the jitter stream — identical seeds replay identical backoff
+  /// sequences (deterministic tests).
+  std::uint32_t jitter_seed = 1;
+};
+
 class IsexClient {
  public:
   /// Observes every event frame of a call, terminal included, before the
   /// call returns.
   using EventCallback = std::function<void(const EventFrame&)>;
 
-  /// Connects; throws SocketError when nothing listens at `path`.
+  /// Connects; throws ConnectError when nothing listens at `path` after the
+  /// configured dial attempts.
   explicit IsexClient(const std::string& path, std::size_t max_frame_bytes = 1 << 22);
+  IsexClient(const std::string& path, ClientOptions options);
 
   /// Runs one single-application exploration on the daemon and returns the
   /// `report` event's payload (fields: kind, report, store, and budget when
-  /// `search_budget` > 0). Blocks through the streamed phases.
+  /// `search_budget` > 0). Blocks through the streamed phases. The
+  /// request's deadline_ms rides the frame (protocol v3); a fired deadline
+  /// still returns a report — flagged `partial: true` — not an error.
   Json explore(const ExplorationRequest& request, std::uint64_t search_budget = 0,
                const EventCallback& on_event = {});
 
@@ -57,16 +121,25 @@ class IsexClient {
   /// Sends a raw line verbatim (protocol robustness tests).
   void send_line(const std::string& line);
   /// Reads the next event frame; empty when the server closed the stream.
+  /// Honors request_timeout_ms (TimeoutError) when it is nonzero.
   std::optional<EventFrame> read_event();
   /// Reads events until the terminal `report`/`error` for `id` arrives
   /// (events for other ids pass through `on_event` too, tagged with their
   /// own id). Returns the report payload; throws ServiceError on an error
-  /// event for `id` and SocketError when the stream ends first.
+  /// event for `id`, DisconnectError when the stream ends first and
+  /// TimeoutError when request_timeout_ms fires first.
   Json collect_report(const std::string& id, const EventCallback& on_event = {});
 
  private:
+  /// Dials `path_` under the retry policy; replaces fd_/reader_.
+  void connect_with_retry();
+  /// Sleeps the jittered interval and advances `*backoff` (doubling, capped).
+  void sleep_backoff(std::uint64_t* backoff);
   Json run(RequestFrame frame, const EventCallback& on_event);
 
+  std::string path_;
+  ClientOptions options_;
+  std::minstd_rand rng_;
   FdHandle fd_;
   FrameReader reader_;
   std::uint64_t next_id_ = 0;

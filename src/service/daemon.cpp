@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 
 #include "core/search_tables.hpp"
+#include "support/fault_injection.hpp"
 
 namespace isex {
 
@@ -106,6 +108,8 @@ IsexDaemon::~IsexDaemon() {
   // destroyed without serving (e.g. a test that only constructs it).
   queue_.close();
   for (auto& w : workers_) w.join();
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_.joinable()) watchdog_.join();
   reap_connections(/*join_all=*/true);
 }
 
@@ -114,9 +118,21 @@ void IsexDaemon::serve() {
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (config_.max_request_ms > 0 && !watchdog_.joinable()) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 
   while (!stop_.load(std::memory_order_relaxed)) {
-    FdHandle client = listener_->accept_client(config_.accept_timeout_ms);
+    FdHandle client;
+    try {
+      client = listener_->accept_client(config_.accept_timeout_ms);
+    } catch (const SocketError& e) {
+      // A transient accept failure (fd exhaustion, an injected socket-accept
+      // fault) costs at most one connection, never the daemon: the client
+      // sees a drop and retries (IsexClient reconnects with backoff).
+      std::fprintf(stderr, "isexd: warning: accept failed: %s\n", e.what());
+      continue;
+    }
     if (client.valid()) {
       auto conn = std::make_shared<Connection>(std::move(client), config_.max_frame_bytes);
       conn->start([this, conn] { serve_connection(conn); });
@@ -127,11 +143,13 @@ void IsexDaemon::serve() {
     // Idle persistence: a no-op unless some request completed since the
     // last snapshot (the store's dirty flag), so polling every accept tick
     // is cheap.
-    if (queue_.idle()) store_->snapshot();
+    if (queue_.idle()) snapshot_store();
   }
 
   // Graceful drain: stop accepting, refuse new submissions, let admitted
-  // work publish its results, then tear down readers and persist.
+  // work publish its results, then tear down readers and persist. The
+  // watchdog keeps running through the drain — an overrunning job must not
+  // stall shutdown past its ceiling.
   listener_.reset();
   queue_.drain();
   while (!queue_.idle()) {
@@ -140,8 +158,32 @@ void IsexDaemon::serve() {
   queue_.close();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_.joinable()) watchdog_.join();
   reap_connections(/*join_all=*/true);
-  store_->snapshot();
+  snapshot_store();
+}
+
+void IsexDaemon::watchdog_loop() {
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    const std::size_t cancelled =
+        queue_.cancel_overrunning(config_.max_request_ms, "watchdog");
+    if (cancelled > 0) {
+      std::fprintf(stderr, "isexd: watchdog cancelled %zu job(s) running past %llu ms\n",
+                   cancelled, static_cast<unsigned long long>(config_.max_request_ms));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void IsexDaemon::snapshot_store() {
+  try {
+    store_->snapshot();
+  } catch (const std::exception& e) {
+    // Persistence trouble must not take down a serving daemon; the store
+    // keeps its in-memory state and the next idle tick retries.
+    std::fprintf(stderr, "isexd: warning: cache snapshot failed: %s\n", e.what());
+  }
 }
 
 void IsexDaemon::worker_loop() {
@@ -149,15 +191,22 @@ void IsexDaemon::worker_loop() {
     std::vector<ServiceJobPtr> batch = queue_.next_batch();
     if (batch.empty()) return;  // closed
     for (const ServiceJobPtr& job : batch) {
-      run_job(job);
+      // Close the dedup window *before* the terminal goes out: a client
+      // that reads the report and immediately re-submits must get a fresh
+      // job, not an attach to one whose stream already ended.
+      std::pair<std::string, Json> terminal = run_job(job);
       queue_.finish(job);
+      job->publish_terminal(terminal.first, terminal.second);
     }
   }
 }
 
-void IsexDaemon::run_job(const ServiceJobPtr& job) {
+std::pair<std::string, Json> IsexDaemon::run_job(const ServiceJobPtr& job) {
   const RequestFrame& frame = job->frame();
   try {
+    if (FaultInjector::instance().should_fail("worker-dispatch")) {
+      throw Error("injected fault: worker-dispatch");
+    }
     Explorer explorer(config_.latency, store_->cache(), config_.registry);
     // Per-request budget: every identification search of this job draws on
     // one gate, so the job's aggregate cuts_considered pins at
@@ -168,6 +217,11 @@ void IsexDaemon::run_job(const ServiceJobPtr& job) {
       job->publish(phase, data);
     };
     if (frame.search_budget > 0) hooks.budget_gate = &gate;
+    // Deadline + watchdog channel: the job's token (armed from the frame's
+    // deadline_ms at admission) rides into the engines through the hooks; a
+    // token that never fires leaves the run byte-identical to an unhooked
+    // one.
+    hooks.cancel = &job->cancel();
 
     Json data = Json::object();
     if (frame.single.has_value()) {
@@ -188,18 +242,19 @@ void IsexDaemon::run_job(const ServiceJobPtr& job) {
     }
     store_->note_activity();
     data.set("store", store_->status());
-    job->publish_terminal("report", data);
+    return {"report", std::move(data)};
   } catch (const ServiceError& e) {
     Json data = Json::object();
     data.set("code", e.code());
     data.set("message", std::string(e.what()));
-    job->publish_terminal("error", data);
+    for (const auto& [key, value] : e.details().as_object()) data.set(key, value);
+    return {"error", std::move(data)};
   } catch (const std::exception& e) {
     // A pipeline failure poisons this job only; the daemon keeps serving.
     Json data = Json::object();
     data.set("code", std::string(kErrInternal));
     data.set("message", std::string(e.what()));
-    job->publish_terminal("error", data);
+    return {"error", std::move(data)};
   }
 }
 
@@ -244,6 +299,9 @@ bool IsexDaemon::handle_line(const std::shared_ptr<Connection>& conn,
     Json data = Json::object();
     data.set("code", e.code());
     data.set("message", std::string(e.what()));
+    // Machine-readable extras (e.g. queue-full's retry_after_ms) ride next
+    // to code/message in the event's data object.
+    for (const auto& [key, value] : e.details().as_object()) data.set(key, value);
     return conn->emit_versioned(id, "error", data, version);
   }
 }

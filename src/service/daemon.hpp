@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/explorer.hpp"
@@ -56,6 +57,12 @@ struct DaemonConfig {
   /// Clamp applied to per-request `search_budget` values (0 = no clamp):
   /// an operator ceiling on how much enumeration one client may buy.
   std::uint64_t max_search_budget = 0;
+  /// Watchdog ceiling on one request's wall-clock run time in milliseconds
+  /// (0 = no watchdog). A dedicated thread cancels overrunning jobs
+  /// cooperatively (reason "watchdog"); they answer with a `partial: true`
+  /// report, and the worker moves on. Protects the pool from pathological
+  /// kernels that a client submitted without a deadline.
+  std::uint64_t max_request_ms = 0;
   /// Store persistence (empty = in-memory only) and cache sizing.
   std::string cache_file;
   ResultCacheConfig cache_config;
@@ -95,7 +102,18 @@ class IsexDaemon {
   class Connection;
 
   void worker_loop();
-  void run_job(const ServiceJobPtr& job);
+  /// Watchdog thread body: periodically cancels jobs running past
+  /// config_.max_request_ms. Runs through the graceful drain (an
+  /// overrunning job must not stall shutdown forever).
+  void watchdog_loop();
+  /// Runs one job and returns its terminal ("report"/"error", payload).
+  /// The caller publishes it *after* closing the job's dedup window, so a
+  /// client that saw the terminal can never re-attach to the finished run.
+  std::pair<std::string, Json> run_job(const ServiceJobPtr& job);
+  /// store_->snapshot() that survives write failures: persistence trouble
+  /// (disk full, injected snapshot-write fault) is a stderr warning, never
+  /// a dead daemon.
+  void snapshot_store();
   /// One reader thread body: frames in, admissions/error events out.
   void serve_connection(const std::shared_ptr<Connection>& conn);
   /// Handles one parsed line from `conn`; false when the connection should
@@ -109,6 +127,8 @@ class IsexDaemon {
   std::unique_ptr<UnixListener> listener_;
   AdmissionQueue queue_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_;
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

@@ -356,6 +356,8 @@ RequestFrame parse_request_frame(const std::string& line, std::string* id_out,
       frame.type = request_field("type", [&] { return value.as_string(); });
     } else if (key == "search_budget") {
       frame.search_budget = request_field("search_budget", [&] { return value.as_uint(); });
+    } else if (key == "deadline_ms") {
+      frame.deadline_ms = request_field("deadline_ms", [&] { return value.as_uint(); });
     } else if (key == "request") {
       return true;  // parsed once the type is known
     } else {
@@ -363,6 +365,12 @@ RequestFrame parse_request_frame(const std::string& line, std::string* id_out,
     }
     return true;
   });
+
+  if (frame.deadline_ms != 0 && frame.version < 3) {
+    throw ServiceError(kErrBadRequest,
+                       "frame: deadline_ms needs protocol version 3 (frame is tagged " +
+                           std::to_string(frame.version) + ")");
+  }
 
   if (frame.type == "ping") {
     if (j.find("request") != nullptr) {
@@ -397,6 +405,7 @@ std::string dump_request_frame(const RequestFrame& frame) {
   j.set("id", frame.id);
   j.set("type", frame.type);
   if (frame.search_budget != 0) j.set("search_budget", frame.search_budget);
+  if (frame.deadline_ms != 0) j.set("deadline_ms", frame.deadline_ms);
   if (frame.single.has_value()) {
     j.set("request", to_json(*frame.single));
   } else if (frame.portfolio.has_value()) {
@@ -436,6 +445,10 @@ std::uint64_t request_fingerprint(const RequestFrame& frame) {
   Json j = Json::object();
   j.set("type", frame.type);
   j.set("search_budget", frame.search_budget);
+  // Emitted only when set, so pre-v3 requests fingerprint exactly as before.
+  // Distinct deadlines must stay distinct computations: a 50ms request may
+  // legitimately produce a partial report where a 5s one completes.
+  if (frame.deadline_ms != 0) j.set("deadline_ms", frame.deadline_ms);
   if (frame.single.has_value()) j.set("request", to_json(*frame.single));
   if (frame.portfolio.has_value()) j.set("request", to_json(*frame.portfolio));
   return hash_bytes(j.dump(-1));

@@ -16,6 +16,9 @@
 // `search_budget` is the *per-request* ticket budget: the daemon runs every
 // identification search of the request against one shared BudgetGate, so
 // the aggregate cuts_considered pins at min(demand, budget) exactly.
+// `deadline_ms` (version >= 3) is the *per-request* wall-clock deadline:
+// when it fires mid-search the daemon stops cooperatively and answers with
+// a report flagged `partial: true` instead of burning the full search.
 //
 // Server -> client, a stream of phase events per request, ending in exactly
 // one `report` or `error`:
@@ -59,7 +62,14 @@ namespace isex {
 ///       inside the frame, so clients can serve graphs the daemon host has
 ///       never seen. v1 frames are still accepted (and answered with
 ///       v1-tagged events); a v1 frame carrying ir_text is a bad-request.
-inline constexpr int kServiceProtocolVersion = 2;
+///   3 — adds `deadline_ms`: a per-request wall-clock deadline. The daemon
+///       cancels the search cooperatively when it fires and answers with a
+///       report flagged `partial: true` carrying the best selection found so
+///       far (`partial_reason: "deadline_exceeded"`). Also adds structured
+///       error `details` (e.g. `retry_after_ms` on queue-full). Frames from
+///       versions 1 and 2 are still accepted; a pre-v3 frame carrying
+///       deadline_ms is a bad-request.
+inline constexpr int kServiceProtocolVersion = 3;
 inline constexpr int kMinServiceProtocolVersion = 1;
 
 // Structured error codes (the `code` field of error events).
@@ -75,12 +85,21 @@ inline constexpr const char* kErrInternal = "internal";             // pipeline 
 class ServiceError : public Error {
  public:
   ServiceError(std::string code, const std::string& message)
-      : Error(message), code_(std::move(code)) {}
+      : Error(message), code_(std::move(code)), details_(Json::object()) {}
+
+  /// With machine-readable extras merged into the error event's data object
+  /// (e.g. `retry_after_ms` on queue-full, so clients can back off without
+  /// parsing the message text).
+  ServiceError(std::string code, const std::string& message, Json details)
+      : Error(message), code_(std::move(code)), details_(std::move(details)) {}
 
   const std::string& code() const { return code_; }
+  /// Always an object; empty when the error carries no extras.
+  const Json& details() const { return details_; }
 
  private:
   std::string code_;
+  Json details_;
 };
 
 // --- request serialization --------------------------------------------------
@@ -112,6 +131,11 @@ struct RequestFrame {
   /// daemon through one shared BudgetGate across every identification
   /// search of the request.
   std::uint64_t search_budget = 0;
+  /// Per-request wall-clock deadline in milliseconds (0 = none; needs
+  /// protocol version >= 3): the daemon arms a CancelToken at admission and
+  /// the engines stop cooperatively when it fires, answering with a
+  /// `partial: true` report instead of an error.
+  std::uint64_t deadline_ms = 0;
   std::optional<ExplorationRequest> single;
   std::optional<MultiExplorationRequest> portfolio;
 };

@@ -1,12 +1,42 @@
 #include "service/result_store.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/assert.hpp"
+#include "support/fault_injection.hpp"
+
 namespace isex {
 
 ResultStore::ResultStore(ResultStoreConfig config)
     : config_(std::move(config)),
       cache_(std::make_shared<ResultCache>(config_.cache_config)) {
   if (!config_.snapshot_path.empty()) {
-    warm_started_ = cache_->load_file(config_.snapshot_path);
+    try {
+      warm_started_ = cache_->load_file(config_.snapshot_path);
+    } catch (const std::exception& e) {
+      // An existing-but-unloadable snapshot (torn write from a killed
+      // process that bypassed save_file's atomic rename, version/algorithm
+      // drift) must not wedge the daemon in a boot loop. Quarantine it so
+      // the operator keeps the evidence, warn, and boot cold.
+      const std::string quarantine = config_.snapshot_path + ".corrupt";
+      std::error_code ec;
+      std::filesystem::rename(config_.snapshot_path, quarantine, ec);
+      if (ec) {
+        std::fprintf(stderr,
+                     "isexd: warning: cache snapshot '%s' failed to load (%s) and could "
+                     "not be quarantined (%s); starting cold\n",
+                     config_.snapshot_path.c_str(), e.what(), ec.message().c_str());
+      } else {
+        std::fprintf(stderr,
+                     "isexd: warning: cache snapshot '%s' failed to load (%s); "
+                     "quarantined to '%s', starting cold\n",
+                     config_.snapshot_path.c_str(), e.what(), quarantine.c_str());
+      }
+      quarantined_ = true;
+      warm_started_ = false;
+    }
   }
 }
 
@@ -27,7 +57,28 @@ bool ResultStore::snapshot() {
     // unrelated later request re-dirties.)
     dirty_ = false;
   }
-  cache_->save_file(config_.snapshot_path);
+  if (FaultInjector::instance().should_fail("snapshot-write")) {
+    // Simulate the one failure save_file's temp-then-rename cannot produce
+    // on its own: a torn file at the final path, as left by a process killed
+    // mid-write on a filesystem without atomic rename. The quarantine path
+    // in the constructor is the regression target.
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;  // nothing was persisted; a later snapshot must retry
+    std::ofstream torn(config_.snapshot_path, std::ios::trunc);
+    torn << "{\"isex_cache\":";  // truncated mid-document, unparseable
+    torn.flush();
+    throw Error("injected fault: snapshot-write (torn snapshot left at '" +
+                config_.snapshot_path + "')");
+  }
+  try {
+    cache_->save_file(config_.snapshot_path);
+  } catch (...) {
+    // Disk trouble: keep the dirty flag so the next idle tick retries
+    // instead of silently dropping this interval's entries.
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;
+    throw;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++snapshots_written_;
   return true;

@@ -33,9 +33,10 @@ class ResultStore {
  public:
   /// Builds the shared cache and, when `snapshot_path` names an existing
   /// file, warm-starts the memo from it. A snapshot that exists but fails to
-  /// load (torn writes are impossible, but version/algorithm drift is not)
-  /// throws isex::Error — a daemon must not silently boot cold off a warm
-  /// start the operator asked for.
+  /// load (a torn write from a crashed process, version/algorithm drift) is
+  /// quarantined to `<snapshot_path>.corrupt` with a stderr warning and the
+  /// store boots cold — a bad snapshot must not wedge the daemon in a boot
+  /// loop, and the quarantined file keeps the evidence for the operator.
   explicit ResultStore(ResultStoreConfig config = {});
 
   ResultStore(const ResultStore&) = delete;
@@ -48,6 +49,10 @@ class ResultStore {
 
   /// Whether construction warm-started from an existing snapshot file.
   bool warm_started() const { return warm_started_; }
+
+  /// Whether construction found an unloadable snapshot and quarantined it
+  /// (test/operator introspection).
+  bool quarantined() const { return quarantined_; }
 
   /// Marks the store dirty: some request may have added memo entries since
   /// the last snapshot. The daemon calls this once per completed request —
@@ -71,6 +76,7 @@ class ResultStore {
   ResultStoreConfig config_;
   std::shared_ptr<ResultCache> cache_;
   bool warm_started_ = false;
+  bool quarantined_ = false;
 
   mutable std::mutex mu_;  // guards dirty_/counters below (cache_ self-locks)
   bool dirty_ = false;

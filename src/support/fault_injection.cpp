@@ -1,0 +1,100 @@
+#include "support/fault_injection.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace isex {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& clause) {
+  ISEX_CHECK(!s.empty(), "fault spec: empty number in '" + clause + "'");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    ISEX_CHECK(c >= '0' && c <= '9',
+               "fault spec: bad number '" + s + "' in '" + clause + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  std::map<std::string, Point> points;
+  if (!spec.empty()) {
+    for (const std::string& clause : split(spec, ',')) {
+      if (clause.empty()) continue;
+      std::vector<std::string> fields = split(clause, ':');
+      const std::string& name = fields[0];
+      ISEX_CHECK(!name.empty(), "fault spec: empty point name in '" + clause + "'");
+      Point p;
+      if (fields.size() == 4 && fields[1] == "rate") {
+        const std::uint64_t permille = parse_u64(fields[2], clause);
+        ISEX_CHECK(permille <= 1000,
+                   "fault spec: permille > 1000 in '" + clause + "'");
+        p.permille = static_cast<int>(permille);
+        p.rng.seed(static_cast<std::uint32_t>(parse_u64(fields[3], clause)));
+      } else if (fields.size() <= 3) {
+        if (fields.size() >= 2) p.skip = parse_u64(fields[1], clause);
+        if (fields.size() == 3) p.count = parse_u64(fields[2], clause);
+      } else {
+        ISEX_CHECK(false, "fault spec: malformed clause '" + clause + "'");
+      }
+      points[name] = p;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  points_ = std::move(points);
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_from_env() {
+  const char* spec = std::getenv("ISEX_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') arm(spec);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  const std::uint64_t hit = p.hits++;
+  if (p.permille >= 0) {
+    return static_cast<int>(p.rng() % 1000) < p.permille;
+  }
+  if (hit < p.skip) return false;
+  return p.count == 0 || hit < p.skip + p.count;
+}
+
+}  // namespace isex

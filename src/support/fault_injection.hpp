@@ -1,0 +1,79 @@
+// Deterministic fault injection for the service stack. Production code
+// never fails on purpose — but the daemon's recovery paths (corrupt
+// snapshot quarantine, accept/read hiccups that must not kill the serve
+// loop, worker dispatch failures) need tests that are repeatable rather
+// than timing-dependent. FaultInjector is that seam: named failure points
+// compiled into the service code, disarmed (one relaxed atomic load) unless
+// a test or operator arms them via the ISEX_FAULTS environment variable or
+// the daemon's --faults flag.
+//
+// Spec grammar (comma-separated, one clause per point):
+//
+//   point                  fail the 1st hit, then pass
+//   point:skip             pass `skip` hits, fail the next, then pass
+//   point:skip:count       pass `skip` hits, fail the next `count`
+//                          (count 0 = fail forever)
+//   point:rate:permille:seed
+//                          fail each hit with probability permille/1000,
+//                          drawn from a per-point PRNG seeded with `seed`
+//
+// e.g. ISEX_FAULTS="snapshot-write:1,frame-read:rate:50:7". Identical specs
+// (and seeds) produce identical failure sequences — the robustness CI
+// matrix depends on this.
+//
+// Points wired in this repo: "snapshot-write" (ResultStore::snapshot, fails
+// after tearing the snapshot file), "socket-accept" (UnixListener, after a
+// successful accept), "frame-read" (FrameReader::read_frame entry),
+// "worker-dispatch" (daemon run_job entry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+
+namespace isex {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector every failure point consults.
+  static FaultInjector& instance();
+
+  /// Parses and arms a spec (see grammar above); empty spec disarms.
+  /// Throws isex::Error on a malformed spec. Replaces any previous arming.
+  void arm(const std::string& spec);
+
+  /// Arms from ISEX_FAULTS if set; no-op otherwise. Call once at startup.
+  void arm_from_env();
+
+  /// Disarms every point and clears hit counters.
+  void reset();
+
+  /// True when the named point should fail this hit. Disarmed fast path is
+  /// one relaxed atomic load; armed hits serialize on a mutex (every wired
+  /// point sits on a cold control path, never in the search hot loop).
+  bool should_fail(const char* point);
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector() = default;
+
+  struct Point {
+    // Counter mode: pass `skip` hits, then fail `count` (0 = forever).
+    std::uint64_t skip = 0;
+    std::uint64_t count = 1;
+    // Rate mode (used when permille >= 0): independent per-hit failures.
+    int permille = -1;
+    std::minstd_rand rng;
+    std::uint64_t hits = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+}  // namespace isex

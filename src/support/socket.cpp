@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "support/fault_injection.hpp"
 
 namespace isex {
 
@@ -87,7 +90,13 @@ FdHandle UnixListener::accept_client(int timeout_ms) {
     if (errno == ECONNABORTED || errno == EINTR || errno == EAGAIN) return FdHandle();
     throw SocketError(errno_text("accept"));
   }
-  return FdHandle(client);
+  FdHandle handle(client);
+  if (FaultInjector::instance().should_fail("socket-accept")) {
+    // The handle's destructor closes the accepted fd, exactly as a real
+    // post-accept failure (EMFILE on a dup, a dying peer) would leave things.
+    throw SocketError("injected fault: socket-accept");
+  }
+  return handle;
 }
 
 FdHandle connect_unix(const std::string& path) {
@@ -104,6 +113,16 @@ FrameReader::FrameReader(int fd, std::size_t max_frame_bytes)
     : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
 
 std::optional<std::string> FrameReader::read_frame() {
+  return read_frame(-1, nullptr);
+}
+
+std::optional<std::string> FrameReader::read_frame(int timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (FaultInjector::instance().should_fail("frame-read")) {
+    throw SocketError("injected fault: frame-read");
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
   while (true) {
     // Scan only bytes not inspected by a previous call (the buffer may hold
     // several pipelined frames).
@@ -122,6 +141,21 @@ std::optional<std::string> FrameReader::read_frame() {
       throw SocketError("frame exceeds " + std::to_string(max_frame_bytes_) + " bytes");
     }
     if (eof_) return std::nullopt;  // unterminated tail: the peer died mid-frame
+    if (timeout_ms >= 0) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      const int wait_ms = remaining.count() > 0 ? static_cast<int>(remaining.count()) : 0;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw SocketError(errno_text("poll(frame)"));
+      }
+      if (ready == 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+    }
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {

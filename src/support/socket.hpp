@@ -92,6 +92,13 @@ class FrameReader {
   /// EOF — a peer that died mid-frame never produced a frame.
   std::optional<std::string> read_frame();
 
+  /// As read_frame(), waiting at most `timeout_ms` for the next frame
+  /// (-1 = forever; buffered frames return immediately without touching the
+  /// fd). A timeout sets `*timed_out` and returns an empty optional — the
+  /// caller owns the policy (the client library maps it to its per-request
+  /// timeout error); EOF returns an empty optional with `*timed_out` false.
+  std::optional<std::string> read_frame(int timeout_ms, bool* timed_out);
+
  private:
   int fd_;
   std::size_t max_frame_bytes_;

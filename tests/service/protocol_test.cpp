@@ -134,7 +134,7 @@ TEST(ServiceProtocol, FrameParsingMapsEveryFailureToItsCode) {
   const std::string untagged = expect_request_error(
       R"({"id": "x", "type": "ping"})", kErrBadFrame);
   EXPECT_NE(untagged.find("isex"), std::string::npos);
-  expect_request_error(R"({"isex": 3, "id": "x", "type": "ping"})",
+  expect_request_error(R"({"isex": 4, "id": "x", "type": "ping"})",
                        kErrUnsupportedVersion);
   expect_request_error(R"({"isex": 0, "id": "x", "type": "ping"})",
                        kErrUnsupportedVersion);
@@ -208,7 +208,7 @@ TEST(ServiceProtocol, EventFrameRoundTripsThroughTheWire) {
   EXPECT_THROW(parse_event_frame("nope"), ServiceError);
   EXPECT_THROW(parse_event_frame(R"({"id": "x", "event": "pong", "data": {}})"),
                ServiceError);  // untagged
-  EXPECT_THROW(parse_event_frame(R"({"isex": 3, "id": "x", "event": "p", "data": {}})"),
+  EXPECT_THROW(parse_event_frame(R"({"isex": 4, "id": "x", "event": "p", "data": {}})"),
                ServiceError);  // wrong version
   EXPECT_THROW(parse_event_frame(R"({"isex": 1, "id": "x"})"), ServiceError);
 }

@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +19,9 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "service/result_store.hpp"
+#include "support/assert.hpp"
+#include "support/fault_injection.hpp"
 #include "support/socket.hpp"
 
 namespace isex {
@@ -313,6 +319,150 @@ TEST(ServiceRobustness, DeadSubscribersAreDroppedAndLateAttachersReplayTheTermin
   EXPECT_EQ(late_events[0].second, "accepted");
   EXPECT_EQ(late_events[1].second, "report");
   EXPECT_EQ(late->last_data.at("kind").as_string(), "exploration");
+}
+
+// --- snapshot quarantine and fault injection --------------------------------
+
+/// Clears the process-global fault injector on scope exit so no test can
+/// leak an armed fault point into the rest of the binary.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().reset(); }
+  FaultInjector& fi = FaultInjector::instance();
+};
+
+std::string temp_memo_path(const std::string& tag) {
+  return testing::TempDir() + "isexr-" + tag + "-" +
+         std::to_string(static_cast<unsigned>(::getpid())) + ".memo";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ServiceRobustness, CorruptSnapshotsAreQuarantinedAndTheStoreBootsCold) {
+  const std::string path = temp_memo_path("garbage");
+  const std::string quarantine = path + ".corrupt";
+  { std::ofstream(path) << "this was never a memo snapshot"; }
+
+  ResultStoreConfig config;
+  config.snapshot_path = path;
+  ResultStore store(config);
+  EXPECT_TRUE(store.quarantined());
+  EXPECT_FALSE(store.warm_started());
+  // The bad file moved aside — evidence kept, boot path cleared.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  EXPECT_EQ(slurp(quarantine), "this was never a memo snapshot");
+
+  // The quarantined store persists normally from here on.
+  store.note_activity();
+  EXPECT_TRUE(store.snapshot());
+  ResultStore next(config);
+  EXPECT_TRUE(next.warm_started());
+  EXPECT_FALSE(next.quarantined());
+  ::unlink(path.c_str());
+  ::unlink(quarantine.c_str());
+}
+
+TEST(ServiceRobustness, TornSnapshotWritesQuarantineOnTheNextBoot) {
+  // Regression for the crash-mid-snapshot scenario, driven through the
+  // deterministic snapshot-write fault: the write tears the file and throws,
+  // the store stays dirty (nothing was persisted), and the next boot
+  // quarantines the torn file instead of wedging.
+  InjectorGuard guard;
+  const std::string path = temp_memo_path("torn");
+  ResultStoreConfig config;
+  config.snapshot_path = path;
+
+  ResultStore store(config);
+  store.note_activity();
+  guard.fi.arm("snapshot-write");
+  EXPECT_THROW(store.snapshot(), Error);
+  guard.fi.reset();
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);  // the torn file is on disk
+
+  ResultStore rebooted(config);
+  EXPECT_TRUE(rebooted.quarantined());
+  EXPECT_FALSE(rebooted.warm_started());
+  EXPECT_EQ(::access((path + ".corrupt").c_str(), F_OK), 0);
+
+  // The injected failure left the dirty flag set, so the retried snapshot
+  // (fault disarmed) persists the state that almost got lost.
+  EXPECT_TRUE(store.snapshot());
+  ResultStore recovered(config);
+  EXPECT_TRUE(recovered.warm_started());
+  ::unlink(path.c_str());
+  ::unlink((path + ".corrupt").c_str());
+}
+
+// --- client-side failure taxonomy -------------------------------------------
+
+TEST(ServiceRobustness, ConnectRefusedIsAConnectErrorAfterEveryAttempt) {
+  ClientOptions options;
+  options.connect_attempts = 3;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  const std::string nowhere = temp_socket_path("nowhere");
+  try {
+    IsexClient client(nowhere, options);
+    FAIL() << "connected to a socket nobody listens on";
+  } catch (const ConnectError& e) {
+    EXPECT_NE(std::string(e.what()).find("3 attempt(s)"), std::string::npos) << e.what();
+  }
+  // The taxonomy refines SocketError, so legacy catch sites keep working.
+  try {
+    IsexClient client(nowhere, options);
+    FAIL() << "connected to a socket nobody listens on";
+  } catch (const SocketError&) {
+  }
+}
+
+TEST(ServiceRobustness, SilentServerIsATimeoutErrorNotADisconnect) {
+  // A listener that never answers: the connection succeeds (backlog), no
+  // event ever arrives, and the client's own request timeout fires.
+  UnixListener mute(temp_socket_path("mute"));
+  ClientOptions options;
+  options.request_timeout_ms = 50;
+  IsexClient client(mute.path(), options);
+  EXPECT_THROW(client.explore(tiny_request()), TimeoutError);
+}
+
+TEST(ServiceRobustness, MidStreamServerCloseIsADisconnectError) {
+  UnixListener listener(temp_socket_path("drop"));
+  std::thread server([&] {
+    // Accept one connection and close it immediately — a daemon crash as
+    // seen from the client.
+    FdHandle victim = listener.accept_client(/*timeout_ms=*/5000);
+  });
+  IsexClient client(listener.path());
+  EXPECT_THROW(client.explore(tiny_request()), DisconnectError);
+  server.join();
+}
+
+TEST(ServiceRobustness, InjectedAcceptFaultsNeverKillTheDaemonAndReconnectRidesThrough) {
+  // The daemon's first two accepts fail (after accepting — the client sees
+  // its connection die); the serve loop must shrug both off, and the
+  // client's reconnect loop must ride through under the same correlation
+  // id until the third accept sticks.
+  InjectorGuard guard;
+  guard.fi.arm("socket-accept:0:2");
+  DaemonRunner runner(base_config("afault"));
+
+  ClientOptions options;
+  options.connect_attempts = 4;
+  options.reconnect_attempts = 4;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  IsexClient client(runner.socket(), options);
+  const Json payload = client.explore(tiny_request());
+  EXPECT_EQ(payload.at("kind").as_string(), "exploration");
+
+  // And the daemon is fully healthy for fresh connections.
+  guard.fi.reset();
+  IsexClient after(runner.socket());
+  EXPECT_GE(after.ping().at("requests_served").as_uint(), 1u);
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST(ServiceVersion, IrTextNeedsAVersionTwoFrame) {
 
 TEST(ServiceVersion, OutOfRangeVersionsAreStructuredRejections) {
   for (const char* line :
-       {R"({"isex": 3, "id": "x", "type": "ping"})",
+       {R"({"isex": 4, "id": "x", "type": "ping"})",
         R"({"isex": 0, "id": "x", "type": "ping"})"}) {
     try {
       parse_request_frame(line);
@@ -176,9 +176,9 @@ TEST(ServiceVersionDaemon, VersionOneClientsGetVersionOneEvents) {
 }
 
 TEST(ServiceVersionDaemon, UnsupportedVersionGetsAStructuredError) {
-  DaemonRunner runner(base_config("v3"));
+  DaemonRunner runner(base_config("v4"));
   FdHandle fd = connect_unix(runner.socket());
-  ASSERT_TRUE(write_all(fd.get(), R"({"isex": 3, "id": "future", "type": "ping"})"
+  ASSERT_TRUE(write_all(fd.get(), R"({"isex": 4, "id": "future", "type": "ping"})"
                                   "\n"));
   FrameReader reader(fd.get(), 1 << 22);
   const std::optional<std::string> line = reader.read_frame();

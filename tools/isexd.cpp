@@ -14,6 +14,7 @@
 #include <string>
 
 #include "service/daemon.hpp"
+#include "support/fault_injection.hpp"
 
 namespace {
 
@@ -33,6 +34,12 @@ void usage(std::ostream& out) {
          "  --max-frame-bytes N      bound on one request line (default 1 MiB)\n"
          "  --max-search-budget N    clamp per-request search budgets to N tickets\n"
          "                           (default 0 = no clamp)\n"
+         "  --max-request-ms N       watchdog: cancel any request running longer than\n"
+         "                           N ms, answering with a partial report (default\n"
+         "                           0 = no watchdog)\n"
+         "  --faults SPEC            arm deterministic fault injection (testing); same\n"
+         "                           grammar as the ISEX_FAULTS environment variable,\n"
+         "                           e.g. 'socket-accept:2:1,frame-read:rate:50:7'\n"
          "  --help                   this text\n";
 }
 
@@ -73,6 +80,15 @@ int main(int argc, char** argv) {
       config.max_frame_bytes = static_cast<std::size_t>(parse_count(arg, next()));
     } else if (arg == "--max-search-budget") {
       config.max_search_budget = parse_count(arg, next());
+    } else if (arg == "--max-request-ms") {
+      config.max_request_ms = parse_count(arg, next());
+    } else if (arg == "--faults") {
+      try {
+        isex::FaultInjector::instance().arm(next());
+      } catch (const std::exception& e) {
+        std::cerr << "isexd: --faults: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -85,6 +101,18 @@ int main(int argc, char** argv) {
   if (config.socket_path.empty()) {
     std::cerr << "isexd: --socket is required\n";
     usage(std::cerr);
+    return 2;
+  }
+  try {
+    // Env-armed fault injection (ISEX_FAULTS) replaces --faults when both
+    // are given; the robustness CI job uses the env form so the launch line
+    // stays the production one.
+    isex::FaultInjector::instance().arm_from_env();
+    if (isex::FaultInjector::instance().armed()) {
+      std::cerr << "isexd: fault injection armed\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "isexd: ISEX_FAULTS: " << e.what() << "\n";
     return 2;
   }
 
